@@ -1,0 +1,43 @@
+//! Ablation: radix-2 FFT vs Bluestein chirp-z (arbitrary length) vs the
+//! naive DFT, plus Goertzel for single-bin extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htmpll_num::Complex;
+use htmpll_spectral::fft::{dft_naive, fft};
+use htmpll_spectral::{fft_any, goertzel};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((0.13 * i as f64).sin(), (0.07 * i as f64).cos()))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pow2 = signal(1024);
+    let awkward = signal(1000);
+    let real: Vec<f64> = (0..1024).map(|i| (0.21 * i as f64).sin()).collect();
+
+    let mut group = c.benchmark_group("spectral");
+    group.bench_function("radix2_1024", |b| {
+        b.iter(|| {
+            let mut x = pow2.clone();
+            fft(&mut x).unwrap();
+            black_box(x)
+        })
+    });
+    group.bench_function("bluestein_1000", |b| {
+        b.iter(|| black_box(fft_any(black_box(&awkward))))
+    });
+    group.bench_function("naive_dft_256", |b| {
+        let small = signal(256);
+        b.iter(|| black_box(dft_naive(black_box(&small))))
+    });
+    group.bench_function("goertzel_single_bin_1024", |b| {
+        b.iter(|| black_box(goertzel(black_box(&real), 0.3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

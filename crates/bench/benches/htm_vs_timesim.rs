@@ -1,0 +1,63 @@
+//! §5 timing claim as a Criterion benchmark: one closed-loop frequency
+//! point via the HTM closed form (eq. 38) vs via time-marching
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htmpll_core::{PllDesign, PllModel};
+use htmpll_sim::{measure_h00, MeasureOptions, SimConfig, SimParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let design = PllDesign::reference_design(0.1).expect("design");
+    let model = PllModel::new(design.clone()).expect("model");
+    let params = SimParams::from_design(&design);
+    let cfg = SimConfig::default();
+
+    let mut group = c.benchmark_group("h00_one_point");
+    group.bench_function("htm_closed_form", |b| {
+        b.iter(|| black_box(model.h00(black_box(1.0))))
+    });
+    group.sample_size(10);
+    group.bench_function("time_marching", |b| {
+        b.iter(|| {
+            black_box(measure_h00(
+                &params,
+                &cfg,
+                black_box(1.0),
+                &MeasureOptions {
+                    settle_cycles: 6,
+                    measure_cycles: 8,
+                    ..MeasureOptions::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    use htmpll_sim::{PeriodMap, PllSim, PulseLaw};
+
+    let design = PllDesign::reference_design(0.1).expect("design");
+    let params = SimParams::from_design(&design);
+    let t_ref = params.t_ref;
+
+    let mut group = c.benchmark_group("simulate_500_periods");
+    group.sample_size(20);
+    group.bench_function("rk4_event_engine", |b| {
+        b.iter(|| {
+            let mut sim = PllSim::new(params.clone(), SimConfig::default());
+            black_box(sim.run(500.0 * t_ref, &|t| 1e-4 * (0.5 * t).sin()))
+        })
+    });
+    group.bench_function("period_map", |b| {
+        b.iter(|| {
+            let mut map = PeriodMap::new(&params, PulseLaw::Linear);
+            black_box(map.run(500, |k| 1e-4 * (0.5 * k as f64 * t_ref).sin()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: exact coth-lattice-sum evaluation of the effective
+//! open-loop gain λ(s) vs brute-force truncated summation at several
+//! truncation lengths (accuracy data lives in EXPERIMENTS.md; this
+//! bench measures cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmpll_core::{EffectiveGain, PllDesign};
+use htmpll_num::Complex;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let design = PllDesign::reference_design(0.2).expect("design");
+    let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref()).expect("lambda");
+    let s = Complex::from_im(0.8);
+
+    let mut group = c.benchmark_group("lambda");
+    group.bench_function("exact_lattice_sum", |b| {
+        b.iter(|| black_box(lam.eval(black_box(s))))
+    });
+    for terms in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("truncated", terms), &terms, |b, &m| {
+            b.iter(|| black_box(lam.eval_truncated(black_box(s), m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: simulator cost vs integration step density (samples per
+//! reference period × RK4 substeps). Accuracy at each density is
+//! recorded in EXPERIMENTS.md; events are bisection-located so accuracy
+//! is dominated by the filter-ODE step, not the edge timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmpll_core::PllDesign;
+use htmpll_sim::{PllSim, SimConfig, SimParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let design = PllDesign::reference_design(0.1).expect("design");
+    let params = SimParams::from_design(&design);
+
+    let mut group = c.benchmark_group("sim_100_periods");
+    group.sample_size(10);
+    for spr in [8usize, 32, 128] {
+        let cfg = SimConfig {
+            samples_per_ref: spr,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("samples_per_ref", spr), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = PllSim::new(params.clone(), *cfg);
+                let t = 100.0 * sim.params().t_ref;
+                black_box(sim.run(t, &|t| 1e-4 * (0.5 * t).sin()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multitone(c: &mut Criterion) {
+    use htmpll_sim::{measure_h00, measure_h00_multitone, MeasureOptions};
+    let design = PllDesign::reference_design(0.1).expect("design");
+    let params = SimParams::from_design(&design);
+    let cfg = SimConfig::default();
+    let opts = MeasureOptions {
+        settle_cycles: 6,
+        measure_cycles: 8,
+        ..MeasureOptions::default()
+    };
+    let omegas = [0.3, 0.8, 1.7, 3.1];
+
+    let mut group = c.benchmark_group("h00_four_points");
+    group.sample_size(10);
+    group.bench_function("sequential_single_tones", |b| {
+        b.iter(|| {
+            for &w in &omegas {
+                black_box(measure_h00(&params, &cfg, w, &opts));
+            }
+        })
+    });
+    group.bench_function("one_multitone_run", |b| {
+        b.iter(|| black_box(measure_h00_multitone(&params, &cfg, &omegas, &opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_multitone);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the rank-one Sherman–Morrison–Woodbury closed form
+//! (paper eq. 31–34) vs dense LU inversion of `(I + G̃)` (eq. 28),
+//! across truncation sizes — the scaling argument for exploiting the
+//! sampling PFD's rank-one structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmpll_core::{PllDesign, PllModel};
+use htmpll_htm::Truncation;
+use htmpll_num::Complex;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model =
+        PllModel::new(PllDesign::reference_design(0.2).expect("design")).expect("model");
+    let s = Complex::from_im(0.6);
+
+    let mut group = c.benchmark_group("closed_loop_htm");
+    for k in [4usize, 8, 16, 32] {
+        let t = Truncation::new(k);
+        group.bench_with_input(BenchmarkId::new("sherman_morrison", 2 * k + 1), &t, |b, &t| {
+            b.iter(|| black_box(model.closed_loop_htm(black_box(s), t)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_lu", 2 * k + 1), &t, |b, &t| {
+            b.iter(|| black_box(model.closed_loop_htm_dense(black_box(s), t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    use htmpll_htm::{HtmBlock, LtiHtm, SamplerHtm, VcoHtm};
+
+    let design = PllDesign::reference_design(0.2).expect("design");
+    let w0 = design.omega_ref();
+    let s = Complex::from_im(0.6);
+    let pfd = SamplerHtm::new(w0);
+    let lf = LtiHtm::new(design.loop_filter_tf(), w0);
+    let vco = VcoHtm::time_invariant(design.v0(), w0);
+
+    let mut group = c.benchmark_group("htm_eigenvalues");
+    for k in [4usize, 8, 16] {
+        let t = Truncation::new(k);
+        let g = &(&vco.htm(s, t) * &lf.htm(s, t)) * &pfd.htm(s, t);
+        group.bench_with_input(BenchmarkId::new("qr", 2 * k + 1), &g, |b, g| {
+            b.iter(|| black_box(g.eigenvalues().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_eigen);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Figure-regeneration harness: prints the data series behind every
+//! reproduced figure of the DATE-2003 paper.
+//!
+//! ```text
+//! cargo run --release -p htmpll-bench --bin figures -- all
+//! cargo run --release -p htmpll-bench --bin figures -- fig6
+//! ```
+
+use htmpll_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "fig2" => fig2(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "timing" => timing(),
+        "shape" => shape(),
+        "pfd" => pfd(),
+        "spur" => spur(),
+        "poles" => poles(),
+        "lock" => lock(),
+        "trunc" => trunc(),
+        "all" => {
+            fig5();
+            fig2();
+            fig4();
+            fig6();
+            fig7();
+            timing();
+            shape();
+            pfd();
+            spur();
+            poles();
+            lock();
+            trunc();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; use fig2|fig4|fig5|fig6|fig7|timing|shape|pfd|spur|poles|lock|trunc|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn fig5() {
+    header("FIG 5 — open-loop gain A(jω) of the reference loop (3 poles, 2 at DC, 1 zero)");
+    let (wug, pm) = reference_lti_margins();
+    println!("# LTI: ω_UG = {wug:.4} rad/s, phase margin = {pm:.2}°");
+    println!("{:>12} {:>12} {:>12}", "w/w_UG", "mag_dB", "phase_deg");
+    for row in fig5_open_loop_bode(41) {
+        println!(
+            "{:12.4} {:12.3} {:12.2}",
+            row.w_over_wug, row.mag_db, row.phase_deg
+        );
+    }
+}
+
+fn fig2() {
+    header("FIG 2 — signal transfer between frequency bands: |H_{n,m}(jω)| map");
+    let map = fig2_band_transfers(0.2, 0.3, 2);
+    println!("# closed loop at ω = {:.2} rad/s, ω_UG/ω₀ = 0.2", map.omega);
+    println!("# rows: output band n; columns: input band m");
+    print!("{:>8}", "n\\m");
+    for m in &map.bands {
+        print!("{m:>10}");
+    }
+    println!();
+    for (n, row) in map.bands.iter().zip(&map.magnitudes) {
+        print!("{n:>8}");
+        for v in row {
+            print!("{v:>10.4}");
+        }
+        println!();
+    }
+    println!("# all columns equal: the sampling PFD aliases every input band identically (rank-one loop)");
+}
+
+fn fig4() {
+    header("FIG 4 — pulse-train vs impulse-train PFD: model error vs pulse width");
+    println!("# reference loop at ω_UG/ω₀ = 0.2, probed at ω = 2 rad/s (band edge region)");
+    println!("{:>18} {:>14}", "pulse_width/T", "rel_error");
+    let amps = [2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2];
+    for row in fig4_pulse_width_error(0.2, 2.0, &amps) {
+        println!("{:18.5} {:14.5}", row.pulse_width_frac, row.rel_error);
+    }
+    println!("# error ∝ width: narrow pulses act as impulses (paper Fig. 4 equivalence)");
+}
+
+fn fig6() {
+    header("FIG 6 — closed-loop |H00(jω)| (dB): HTM (eq. 38) vs LTI vs time simulation");
+    for curve in fig6_closed_loop(&[0.1, 0.2, 0.25], 25, 14) {
+        println!("\n## ω_UG/ω₀ = {}", curve.ratio);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>12}",
+            "w/w_UG", "HTM_dB", "LTI_dB", "sim_dB", "sim_vs_htm"
+        );
+        let mut worst: f64 = 0.0;
+        for p in &curve.points {
+            let sim = p
+                .sim_db
+                .map(|v| format!("{v:10.3}"))
+                .unwrap_or_else(|| format!("{:>10}", "-"));
+            let err = p
+                .sim_vs_htm_err
+                .map(|v| {
+                    worst = worst.max(v);
+                    format!("{:11.2}%", 100.0 * v)
+                })
+                .unwrap_or_else(|| format!("{:>12}", "-"));
+            println!(
+                "{:10.4} {:10.3} {:10.3} {sim} {err}",
+                p.w_over_wug, p.htm_db, p.lti_db
+            );
+        }
+        println!("# worst sim-vs-HTM deviation on this curve: {:.2} %", 100.0 * worst);
+    }
+}
+
+fn fig7() {
+    header("FIG 7 — effective unity-gain frequency and phase margin vs ω_UG/ω₀");
+    println!(
+        "{:>8} {:>16} {:>12} {:>12} {:>8}",
+        "ratio", "wUG_eff/wUG", "PM_eff_deg", "PM_LTI_deg", "limit?"
+    );
+    for row in fig7_margin_sweep(0.02, 0.34, 17) {
+        println!(
+            "{:8.3} {:16.4} {:12.2} {:12.2} {:>8}",
+            row.ratio,
+            row.wug_eff_over_wug,
+            row.pm_eff_deg,
+            row.pm_lti_deg,
+            if row.beyond_limit { "YES" } else { "" }
+        );
+    }
+    println!("# PM_LTI is the horizontal line of the paper's Fig. 7 (lower plot)");
+}
+
+fn shape() {
+    header("EXT: LOOP SHAPE — sampling stability limit vs designed LTI phase margin");
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "spread", "PM_LTI_deg", "(wUG/w0)_max"
+    );
+    for row in shape_ablation(&[2.0, 3.0, 4.0, 6.0, 8.0]) {
+        println!(
+            "{:8.1} {:12.2} {:16.4}",
+            row.spread, row.pm_lti_deg, row.limit_ratio
+        );
+    }
+    println!("# measured finding: the limit is remarkably INSENSITIVE to the designed");
+    println!("# LTI margin (0.27–0.29 across 37°–76°) — it is set by the aliased gain");
+    println!("# magnitude, not the phase shape: a constraint continuous-time analysis");
+    println!("# cannot even express");
+}
+
+fn pfd() {
+    header("EXT: ARBITRARY PFDs — impulse charge pump vs sample-and-hold detector");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "ratio", "PM_impulse_deg", "PM_sample_hold_deg"
+    );
+    for row in pfd_comparison(&[0.02, 0.05, 0.1, 0.15, 0.2]) {
+        println!(
+            "{:8.2} {:16.2} {:18.2}",
+            row.ratio, row.pm_impulse_deg, row.pm_sample_hold_deg
+        );
+    }
+    println!("# the hold's −ωT/2 delay costs extra margin on top of aliasing");
+}
+
+fn spur() {
+    header("EXT: CHARGE-PUMP LEAKAGE — static offset and reference spur (simulated)");
+    println!(
+        "{:>14} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "I_leak/I_cp", "offset/T", "predicted", "spur_rel_dB", "analytic_dB", "sim/pred"
+    );
+    for row in leakage_spur_study(0.1, &[1e-4, 3e-4, 1e-3, 3e-3]) {
+        println!(
+            "{:14.1e} {:14.2e} {:14.2e} {:12.2} {:12.2} {:10.3}",
+            row.leakage_frac,
+            row.static_offset_frac,
+            row.predicted_offset_frac,
+            row.spur_rel_db,
+            row.spur_rel_db_predicted,
+            row.sim_over_predicted
+        );
+    }
+    println!("# spur power rises 20 dB/decade; the closed form θ̃₁ = −A(jω₀)·θ_static");
+    println!("# predicts the absolute line power to ~1 % (sim/pred column)");
+}
+
+fn poles() {
+    header("EXT: CLOSED-LOOP POLES — the subharmonic mode's march to instability");
+    println!("# strip poles of 1 + λ(s) = 0 (Newton, exact dλ/ds); Im normalized to ω₀/2");
+    println!("{:>8}   poles (Re, Im/(ω₀/2))", "ratio");
+    for row in pole_locus(&[0.1, 0.15, 0.18, 0.2, 0.22, 0.25, 0.27, 0.29]) {
+        print!("{:8.2}  ", row.ratio);
+        for (re, imn) in &row.poles {
+            print!(" ({re:+.4}, {imn:.3})");
+        }
+        println!();
+    }
+    println!("# around ratio ≈ 0.19 two real poles collide and lock onto Im = ω₀/2:");
+    println!("# the loop rings at HALF THE REFERENCE RATE; that subharmonic pole");
+    println!("# crosses into the RHP at the stability limit ≈ 0.276 — Gardner's");
+    println!("# granularity instability, recovered from the continuous-time HTM model");
+}
+
+fn lock() {
+    header("EXT: LOCK ACQUISITION — pull-in vs initial VCO detuning (simulated)");
+    println!("{:>12} {:>8} {:>14}", "detune", "locked", "lock_periods");
+    for row in lock_study(0.1, &[1e-3, 5e-3, 1e-2, 3e-2, 1e-1]) {
+        println!(
+            "{:12.0e} {:>8} {:>14.1}",
+            row.detune_frac,
+            row.locked,
+            row.lock_periods
+        );
+    }
+    println!("# the tri-state PFD's frequency detection pulls the loop in even from");
+    println!("# detunings far beyond the small-signal capture range");
+}
+
+fn trunc() {
+    header("EXT: TRUNCATION — convergence of the truncated HTM machinery");
+    println!("# reference loop at ω_UG/ω₀ = 0.2, probed at ω = 0.8 rad/s");
+    println!("{:>6} {:>14} {:>14}", "K", "lambda_err", "htm_err");
+    for row in truncation_study(0.2, 0.8, &[2, 4, 8, 16, 32, 64, 128]) {
+        println!("{:>6} {:14.3e} {:14.3e}", row.k, row.lambda_err, row.htm_err);
+    }
+    println!("# both errors fall like 1/K (the simple-pole alias tail); the exact");
+    println!("# coth lattice sums sidestep the truncation entirely");
+}
+
+fn timing() {
+    header("TIMING — §5 claim: HTM evaluation vs time-marching simulation");
+    let r = timing_comparison(0.1, 12);
+    println!(
+        "{} frequency points: HTM {:.4} s, simulation {:.2} s  → speedup {:.0}×",
+        r.points,
+        r.htm_seconds,
+        r.sim_seconds,
+        r.speedup()
+    );
+}

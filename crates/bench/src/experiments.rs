@@ -1,0 +1,612 @@
+//! Figure-regeneration drivers (paper: Vanassche/Gielen/Sansen, DATE'03).
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`fig5_open_loop_bode`] | Fig. 5 — typical `A(jω)` characteristic |
+//! | [`fig6_closed_loop`] | Fig. 6 — `H₀,₀(jω)` curves + simulation marks |
+//! | [`fig7_margin_sweep`] | Fig. 7 — `ω_UG,eff/ω_UG` and phase margin vs `ω_UG/ω₀` |
+//! | [`fig2_band_transfers`] | Fig. 2 — signal transfer between frequency bands |
+//! | [`fig4_pulse_width_error`] | Fig. 4 — pulse-train vs impulse-train PFD model |
+//! | [`timing_comparison`] | §5 — "seconds vs minutes" HTM vs time-marching |
+
+use htmpll_core::{analyze, PllDesign, PllModel};
+use htmpll_lti::{bode_tf, stability_margins};
+use htmpll_num::optim::{lin_grid, log_grid};
+use htmpll_num::Complex;
+use htmpll_sim::{measure_h00, measure_h00_multitone, MeasureOptions, SimConfig, SimParams};
+use std::time::Instant;
+
+/// One row of the Fig.-5 Bode table.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Normalized frequency `ω/ω_UG`.
+    pub w_over_wug: f64,
+    /// `|A(jω)|` in dB.
+    pub mag_db: f64,
+    /// Unwrapped phase of `A(jω)` in degrees.
+    pub phase_deg: f64,
+}
+
+/// Fig. 5: the reference loop's open-loop gain over `ω/ω_UG ∈ [1e−2, 1e2]`.
+pub fn fig5_open_loop_bode(points: usize) -> Vec<Fig5Row> {
+    let design = PllDesign::reference_design(0.1).expect("reference design");
+    let a = design.open_loop_gain();
+    let wug = design.omega_ug_nominal();
+    bode_tf(&a, &log_grid(1e-2 * wug, 1e2 * wug, points))
+        .into_iter()
+        .map(|p| Fig5Row {
+            w_over_wug: p.omega / wug,
+            mag_db: p.mag_db,
+            phase_deg: p.phase_deg,
+        })
+        .collect()
+}
+
+/// One point of a Fig.-6 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Point {
+    /// Normalized frequency `ω/ω_UG`.
+    pub w_over_wug: f64,
+    /// HTM prediction `|H₀,₀(jω)|` in dB (eq. 38, exact `λ`).
+    pub htm_db: f64,
+    /// Classical LTI prediction `|A/(1+A)|` in dB.
+    pub lti_db: f64,
+    /// Time-marching measurement in dB (the paper's "marks"), when run.
+    pub sim_db: Option<f64>,
+    /// Relative |error| between simulation and HTM prediction, when run.
+    pub sim_vs_htm_err: Option<f64>,
+}
+
+/// One Fig.-6 curve (one `ω_UG/ω₀` ratio).
+#[derive(Debug, Clone)]
+pub struct Fig6Curve {
+    /// The loop-speed ratio `ω_UG/ω₀`.
+    pub ratio: f64,
+    /// The sampled curve.
+    pub points: Vec<Fig6Point>,
+}
+
+/// Fig. 6: closed-loop baseband transfer for several `ω_UG/ω₀`, with
+/// optional time-domain verification marks at `sim_marks` frequencies
+/// per curve.
+pub fn fig6_closed_loop(ratios: &[f64], points: usize, sim_marks: usize) -> Vec<Fig6Curve> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let design = PllDesign::reference_design(ratio).expect("reference design");
+            let model = PllModel::new(design.clone()).expect("model");
+            let wug = design.omega_ug_nominal();
+            let grid = log_grid(0.1 * wug, 10.0 * wug, points);
+            // Single-tone measurements are degenerate at multiples of
+            // ω₀/2: the image of the real tone (at −ω + kω₀) folds onto
+            // the probe frequency and interferes with the direct
+            // response. Keep the verification marks away from those
+            // points.
+            let w0 = design.omega_ref();
+            let mark_grid: Vec<f64> = if sim_marks > 0 {
+                log_grid(0.2 * wug, 5.0 * wug, sim_marks)
+                    .into_iter()
+                    .filter(|&w| {
+                        let frac = (w / (0.5 * w0)).fract();
+                        frac.min(1.0 - frac) > 0.08
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let params = SimParams::from_design(&design);
+            let cfg = SimConfig::default();
+            // Small amplitude keeps the finite-pulse-width products (the
+            // Fig.-4 effect) below the curve in the deep-stopband region;
+            // extra cycles buy back the SNR.
+            let opts = MeasureOptions {
+                amplitude_frac: 2e-4,
+                settle_cycles: 16,
+                measure_cycles: 32,
+            };
+
+            let mut pts: Vec<Fig6Point> = grid
+                .iter()
+                .map(|&w| Fig6Point {
+                    w_over_wug: w / wug,
+                    htm_db: 20.0 * model.h00(w).abs().log10(),
+                    lti_db: 20.0 * model.h00_lti(w).abs().log10(),
+                    sim_db: None,
+                    sim_vs_htm_err: None,
+                })
+                .collect();
+            // All in-band marks come from ONE multitone run; out-of-band
+            // marks (ω > ω₀/2 would alias multitone images) run
+            // individually.
+            let (in_band, out_band): (Vec<f64>, Vec<f64>) = mark_grid
+                .into_iter()
+                .partition(|&w| w < 0.44 * w0);
+            let mut measured = if in_band.is_empty() {
+                Vec::new()
+            } else {
+                measure_h00_multitone(&params, &cfg, &in_band, &opts)
+            };
+            for &w in &out_band {
+                measured.push(measure_h00(&params, &cfg, w, &opts));
+            }
+            for m in measured {
+                let predict = model.h00(m.omega);
+                let err = (m.h - predict).abs() / predict.abs();
+                pts.push(Fig6Point {
+                    w_over_wug: m.omega / wug,
+                    htm_db: 20.0 * predict.abs().log10(),
+                    lti_db: 20.0 * model.h00_lti(m.omega).abs().log10(),
+                    sim_db: Some(20.0 * m.h.abs().log10()),
+                    sim_vs_htm_err: Some(err),
+                });
+            }
+            pts.sort_by(|a, b| a.w_over_wug.partial_cmp(&b.w_over_wug).unwrap());
+            Fig6Curve { ratio, points: pts }
+        })
+        .collect()
+}
+
+/// One row of the Fig.-7 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Loop-speed ratio `ω_UG/ω₀`.
+    pub ratio: f64,
+    /// Effective unity-gain frequency normalized to the LTI one.
+    pub wug_eff_over_wug: f64,
+    /// Phase margin of the effective gain `λ(jω)` (degrees).
+    pub pm_eff_deg: f64,
+    /// LTI phase margin (the horizontal line).
+    pub pm_lti_deg: f64,
+    /// True when `|λ|` never crossed 0 dB inside the band (at/beyond the
+    /// sampling stability limit).
+    pub beyond_limit: bool,
+}
+
+/// Fig. 7: sweep of `ω_UG,eff/ω_UG` and the effective phase margin over
+/// `ω_UG/ω₀ ∈ [lo, hi]`.
+pub fn fig7_margin_sweep(lo: f64, hi: f64, points: usize) -> Vec<Fig7Row> {
+    lin_grid(lo, hi, points)
+        .into_iter()
+        .map(|ratio| {
+            let model =
+                PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+            let r = analyze(&model).expect("analysis");
+            Fig7Row {
+                ratio,
+                wug_eff_over_wug: r.omega_ug_eff / r.omega_ug_lti,
+                pm_eff_deg: r.phase_margin_eff_deg,
+                pm_lti_deg: r.phase_margin_lti_deg,
+                beyond_limit: r.beyond_sampling_limit,
+            }
+        })
+        .collect()
+}
+
+/// The Fig.-2 band-transfer map: `|H_{n,m}(jω)|` of the closed loop.
+#[derive(Debug, Clone)]
+pub struct Fig2Map {
+    /// Probe frequency (rad/s, inside the baseband).
+    pub omega: f64,
+    /// Band indices covered (−K..K).
+    pub bands: Vec<i64>,
+    /// `|H_{n,m}|` with rows = output band `n`, columns = input band `m`.
+    pub magnitudes: Vec<Vec<f64>>,
+}
+
+/// Fig. 2: how signal content moves between frequency bands, shown as
+/// the magnitude map of the closed-loop HTM at one in-band frequency.
+pub fn fig2_band_transfers(ratio: f64, omega: f64, k: usize) -> Fig2Map {
+    let model = PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+    let trunc = htmpll_htm::Truncation::new(k);
+    let htm = model.closed_loop_htm(Complex::from_im(omega), trunc);
+    let bands: Vec<i64> = trunc.harmonics().collect();
+    let magnitudes = bands
+        .iter()
+        .map(|&n| bands.iter().map(|&m| htm.band(n, m).abs()).collect())
+        .collect();
+    Fig2Map {
+        omega,
+        bands,
+        magnitudes,
+    }
+}
+
+/// One row of the Fig.-4 pulse-width study.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Modulation amplitude (≈ peak pulse width) as a fraction of `T`.
+    pub pulse_width_frac: f64,
+    /// Relative error between the simulated response (finite-width
+    /// pulses) and the HTM impulse-train prediction.
+    pub rel_error: f64,
+}
+
+/// Fig. 4 (quantified): the impulse-train approximation error grows
+/// with the width of the charge-pump pulses. Probes `H₀,₀` at `omega`
+/// for increasing modulation amplitudes.
+pub fn fig4_pulse_width_error(ratio: f64, omega: f64, amps: &[f64]) -> Vec<Fig4Row> {
+    let design = PllDesign::reference_design(ratio).expect("design");
+    let model = PllModel::new(design.clone()).expect("model");
+    let params = SimParams::from_design(&design);
+    let cfg = SimConfig::default();
+    amps.iter()
+        .map(|&amp| {
+            let opts = MeasureOptions {
+                amplitude_frac: amp,
+                ..MeasureOptions::default()
+            };
+            let m = measure_h00(&params, &cfg, omega, &opts);
+            let predict = model.h00(m.omega);
+            Fig4Row {
+                pulse_width_frac: amp,
+                rel_error: (m.h - predict).abs() / predict.abs(),
+            }
+        })
+        .collect()
+}
+
+/// Result of the §5 timing comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingResult {
+    /// Frequency points evaluated.
+    pub points: usize,
+    /// Wall-clock seconds for the HTM (eq. 38) curve.
+    pub htm_seconds: f64,
+    /// Wall-clock seconds for the time-marching curve.
+    pub sim_seconds: f64,
+}
+
+impl TimingResult {
+    /// Speedup factor of the HTM evaluation.
+    pub fn speedup(&self) -> f64 {
+        self.sim_seconds / self.htm_seconds
+    }
+}
+
+/// §5 timing claim: evaluating one Fig.-6 curve through the closed-form
+/// HTM expression vs. measuring it by time-marching simulation.
+pub fn timing_comparison(ratio: f64, points: usize) -> TimingResult {
+    let design = PllDesign::reference_design(ratio).expect("design");
+    let model = PllModel::new(design.clone()).expect("model");
+    let wug = design.omega_ug_nominal();
+    let grid = log_grid(0.2 * wug, 5.0 * wug, points);
+
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for &w in &grid {
+        acc += model.h00(w).abs();
+    }
+    let htm_seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+
+    let params = SimParams::from_design(&design);
+    let cfg = SimConfig::default();
+    let opts = MeasureOptions::default();
+    let t1 = Instant::now();
+    for &w in &grid {
+        std::hint::black_box(measure_h00(&params, &cfg, w, &opts));
+    }
+    let sim_seconds = t1.elapsed().as_secs_f64();
+
+    TimingResult {
+        points,
+        htm_seconds,
+        sim_seconds,
+    }
+}
+
+/// Convenience: the classical LTI margins of the reference loop (used
+/// by the harness header).
+pub fn reference_lti_margins() -> (f64, f64) {
+    let design = PllDesign::reference_design(0.1).expect("design");
+    let a = design.open_loop_gain();
+    let m = stability_margins(|w| a.eval_jw(w), 1e-4, 1e3).expect("margins");
+    (m.omega_ug, m.phase_margin_deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_has_expected_shape() {
+        let rows = fig5_open_loop_bode(41);
+        assert_eq!(rows.len(), 41);
+        // Magnitude decreases overall; 0 dB near ω/ω_UG = 1.
+        let at_unity = rows
+            .iter()
+            .min_by(|a, b| {
+                (a.w_over_wug - 1.0)
+                    .abs()
+                    .partial_cmp(&(b.w_over_wug - 1.0).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(at_unity.mag_db.abs() < 0.5, "{}", at_unity.mag_db);
+        // −40 dB/dec at the low end (double integrator).
+        assert!(rows[0].mag_db > 60.0);
+    }
+
+    #[test]
+    fn fig7_rows_cover_limit() {
+        let rows = fig7_margin_sweep(0.05, 0.35, 7);
+        assert!(rows.first().unwrap().pm_eff_deg > 50.0);
+        assert!(rows.last().unwrap().beyond_limit);
+        // Monotone degradation.
+        for pair in rows.windows(2) {
+            assert!(pair[1].pm_eff_deg <= pair[0].pm_eff_deg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_map_is_rank_one_in_columns() {
+        let map = fig2_band_transfers(0.2, 0.3, 2);
+        assert_eq!(map.bands, vec![-2, -1, 0, 1, 2]);
+        // Rank one: all columns identical (m-independence).
+        for row in &map.magnitudes {
+            for pair in row.windows(2) {
+                assert!((pair[0] - pair[1]).abs() < 1e-10 * (1.0 + pair[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_curves_without_sim_marks() {
+        let curves = fig6_closed_loop(&[0.1], 11, 0);
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].points.len(), 11);
+        assert!(curves[0].points.iter().all(|p| p.sim_db.is_none()));
+    }
+}
+
+/// One row of the loop-shape ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeRow {
+    /// Zero/pole spread factor (zero at `ω_UG/spread`, pole at
+    /// `spread·ω_UG`).
+    pub spread: f64,
+    /// LTI phase margin of the shape (degrees).
+    pub pm_lti_deg: f64,
+    /// Sampling stability limit `(ω_UG/ω₀)_max` from the HTM
+    /// period-strip criterion.
+    pub limit_ratio: f64,
+}
+
+/// Loop-shape ablation: how much LTI phase margin must a design carry
+/// to survive a given loop speed? Sweeps the zero/pole spread of the
+/// reference family and bisects each shape's sampling stability limit.
+pub fn shape_ablation(spreads: &[f64]) -> Vec<ShapeRow> {
+    use htmpll_htm::nyquist::strip_zero_count;
+    spreads
+        .iter()
+        .map(|&spread| {
+            let pm = spread.atan().to_degrees() - (1.0 / spread).atan().to_degrees();
+            let stable_at = |ratio: f64| {
+                let d = PllDesign::reference_design_shaped(ratio, spread).expect("design");
+                let m = PllModel::new(d.clone()).expect("model");
+                strip_zero_count(|s| m.lambda().eval(s), d.omega_ref(), 1e-4, 4096) == 0
+            };
+            let (mut lo, mut hi) = (0.01, 0.6);
+            assert!(stable_at(lo), "spread {spread}: low bracket unstable");
+            if stable_at(hi) {
+                // Extremely robust shape: report the bracket edge.
+                return ShapeRow {
+                    spread,
+                    pm_lti_deg: pm,
+                    limit_ratio: hi,
+                };
+            }
+            while hi - lo > 1e-3 {
+                let mid = 0.5 * (lo + hi);
+                if stable_at(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            ShapeRow {
+                spread,
+                pm_lti_deg: pm,
+                limit_ratio: 0.5 * (lo + hi),
+            }
+        })
+        .collect()
+}
+
+/// One row of the PFD-architecture comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PfdRow {
+    /// Loop-speed ratio `ω_UG/ω₀`.
+    pub ratio: f64,
+    /// Effective phase margin with the impulse-sampling charge pump.
+    pub pm_impulse_deg: f64,
+    /// Effective phase margin with the sample-and-hold PFD.
+    pub pm_sample_hold_deg: f64,
+}
+
+/// "Extension to arbitrary PFDs": impulse-sampling charge pump vs
+/// sample-and-hold detector — the hold's half-period delay costs margin
+/// on top of the aliasing.
+pub fn pfd_comparison(ratios: &[f64]) -> Vec<PfdRow> {
+    use htmpll_core::SampleHoldModel;
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let design = PllDesign::reference_design(ratio).expect("design");
+            let imp = analyze(&PllModel::new(design.clone()).expect("model")).expect("analysis");
+            let sh = SampleHoldModel::new(design).expect("s&h model");
+            let pm_sh = sh
+                .margins()
+                .map(|m| m.phase_margin_deg)
+                .unwrap_or(0.0);
+            PfdRow {
+                ratio,
+                pm_impulse_deg: imp.phase_margin_eff_deg,
+                pm_sample_hold_deg: pm_sh,
+            }
+        })
+        .collect()
+}
+
+/// One row of the leakage-spur study.
+#[derive(Debug, Clone, Copy)]
+pub struct SpurRow {
+    /// Leakage current as a fraction of `I_cp`.
+    pub leakage_frac: f64,
+    /// Static phase offset measured in simulation, in fractions of `T`.
+    pub static_offset_frac: f64,
+    /// First-order prediction `I_leak/I_cp`.
+    pub predicted_offset_frac: f64,
+    /// Reference-spur level from the simulated phase PSD, dB relative
+    /// to the spur at the smallest leakage in the sweep.
+    pub spur_rel_db: f64,
+    /// Analytic spur line power from `core::spurs`
+    /// (`θ̃₁ = −A(jω₀)·θ_static`), same relative dB scale.
+    pub spur_rel_db_predicted: f64,
+    /// Absolute ratio simulated/predicted line power.
+    pub sim_over_predicted: f64,
+}
+
+/// Charge-pump leakage study: static phase offset (vs the first-order
+/// prediction `θ/T = I_leak/I_cp`) and the reference spur it creates,
+/// which scales 20 dB/decade with leakage.
+pub fn leakage_spur_study(ratio: f64, leakage_fracs: &[f64]) -> Vec<SpurRow> {
+    use htmpll_core::LeakageSpurs;
+    use htmpll_sim::PllSim;
+    use htmpll_spectral::{band_power, periodogram, Window};
+    let design = PllDesign::reference_design(ratio).expect("design");
+    let model = PllModel::new(design.clone()).expect("model");
+    let mut spur_abs = Vec::new();
+    let mut pred_abs = Vec::new();
+    let mut rows = Vec::new();
+    for &frac in leakage_fracs {
+        let mut params = SimParams::from_design(&design);
+        params.leakage = frac * params.i_cp;
+        let t_ref = params.t_ref;
+        let mut sim = PllSim::new(params.clone(), SimConfig::default());
+        let _ = sim.run(500.0 * t_ref, &|_| 0.0);
+        let trace = sim.run(1024.0 * t_ref, &|_| 0.0);
+        let mean = trace.theta_vco.iter().sum::<f64>() / trace.theta_vco.len() as f64;
+        let centered: Vec<f64> = trace.theta_vco.iter().map(|v| v - mean).collect();
+        let psd = periodogram(&centered, 1.0 / trace.dt, Window::Hann);
+        let f_ref = 1.0 / t_ref;
+        let spur = band_power(&psd, 0.97 * f_ref, 1.03 * f_ref);
+        let predicted = LeakageSpurs::new(&model, params.leakage).line_power(1);
+        spur_abs.push(spur);
+        pred_abs.push(predicted);
+        rows.push(SpurRow {
+            leakage_frac: frac,
+            static_offset_frac: mean / t_ref,
+            predicted_offset_frac: frac,
+            spur_rel_db: 0.0,
+            spur_rel_db_predicted: 0.0,
+            sim_over_predicted: spur / predicted,
+        });
+    }
+    let base = spur_abs[0];
+    let pbase = pred_abs[0];
+    for ((row, s), p) in rows.iter_mut().zip(&spur_abs).zip(&pred_abs) {
+        row.spur_rel_db = 10.0 * (s / base).log10();
+        row.spur_rel_db_predicted = 10.0 * (p / pbase).log10();
+    }
+    rows
+}
+
+/// One row of the closed-loop pole locus.
+#[derive(Debug, Clone)]
+pub struct PoleRow {
+    /// Loop-speed ratio `ω_UG/ω₀`.
+    pub ratio: f64,
+    /// Strip poles `(Re, Im/(ω₀/2))`, least damped first.
+    pub poles: Vec<(f64, f64)>,
+}
+
+/// Closed-loop pole locus of the time-varying loop vs `ω_UG/ω₀`:
+/// Newton on `1 + λ(s) = 0` with exact derivatives. Shows the
+/// subharmonic (Im = ω₀/2) pole pair being born from colliding real
+/// poles and marching into the right half plane at the stability limit.
+pub fn pole_locus(ratios: &[f64]) -> Vec<PoleRow> {
+    use htmpll_core::dominant_poles;
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let model =
+                PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+            let w0 = model.design().omega_ref();
+            let poles = dominant_poles(&model)
+                .expect("poles")
+                .into_iter()
+                .map(|p| (p.re, p.im / (0.5 * w0)))
+                .collect();
+            PoleRow { ratio, poles }
+        })
+        .collect()
+}
+
+/// One row of the lock-acquisition study.
+#[derive(Debug, Clone, Copy)]
+pub struct LockRow {
+    /// Fractional VCO detuning at t = 0.
+    pub detune_frac: f64,
+    /// Whether lock was declared within the horizon.
+    pub locked: bool,
+    /// Lock time in reference periods (NaN when not locked).
+    pub lock_periods: f64,
+}
+
+/// Lock acquisition vs initial frequency detuning — the large-signal
+/// behavior (PFD frequency detection) the small-signal HTM analysis
+/// deliberately leaves out, covered by the behavioral simulator.
+pub fn lock_study(ratio: f64, detunings: &[f64]) -> Vec<LockRow> {
+    use htmpll_sim::{acquire_lock, LockOptions};
+    let design = PllDesign::reference_design(ratio).expect("design");
+    let params = SimParams::from_design(&design);
+    let cfg = SimConfig::default();
+    let opts = LockOptions::default();
+    detunings
+        .iter()
+        .map(|&detune| {
+            let r = acquire_lock(&params, &cfg, detune, &opts);
+            LockRow {
+                detune_frac: detune,
+                locked: r.locked,
+                lock_periods: r.lock_time * design.f_ref(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the truncation-convergence study.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncRow {
+    /// Truncation order `K` (matrix dimension `2K+1`).
+    pub k: usize,
+    /// Relative error of the truncated λ against the exact lattice sum.
+    pub lambda_err: f64,
+    /// Max-element relative error of the truncated closed-loop HTM
+    /// against the exact-λ rank-one form.
+    pub htm_err: f64,
+}
+
+/// Truncation ablation: how fast the truncated harmonic machinery
+/// converges to the exact (lattice-sum) results — the data behind the
+/// `Truncation::default()` choice.
+pub fn truncation_study(ratio: f64, omega: f64, ks: &[usize]) -> Vec<TruncRow> {
+    use htmpll_htm::Truncation;
+    let model = PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+    let s = Complex::from_im(omega);
+    let lam_exact = model.lambda().eval(s);
+    let h_exact = model.h00(omega);
+    ks.iter()
+        .map(|&k| {
+            let t = Truncation::new(k);
+            let lam_k: Complex = model.v_column(s, t).iter().copied().sum();
+            let htm = model.closed_loop_htm(s, t);
+            TruncRow {
+                k,
+                lambda_err: (lam_k - lam_exact).abs() / lam_exact.abs(),
+                htm_err: (htm.band(0, 0) - h_exact).abs() / h_exact.abs(),
+            }
+        })
+        .collect()
+}

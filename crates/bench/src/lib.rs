@@ -1,0 +1,11 @@
+//! Experiment drivers shared by the `figures` binary and the Criterion
+//! benches: one function per reproduced figure of the DATE-2003 paper.
+//!
+//! Each driver returns plain data (vectors of rows) so the binary can
+//! print it, benches can time it, and tests can assert on its shape.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

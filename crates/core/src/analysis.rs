@@ -1,0 +1,264 @@
+//! Loop analysis: LTI vs time-varying margins, bandwidth and peaking.
+//!
+//! [`analyze`] produces the quantities the paper's Figs. 6–7 are built
+//! from:
+//!
+//! * the classical margins of `A(jω)` (what LTI analysis predicts),
+//! * the margins of the **effective** open-loop gain `λ(jω)` (what the
+//!   loop actually sees once sampling is accounted for),
+//! * closed-loop −3 dB bandwidth and passband peaking of `H₀,₀(jω)`,
+//! * an HTM-Nyquist stability verdict on `λ`.
+//!
+//! ```
+//! use htmpll_core::{analyze, PllDesign, PllModel};
+//!
+//! let m = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let r = analyze(&m).unwrap();
+//! // Sampling always erodes the phase margin relative to LTI.
+//! assert!(r.phase_margin_eff_deg < r.phase_margin_lti_deg);
+//! assert!(r.omega_ug_eff >= r.omega_ug_lti);
+//! ```
+
+use crate::closed_loop::PllModel;
+use crate::error::CoreError;
+use htmpll_htm::nyquist::strip_zero_count;
+use htmpll_lti::{bandwidth_3db, peaking_db, stability_margins, MarginError, Margins};
+
+/// Analysis products for one PLL model.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Ratio `ω_UG/ω₀` of LTI crossover to reference frequency — the
+    /// paper's fast-loop knob.
+    pub omega_ug_ratio: f64,
+    /// LTI unity-gain frequency of `A(jω)` (rad/s).
+    pub omega_ug_lti: f64,
+    /// LTI phase margin of `A(jω)` (degrees) — the horizontal line in
+    /// Fig. 7.
+    pub phase_margin_lti_deg: f64,
+    /// Unity-gain frequency of the effective gain `λ(jω)` (rad/s) —
+    /// `ω_UG,eff`, upper plot of Fig. 7.
+    pub omega_ug_eff: f64,
+    /// Phase margin of `λ(jω)` (degrees) — lower plot of Fig. 7.
+    pub phase_margin_eff_deg: f64,
+    /// Closed-loop −3 dB bandwidth of `H₀,₀(jω)` (rad/s), if found.
+    pub bandwidth_3db: Option<f64>,
+    /// Passband peaking of `H₀,₀(jω)` in dB relative to DC.
+    pub peaking_db: f64,
+    /// Closed-loop peaking predicted by the LTI approximation, dB.
+    pub peaking_lti_db: f64,
+    /// HTM-Nyquist verdict on the effective gain.
+    pub nyquist_stable: bool,
+    /// True when `|λ(jω)|` never fell below unity inside the first
+    /// Nyquist band: the loop is at or beyond the sampling stability
+    /// limit and the reported effective margins are the band-edge
+    /// values (`ω_UG,eff = ω₀/2`, phase margin from `arg λ(jω₀/2)`).
+    pub beyond_sampling_limit: bool,
+}
+
+impl AnalysisReport {
+    /// Phase-margin degradation caused by time-varying (sampling)
+    /// effects, in degrees: `PM_LTI − PM_eff`.
+    pub fn phase_margin_degradation_deg(&self) -> f64 {
+        self.phase_margin_lti_deg - self.phase_margin_eff_deg
+    }
+
+    /// Relative phase-margin degradation, as a fraction of the LTI
+    /// prediction (the paper quotes "9 % worse" in this metric).
+    pub fn phase_margin_degradation_rel(&self) -> f64 {
+        self.phase_margin_degradation_deg() / self.phase_margin_lti_deg
+    }
+}
+
+/// Frequency scan range used by margin extraction, relative to the LTI
+/// unity-gain frequency.
+const SCAN_DECADES_DOWN: f64 = 1e-4;
+
+/// Analyzes a PLL model.
+///
+/// The scan window spans from `ω_UG·10⁻⁴` to just below `ω₀/2` for the
+/// effective gain — `λ(jω)` is `ω₀`-periodic along the axis, so its
+/// margins live in the first Nyquist band — and up to `100·ω_UG` for the
+/// LTI gain.
+///
+/// # Errors
+///
+/// Propagates margin-extraction failures (e.g. a loop so slow/fast that
+/// no unity crossing exists in the scan window).
+pub fn analyze(model: &PllModel) -> Result<AnalysisReport, CoreError> {
+    let a = model.open_loop().clone();
+    let w0 = model.design().omega_ref();
+
+    // Scan window scaled to the reference frequency so designs in
+    // physical units (MHz references) and normalized units both work:
+    // any practical loop crossover sits within [1e-7, 1e2]·ω₀.
+    let lti = stability_margins(|w| a.eval_jw(w), 1e-7 * w0, 100.0 * w0)?;
+    // λ has a pole at every multiple of ω₀ on the jω axis (the aliased
+    // integrators); stay strictly inside the first band.
+    let lam = model.lambda();
+    let band_edge = 0.499_999 * w0;
+    let (eff, beyond_limit) = match stability_margins(
+        |w| lam.eval_jw(w),
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        band_edge,
+    ) {
+        Ok(m) => (m, false),
+        // |λ| ≥ 1 across the whole band: the loop has reached the
+        // sampling stability limit. By the symmetry λ(j(ω₀−ω)) = λ̄(jω),
+        // λ(jω₀/2) is real (and negative for these loops), so the
+        // band-edge phase margin is the natural limiting value.
+        Err(MarginError::NoUnityCrossing) => {
+            let edge = lam.eval_jw(band_edge);
+            (
+                Margins {
+                    omega_ug: band_edge,
+                    phase_margin_deg: 180.0 + edge.arg().to_degrees(),
+                    omega_pc: Some(band_edge),
+                    gain_margin_db: Some(-20.0 * edge.abs().log10()),
+                },
+                true,
+            )
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    // H₀,₀(jω) = A(jω)/(1+λ(jω)) is a valid transfer function at any ω
+    // (λ is entire along the axis except the aliased-integrator poles at
+    // mω₀, where H₀,₀ has physical notches) — scan past the band edge so
+    // wideband fast loops still report a −3 dB point.
+    let h00_scan_hi = 100.0 * lti.omega_ug;
+    let bw = bandwidth_3db(
+        |w| model.h00(w),
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        h00_scan_hi,
+    );
+    let pk = peaking_db(
+        |w| model.h00(w),
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        h00_scan_hi,
+    );
+    let pk_lti = peaking_db(
+        |w| model.h00_lti(w),
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        lti.omega_ug * SCAN_DECADES_DOWN,
+        100.0 * lti.omega_ug,
+    );
+    // Zeros of 1 + λ in the right-half period strip, counted on a
+    // contour offset slightly right of the jω-axis integrator poles.
+    let stable = strip_zero_count(|s| lam.eval(s), w0, 1e-4 * lti.omega_ug, 4096) == 0;
+
+    Ok(AnalysisReport {
+        omega_ug_ratio: lti.omega_ug / w0,
+        omega_ug_lti: lti.omega_ug,
+        phase_margin_lti_deg: lti.phase_margin_deg,
+        omega_ug_eff: eff.omega_ug,
+        phase_margin_eff_deg: eff.phase_margin_deg,
+        bandwidth_3db: bw,
+        peaking_db: pk,
+        peaking_lti_db: pk_lti,
+        nyquist_stable: stable,
+        beyond_sampling_limit: beyond_limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PllDesign;
+
+    fn report(ratio: f64) -> AnalysisReport {
+        let m = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+        analyze(&m).unwrap()
+    }
+
+    #[test]
+    fn slow_loop_agrees_with_lti() {
+        let r = report(0.02);
+        assert!((r.omega_ug_eff / r.omega_ug_lti - 1.0).abs() < 0.02);
+        assert!(r.phase_margin_degradation_deg() < 2.0);
+        assert!(r.nyquist_stable);
+        assert!((r.omega_ug_ratio - 0.02).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degradation_grows_with_ratio() {
+        // The Fig.-7 monotonicity: faster loops lose more phase margin
+        // and push ω_UG,eff further above ω_UG.
+        let ratios = [0.05, 0.1, 0.15, 0.2, 0.25];
+        let reports: Vec<AnalysisReport> = ratios.iter().map(|&r| report(r)).collect();
+        for pair in reports.windows(2) {
+            assert!(
+                pair[1].phase_margin_eff_deg < pair[0].phase_margin_eff_deg,
+                "PM must degrade: {} then {}",
+                pair[0].phase_margin_eff_deg,
+                pair[1].phase_margin_eff_deg
+            );
+            assert!(pair[1].omega_ug_eff / pair[1].omega_ug_lti
+                >= pair[0].omega_ug_eff / pair[0].omega_ug_lti - 1e-9);
+        }
+        // LTI margin is the same constant for every ratio (shape fixed).
+        for r in &reports {
+            assert!((r.phase_margin_lti_deg - reports[0].phase_margin_lti_deg).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn peaking_worsens_with_ratio() {
+        let slow = report(0.05);
+        let fast = report(0.25);
+        assert!(
+            fast.peaking_db > slow.peaking_db + 1.0,
+            "peaking {} vs {}",
+            fast.peaking_db,
+            slow.peaking_db
+        );
+        // The LTI prediction barely moves (it is ratio-independent up to
+        // the shared shape).
+        assert!((fast.peaking_lti_db - slow.peaking_lti_db).abs() < 0.5);
+    }
+
+    #[test]
+    fn effective_crossover_exceeds_lti() {
+        for ratio in [0.05, 0.1, 0.2] {
+            let r = report(ratio);
+            assert!(
+                r.omega_ug_eff >= r.omega_ug_lti * 0.999,
+                "ratio {ratio}: {} vs {}",
+                r.omega_ug_eff,
+                r.omega_ug_lti
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_found_and_reasonable() {
+        let r = report(0.1);
+        let bw = r.bandwidth_3db.expect("bandwidth in scan window");
+        // Closed-loop bandwidth sits around ω_UG,eff (within a factor ~3).
+        assert!(bw > 0.5 * r.omega_ug_eff && bw < 5.0 * r.omega_ug_eff, "{bw}");
+    }
+
+    #[test]
+    fn degradation_metrics() {
+        let r = report(0.2);
+        let d = r.phase_margin_degradation_deg();
+        assert!((r.phase_margin_lti_deg - r.phase_margin_eff_deg - d).abs() < 1e-12);
+        assert!(r.phase_margin_degradation_rel() > 0.0);
+        assert!(r.phase_margin_degradation_rel() < 1.5);
+    }
+
+    #[test]
+    fn beyond_sampling_limit_detected() {
+        // With this loop shape the effective gain stays above 0 dB across
+        // the whole band for fast loops: the sampling stability limit.
+        let fast = report(0.4);
+        assert!(fast.beyond_sampling_limit);
+        assert!(!fast.nyquist_stable);
+        assert!(fast.phase_margin_eff_deg.abs() < 1.0); // band-edge arg ≈ −180°
+        let slow = report(0.1);
+        assert!(!slow.beyond_sampling_limit);
+        assert!(slow.nyquist_stable);
+    }
+}

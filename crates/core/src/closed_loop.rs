@@ -1,0 +1,416 @@
+//! Closed-loop PLL model: from reference phase to VCO phase.
+//!
+//! [`PllModel`] assembles the building-block HTMs of the loop
+//! (PFD sampler → loop filter → VCO) and closes the feedback
+//! `θ̃ = (I + G̃)⁻¹ G̃ θ̃_ref` (paper eq. 26–28). Because the sampler is
+//! rank one, `G̃(s) = Ṽ(s)·𝟙ᵀ` and the Sherman–Morrison–Woodbury
+//! identity collapses the inverse to the closed form of eq. 34:
+//!
+//! ```text
+//! H̃(s) = Ṽ(s)·𝟙ᵀ / (1 + λ(s)),     λ(s) = 𝟙ᵀ Ṽ(s)
+//! ```
+//!
+//! For a time-invariant VCO, `Ṽ_n(s) = A(s + jnω₀)` and
+//! `H_{n,m}(s) = A(s + jnω₀)/(1 + λ(s))` — the baseband element
+//! `H_{0,0}` is the paper's eq. 38, the quantity plotted in Fig. 6.
+//!
+//! ```
+//! use htmpll_core::{PllDesign, PllModel};
+//!
+//! let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let h = model.h00(0.5); // closed-loop baseband transfer at ω = 0.5·ω_UG... (rad/s)
+//! assert!(h.abs() > 0.9 && h.abs() < 1.2); // in-band: follows the reference
+//! ```
+
+use crate::design::PllDesign;
+use crate::error::CoreError;
+use crate::lambda::EffectiveGain;
+use htmpll_htm::{closed_loop_rank_one, Htm, HtmBlock, LtiHtm, SamplerHtm, Truncation, VcoHtm};
+use htmpll_num::Complex;
+
+/// A PLL small-signal model ready for frequency-domain evaluation.
+#[derive(Debug, Clone)]
+pub struct PllModel {
+    design: PllDesign,
+    /// Centered ISF Fourier coefficients of the VCO (length 1 ⇒
+    /// time-invariant).
+    vco_isf: Vec<Complex>,
+    lambda: EffectiveGain,
+    /// Extra LTI factor in the forward path (e.g. a Padé delay block);
+    /// unity when absent. Folded into `lambda` at construction and
+    /// applied explicitly by the matrix-assembly paths.
+    extra_lti: Option<htmpll_lti::Tf>,
+}
+
+impl PllModel {
+    /// Builds the model with a time-invariant VCO (`v(t) ≡ K_vco/N`),
+    /// matching the paper's §5 experimental setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates effective-gain construction failures (improper loop,
+    /// pole extraction).
+    pub fn new(design: PllDesign) -> Result<PllModel, CoreError> {
+        let isf = vec![Complex::from_re(design.v0())];
+        PllModel::with_vco_isf(design, isf)
+    }
+
+    /// Builds the model with a loop latency `tau` (divider pipeline, PFD
+    /// logic, charge-pump switching) folded into the open-loop gain via
+    /// a diagonal Padé-`(order,order)` delay approximant. The delayed
+    /// gain stays rational, so the **exact** lattice-sum `λ(s)` still
+    /// applies; choose `order ≳ ω₀·τ` for accuracy across the first
+    /// Nyquist band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé construction and effective-gain failures.
+    pub fn with_loop_delay(
+        design: PllDesign,
+        tau: f64,
+        order: usize,
+    ) -> Result<PllModel, CoreError> {
+        let pade = htmpll_lti::pade_delay(tau, order)?;
+        let delayed = &design.open_loop_gain() * &pade;
+        let lambda = EffectiveGain::new(&delayed, design.omega_ref())?;
+        let isf = vec![Complex::from_re(design.v0())];
+        Ok(PllModel {
+            design,
+            vco_isf: isf,
+            lambda,
+            extra_lti: Some(pade),
+        })
+    }
+
+    /// Builds the model with a **time-varying** VCO described by its
+    /// centered ISF Fourier coefficients `[v_{−K}, …, v₀, …, v_{+K}]`.
+    /// The scalar λ-based closed form still applies (the PFD HTM stays
+    /// rank one); only the column `Ṽ(s)` changes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects even-length ISF lists via a panic in the VCO block;
+    /// propagates effective-gain failures. The `λ` evaluator is built
+    /// from the `v₀` (time-invariant) part, which is exact for λ because
+    /// `𝟙ᵀ H̃_VCO H̃_LF 𝟙` sums every row: off-center ISF terms
+    /// contribute through the same lattice sums with shifted arguments,
+    /// handled in [`lambda_tv`](PllModel::lambda_tv).
+    pub fn with_vco_isf(design: PllDesign, vco_isf: Vec<Complex>) -> Result<PllModel, CoreError> {
+        let lambda = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())?;
+        Ok(PllModel {
+            design,
+            vco_isf,
+            lambda,
+            extra_lti: None,
+        })
+    }
+
+    /// The underlying design.
+    pub fn design(&self) -> &PllDesign {
+        &self.design
+    }
+
+    /// The effective open-loop gain evaluator (time-invariant part).
+    pub fn lambda(&self) -> &EffectiveGain {
+        &self.lambda
+    }
+
+    /// True when the VCO model is time-invariant.
+    pub fn is_time_invariant(&self) -> bool {
+        self.vco_isf.len() == 1
+    }
+
+    /// The LTI open-loop gain `A(s)`.
+    pub fn open_loop(&self) -> &htmpll_lti::Tf {
+        self.lambda.open_loop()
+    }
+
+    /// Time-varying effective gain `λ(s) = 𝟙ᵀṼ(s)` including all ISF
+    /// harmonics, evaluated by truncated summation over `trunc`.
+    ///
+    /// Falls back to the exact lattice-sum value for time-invariant
+    /// VCOs regardless of `trunc`.
+    pub fn lambda_tv(&self, s: Complex, trunc: Truncation) -> Complex {
+        if self.is_time_invariant() {
+            return self.lambda.eval(s);
+        }
+        self.v_column(s, trunc).iter().copied().sum()
+    }
+
+    /// The rank-one column `Ṽ(s) = (ω₀/2π)·H̃_VCO·H̃_LF·𝟙` (paper
+    /// eq. 29), in harmonic order `−K..K`.
+    pub fn v_column(&self, s: Complex, trunc: Truncation) -> Vec<Complex> {
+        let w0 = self.design.omega_ref();
+        let weight = w0 / (2.0 * std::f64::consts::PI);
+        let hlf = self.design.loop_filter_tf();
+        trunc
+            .harmonics()
+            .map(|n| {
+                // (H_VCO·H_LF·𝟙)_n = Σ_m v_{n−m}/(s+jnω₀) · H_LF(s+jmω₀)
+                let pole = (s + Complex::from_im(n as f64 * w0)).recip();
+                let mut acc = Complex::ZERO;
+                for m in trunc.harmonics() {
+                    let isf = self.isf_coeff(n - m);
+                    if isf == Complex::ZERO {
+                        continue;
+                    }
+                    let u = s + Complex::from_im(m as f64 * w0);
+                    let mut fwd = hlf.eval(u);
+                    if let Some(extra) = &self.extra_lti {
+                        fwd *= extra.eval(u);
+                    }
+                    acc += isf * fwd;
+                }
+                acc * pole * weight
+            })
+            .collect()
+    }
+
+    fn isf_coeff(&self, k: i64) -> Complex {
+        let half = (self.vco_isf.len() / 2) as i64;
+        if k.abs() <= half {
+            self.vco_isf[(k + half) as usize]
+        } else {
+            Complex::ZERO
+        }
+    }
+
+    /// Closed-loop baseband→baseband transfer `H₀,₀(jω) = A(jω)/(1+λ(jω))`
+    /// (paper eq. 38) — the Fig.-6 quantity. Exact-λ path (time-invariant
+    /// VCO).
+    pub fn h00(&self, omega: f64) -> Complex {
+        self.h_band(0, omega)
+    }
+
+    /// Closed-loop band transfer `H_{n,m}(jω) = A(j(ω + nω₀))/(1+λ(jω))`
+    /// — for the rank-one loop this is independent of the input band `m`:
+    /// the sampler aliases all input bands identically (paper eq. 36).
+    pub fn h_band(&self, n: i64, omega: f64) -> Complex {
+        let s = Complex::from_im(omega);
+        let shifted = s + Complex::from_im(n as f64 * self.design.omega_ref());
+        self.open_loop().eval(shifted) / (Complex::ONE + self.lambda.eval(s))
+    }
+
+    /// Classical LTI closed loop `A(jω)/(1 + A(jω))` — the textbook
+    /// approximation Fig. 6 compares against.
+    pub fn h00_lti(&self, omega: f64) -> Complex {
+        let a = self.open_loop().eval_jw(omega);
+        a / (Complex::ONE + a)
+    }
+
+    /// Error transfer from reference phase to phase error
+    /// `θ_ref − θ` at baseband: `1 − H₀,₀(jω)`.
+    pub fn error_transfer(&self, omega: f64) -> Complex {
+        Complex::ONE - self.h00(omega)
+    }
+
+    /// Full closed-loop HTM at Laplace point `s` via the rank-one
+    /// Sherman–Morrison closed form (works for time-varying VCOs too).
+    pub fn closed_loop_htm(&self, s: Complex, trunc: Truncation) -> Htm {
+        let v = self.v_column(s, trunc);
+        let ones = vec![Complex::ONE; trunc.dim()];
+        let (mat, _) = closed_loop_rank_one(&v, &ones);
+        Htm::from_matrix(trunc, self.design.omega_ref(), mat)
+    }
+
+    /// Full closed-loop HTM via dense block assembly and LU solve — the
+    /// O(n³) reference path used to validate the closed form and to
+    /// support non-rank-one extensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solve error when evaluated exactly on a closed-loop
+    /// pole.
+    pub fn closed_loop_htm_dense(&self, s: Complex, trunc: Truncation) -> Result<Htm, CoreError> {
+        let w0 = self.design.omega_ref();
+        let pfd = SamplerHtm::new(w0);
+        let mut fwd_tf = self.design.loop_filter_tf();
+        if let Some(extra) = &self.extra_lti {
+            fwd_tf = &fwd_tf * extra;
+        }
+        let lf = LtiHtm::new(fwd_tf, w0);
+        let vco = VcoHtm::new(self.vco_isf.clone(), w0);
+        let g = &(&vco.htm(s, trunc) * &lf.htm(s, trunc)) * &pfd.htm(s, trunc);
+        Ok(g.closed_loop()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(ratio: f64) -> PllModel {
+        PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn smw_matches_dense_closed_loop() {
+        let m = model(0.3);
+        let t = Truncation::new(6);
+        for &(re, im) in &[(0.0, 0.4), (0.02, 1.3), (0.0, 2.7)] {
+            let s = Complex::new(re, im);
+            let fast = m.closed_loop_htm(s, t);
+            let dense = m.closed_loop_htm_dense(s, t).unwrap();
+            let err = fast.as_matrix().max_diff(dense.as_matrix());
+            assert!(err < 1e-10, "s={s}: err {err}");
+        }
+    }
+
+    #[test]
+    fn h00_matches_htm_element_at_large_truncation() {
+        // The closed-form H₀₀ uses the exact λ; the HTM path truncates.
+        // They must agree as K grows.
+        let m = model(0.3);
+        let w = 0.8;
+        let exact = m.h00(w);
+        let err_at = |k: usize| {
+            let htm = m.closed_loop_htm(Complex::from_im(w), Truncation::new(k));
+            (htm.band(0, 0) - exact).abs()
+        };
+        // Truncated λ converges like 1/K: require closeness at K = 200
+        // and monotone improvement over K = 25.
+        assert!(err_at(200) < 1e-2 * exact.abs(), "err {}", err_at(200));
+        assert!(err_at(200) < err_at(25));
+    }
+
+    #[test]
+    fn band_transfer_independent_of_input_band() {
+        let m = model(0.25);
+        let t = Truncation::new(4);
+        let htm = m.closed_loop_htm(Complex::from_im(0.5), t);
+        // Rank-one structure: H_{n,m} constant across m.
+        for n in t.harmonics() {
+            let base = htm.band(n, 0);
+            for mm in t.harmonics() {
+                assert!((htm.band(n, mm) - base).abs() < 1e-12 * (1.0 + base.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn slow_loop_reduces_to_lti() {
+        let m = model(0.01);
+        for w in [0.05, 0.2, 1.0, 3.0] {
+            let tv = m.h00(w);
+            let lti = m.h00_lti(w);
+            assert!(
+                (tv - lti).abs() < 0.02 * (1.0 + lti.abs()),
+                "w={w}: {tv} vs {lti}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_loop_departs_from_lti() {
+        let m = model(0.25);
+        // Near the passband edge the time-varying response peaks well
+        // above the LTI prediction.
+        let mut max_ratio: f64 = 0.0;
+        for k in 0..30 {
+            let w = 0.5 + 1.5 * k as f64 / 29.0;
+            let ratio = m.h00(w).abs() / m.h00_lti(w).abs();
+            max_ratio = max_ratio.max(ratio);
+        }
+        assert!(max_ratio > 1.2, "expected visible peaking, got {max_ratio}");
+    }
+
+    #[test]
+    fn dc_tracking() {
+        // Type-2 loop: H₀₀ → 1 as ω → 0 (the PLL tracks reference phase).
+        let m = model(0.2);
+        let h = m.h00(1e-4);
+        assert!((h - Complex::ONE).abs() < 1e-3, "{h}");
+        assert!(m.error_transfer(1e-4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_varying_vco_changes_response() {
+        let d = PllDesign::reference_design(0.2).unwrap();
+        let ti = PllModel::new(d.clone()).unwrap();
+        let v0 = d.v0();
+        let tv = PllModel::with_vco_isf(
+            d,
+            vec![
+                Complex::from_re(0.4 * v0),
+                Complex::from_re(v0),
+                Complex::from_re(0.4 * v0),
+            ],
+        )
+        .unwrap();
+        assert!(ti.is_time_invariant());
+        assert!(!tv.is_time_invariant());
+        let t = Truncation::new(8);
+        let s = Complex::from_im(0.6);
+        let a = ti.closed_loop_htm(s, t).band(0, 0);
+        let b = tv.closed_loop_htm(s, t).band(0, 0);
+        assert!((a - b).abs() > 1e-3 * a.abs(), "TV ISF should matter");
+        // And the TV path still matches its dense reference.
+        let dense = tv.closed_loop_htm_dense(s, t).unwrap();
+        let fast = tv.closed_loop_htm(s, t);
+        assert!(fast.as_matrix().max_diff(dense.as_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn loop_delay_erodes_effective_margin() {
+        use crate::analysis::analyze;
+        let design = PllDesign::reference_design(0.1).unwrap();
+        let t_ref = 1.0 / design.f_ref();
+        let plain = analyze(&PllModel::new(design.clone()).unwrap()).unwrap();
+        let quarter =
+            analyze(&PllModel::with_loop_delay(design.clone(), 0.25 * t_ref, 6).unwrap())
+                .unwrap();
+        let half =
+            analyze(&PllModel::with_loop_delay(design, 0.5 * t_ref, 6).unwrap()).unwrap();
+        // Delay always costs effective margin, monotonically in τ. (The
+        // loss is smaller than the naive ω·τ because the delay also
+        // reshapes the alias interference and moves the crossover down —
+        // verified against an exact-delay truncated sum below.)
+        assert!(quarter.phase_margin_eff_deg < plain.phase_margin_eff_deg);
+        assert!(half.phase_margin_eff_deg < quarter.phase_margin_eff_deg);
+        assert!(quarter.omega_ug_eff < plain.omega_ug_eff);
+    }
+
+    #[test]
+    fn pade_delay_lambda_matches_exact_delay_sum() {
+        // The Padé-rationalized λ must reproduce the exact-delay
+        // truncated sum Σ A(u)·e^{−uτ} across the band.
+        let design = PllDesign::reference_design(0.1).unwrap();
+        let t_ref = 1.0 / design.f_ref();
+        let tau = 0.25 * t_ref;
+        let w0 = design.omega_ref();
+        let a = design.open_loop_gain();
+        let model = PllModel::with_loop_delay(design, tau, 6).unwrap();
+        for w in [0.2, 0.7, 1.3, 0.45 * w0] {
+            let s = Complex::from_im(w);
+            let mut exact = Complex::ZERO;
+            for m in -2000i64..=2000 {
+                let u = s + Complex::from_im(m as f64 * w0);
+                exact += a.eval(u) * (-u.scale(tau)).exp();
+            }
+            let pade = model.lambda().eval(s);
+            assert!(
+                (pade - exact).abs() < 2e-3 * (1.0 + exact.abs()),
+                "w={w}: pade {pade} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delay_matches_plain_model() {
+        let design = PllDesign::reference_design(0.15).unwrap();
+        let plain = PllModel::new(design.clone()).unwrap();
+        let delayed = PllModel::with_loop_delay(design, 0.0, 4).unwrap();
+        for w in [0.2, 1.0, 2.5] {
+            assert!((plain.h00(w) - delayed.h00(w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lambda_tv_reduces_to_exact_for_ti() {
+        let m = model(0.3);
+        let s = Complex::from_im(0.9);
+        let a = m.lambda_tv(s, Truncation::new(5));
+        let b = m.lambda().eval(s);
+        assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()));
+    }
+}

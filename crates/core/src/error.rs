@@ -1,0 +1,108 @@
+//! Error type for PLL model construction and analysis.
+
+use htmpll_lti::{FilterError, MarginError, TfError};
+use htmpll_num::LuError;
+use std::fmt;
+
+/// Errors produced by the `htmpll-core` API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A design parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// The open-loop gain is not strictly proper, so the harmonic sum
+    /// `λ(s) = Σ_m A(s + jmω₀)` does not converge.
+    OpenLoopNotStrictlyProper,
+    /// Transfer-function manipulation failed.
+    Tf(TfError),
+    /// Loop-filter construction failed.
+    Filter(FilterError),
+    /// Margin extraction failed.
+    Margin(MarginError),
+    /// A dense linear solve failed (closed loop evaluated on a pole).
+    Solve(LuError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            CoreError::OpenLoopNotStrictlyProper => {
+                write!(f, "open-loop gain must be strictly proper for the harmonic sum to converge")
+            }
+            CoreError::Tf(e) => write!(f, "transfer function error: {e}"),
+            CoreError::Filter(e) => write!(f, "loop filter error: {e}"),
+            CoreError::Margin(e) => write!(f, "margin extraction error: {e}"),
+            CoreError::Solve(e) => write!(f, "linear solve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TfError> for CoreError {
+    fn from(e: TfError) -> Self {
+        CoreError::Tf(e)
+    }
+}
+
+impl From<FilterError> for CoreError {
+    fn from(e: FilterError) -> Self {
+        CoreError::Filter(e)
+    }
+}
+
+impl From<MarginError> for CoreError {
+    fn from(e: MarginError) -> Self {
+        CoreError::Margin(e)
+    }
+}
+
+impl From<LuError> for CoreError {
+    fn from(e: LuError) -> Self {
+        CoreError::Solve(e)
+    }
+}
+
+/// Validates a positive, finite parameter.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, CoreError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(CoreError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::InvalidParameter { name: "icp", value: -1.0 };
+        assert!(e.to_string().contains("icp"));
+        assert!(CoreError::OpenLoopNotStrictlyProper.to_string().contains("strictly proper"));
+        let tf: CoreError = TfError::ZeroDenominator.into();
+        assert!(tf.to_string().contains("denominator"));
+        let lu: CoreError = LuError::NotSquare.into();
+        assert!(lu.to_string().contains("square"));
+        let m: CoreError = MarginError::NoUnityCrossing.into();
+        assert!(m.to_string().contains("0 dB"));
+        let fe: CoreError = FilterError::NonPositiveComponent { name: "R", value: 0.0 }.into();
+        assert!(fe.to_string().contains('R'));
+    }
+
+    #[test]
+    fn positive_validator() {
+        assert!(positive("x", 1.0).is_ok());
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", f64::NAN).is_err());
+        assert!(positive("x", f64::INFINITY).is_err());
+    }
+}

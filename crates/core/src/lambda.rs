@@ -1,0 +1,370 @@
+//! The effective open-loop gain `λ(s)` of a sampled PLL.
+//!
+//! For a PLL with a sampling PFD and time-invariant VCO, closing the loop
+//! through the rank-one PFD HTM yields (paper eq. 36–37)
+//!
+//! ```text
+//! λ(s) = Σ_{m∈ℤ} A(s + jmω₀)
+//! ```
+//!
+//! — the classical open-loop gain plus **all of its aliases**. The paper's
+//! central claim is that loop stability is governed by the margins of
+//! `λ(jω)`, not `A(jω)`; LTI analysis is the `λ ≈ A` approximation, valid
+//! only while `ω_UG ≪ ω₀`.
+//!
+//! Two evaluation paths are provided:
+//!
+//! * **Exact** ([`EffectiveGain::eval`]): partial fractions of `A` plus
+//!   the `coth` lattice-sum closed forms — this is the paper's "symbolic
+//!   expressions" capability, exact for any rational strictly proper `A`.
+//! * **Truncated** ([`EffectiveGain::eval_truncated`]): brute-force
+//!   `Σ_{|m| ≤ M}`, the numerical cross-check and the path that
+//!   generalizes to non-rational gains.
+//!
+//! ```
+//! use htmpll_core::{EffectiveGain, PllDesign};
+//! use htmpll_num::Complex;
+//!
+//! let d = PllDesign::reference_design(0.3).unwrap();
+//! let lam = EffectiveGain::new(&d.open_loop_gain(), d.omega_ref()).unwrap();
+//! let s = Complex::from_im(1.0);
+//! let exact = lam.eval(s);
+//! let approx = lam.eval_truncated(s, 4000);
+//! assert!((exact - approx).abs() < 1e-3 * exact.abs());
+//! ```
+
+use crate::error::{positive, CoreError};
+use htmpll_lti::{Pfe, Tf};
+use htmpll_num::special::{lattice_sum, MAX_LATTICE_ORDER};
+use htmpll_num::Complex;
+
+/// The effective open-loop gain `λ(s) = Σ_m A(s + jmω₀)`.
+#[derive(Debug, Clone)]
+pub struct EffectiveGain {
+    a: Tf,
+    pfe: Pfe,
+    omega0: f64,
+}
+
+impl EffectiveGain {
+    /// Prepares the exact evaluator for the open-loop gain `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::OpenLoopNotStrictlyProper`] — the harmonic sum
+    ///   diverges for non-strictly-proper gains.
+    /// * [`CoreError::InvalidParameter`] — non-positive `omega0`.
+    /// * Pole extraction failures are propagated.
+    /// * [`CoreError::InvalidParameter`] with name `"pole multiplicity"`
+    ///   when a pole multiplicity exceeds the supported lattice order.
+    pub fn new(a: &Tf, omega0: f64) -> Result<EffectiveGain, CoreError> {
+        positive("omega0", omega0)?;
+        if !a.is_strictly_proper() {
+            return Err(CoreError::OpenLoopNotStrictlyProper);
+        }
+        let pfe = Pfe::expand(a, 1e-6)?;
+        if pfe.max_order() > MAX_LATTICE_ORDER {
+            return Err(CoreError::InvalidParameter {
+                name: "pole multiplicity",
+                value: pfe.max_order() as f64,
+            });
+        }
+        Ok(EffectiveGain {
+            a: a.clone(),
+            pfe,
+            omega0,
+        })
+    }
+
+    /// The underlying LTI open-loop gain `A(s)`.
+    pub fn open_loop(&self) -> &Tf {
+        &self.a
+    }
+
+    /// The partial-fraction expansion driving the exact evaluation.
+    pub fn pfe(&self) -> &Pfe {
+        &self.pfe
+    }
+
+    /// The reference fundamental `ω₀`.
+    pub fn omega0(&self) -> f64 {
+        self.omega0
+    }
+
+    /// Exact `λ(s)` via lattice sums: for
+    /// `A(s) = Σ c_{i,r}/(s − p_i)^r`,
+    /// `λ(s) = Σ c_{i,r}·S_r(s − p_i; ω₀)` with
+    /// `S₁(z) = (π/ω₀)·coth(πz/ω₀)`.
+    pub fn eval(&self, s: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for term in &self.pfe.terms {
+            acc += term.coeff * lattice_sum(s - term.pole, self.omega0, term.order);
+        }
+        acc
+    }
+
+    /// Exact `λ(jω)`.
+    pub fn eval_jw(&self, omega: f64) -> Complex {
+        self.eval(Complex::from_im(omega))
+    }
+
+    /// Truncated sum `Σ_{|m| ≤ terms} A(s + jmω₀)` — the numerical
+    /// cross-check for [`eval`](EffectiveGain::eval).
+    pub fn eval_truncated(&self, s: Complex, terms: usize) -> Complex {
+        let mut acc = self.a.eval(s);
+        for m in 1..=terms as i64 {
+            let shift = Complex::from_im(m as f64 * self.omega0);
+            acc += self.a.eval(s + shift) + self.a.eval(s - shift);
+        }
+        acc
+    }
+
+    /// The aliasing excess `λ(jω) − A(jω)`: what LTI analysis ignores.
+    pub fn aliasing_excess(&self, omega: f64) -> Complex {
+        self.eval_jw(omega) - self.a.eval_jw(omega)
+    }
+
+    /// Exact derivative `dλ/ds`, from the lattice-sum identity
+    /// `d/ds S_r(s − p) = −r·S_{r+1}(s − p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pole multiplicity reaches the maximum supported
+    /// lattice order (the derivative needs one order more); loop
+    /// transfer functions sit far below that bound.
+    pub fn eval_deriv(&self, s: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for term in &self.pfe.terms {
+            let z = s - term.pole;
+            acc -= term.coeff
+                * (term.order as f64)
+                * lattice_sum(z, self.omega0, term.order + 1);
+        }
+        acc
+    }
+
+    /// Suggests a truncation order `K` such that the truncated harmonic
+    /// sum's tail `|Σ_{|m|>K} A(s + jmω₀)|` stays below `tol` anywhere
+    /// on the imaginary axis, from the open-loop gain's high-frequency
+    /// asymptote `A(s) ≈ c·s^{−d}` (relative degree `d ≥ 2`):
+    /// `tail ≈ 2c/((d−1)·ω₀^d·K^{d−1})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tol <= 0`.
+    pub fn suggest_truncation(&self, tol: f64) -> usize {
+        assert!(tol > 0.0, "tolerance must be positive");
+        let d = self.a.relative_degree().max(2) as f64;
+        let c = (self.a.num().leading() / self.a.den().leading()).abs();
+        let k = (2.0 * c / ((d - 1.0) * self.omega0.powf(d) * tol)).powf(1.0 / (d - 1.0));
+        (k.ceil() as usize).max(2)
+    }
+
+    /// Renders the **closed-form symbolic expression** for `λ(s)` — the
+    /// capability the paper highlights ("can be used to obtain both
+    /// numerical results and symbolic expressions"). Each simple pole
+    /// contributes a `coth` term and each repeated pole a `csch²`-family
+    /// derivative term:
+    ///
+    /// ```text
+    /// λ(s) = Σᵢ cᵢ·Sᵣ(s − pᵢ; ω₀),  S₁(z) = (π/ω₀)·coth(π·z/ω₀)
+    /// ```
+    pub fn symbolic(&self) -> String {
+        let mut out = String::from("λ(s) =");
+        for (k, term) in self.pfe.terms.iter().enumerate() {
+            if k > 0 {
+                out.push_str("
+      +");
+            }
+            let pole = if term.pole.abs() < 1e-12 {
+                "s".to_string()
+            } else {
+                format!("(s - ({:.6}))", term.pole)
+            };
+            let kernel = match term.order {
+                1 => format!("(π/ω₀)·coth(π·{pole}/ω₀)"),
+                2 => format!("(π/ω₀)²·csch²(π·{pole}/ω₀)"),
+                r => format!("S_{r}({pole}; ω₀)   [∂^{}coth]", r - 1),
+            };
+            out.push_str(&format!(" ({:.6})·{kernel}", term.coeff));
+        }
+        out.push_str(&format!("
+      with ω₀ = {:.6} rad/s", self.omega0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PllDesign;
+    use htmpll_num::Poly;
+
+    fn reference_lambda(ratio: f64) -> EffectiveGain {
+        let d = PllDesign::reference_design(ratio).unwrap();
+        EffectiveGain::new(&d.open_loop_gain(), d.omega_ref()).unwrap()
+    }
+
+    #[test]
+    fn exact_matches_truncated_on_reference_loop() {
+        let lam = reference_lambda(0.2);
+        for w in [0.1, 0.5, 1.0, 2.0, 4.9] {
+            let s = Complex::from_im(w);
+            let exact = lam.eval(s);
+            // The brute-force tail decays only like 1/M (the PFE has a
+            // simple-pole component), so compare at two term counts and
+            // require the longer sum to be closer to the exact value.
+            let brute = lam.eval_truncated(s, 20_000);
+            assert!(
+                (exact - brute).abs() < 1e-4 * (1.0 + exact.abs()),
+                "w={w}: exact {exact} vs brute {brute}"
+            );
+            let shorter = lam.eval_truncated(s, 2_000);
+            assert!(
+                (exact - brute).abs() < (exact - shorter).abs() + 1e-12,
+                "w={w}: longer sum must approach the closed form"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_loop_lambda_approaches_a() {
+        // ω_UG/ω₀ = 0.01: aliases sit 100× above crossover; near ω_UG the
+        // LTI approximation is excellent.
+        let lam = reference_lambda(0.01);
+        let w = 1.0;
+        let a = lam.open_loop().eval_jw(w);
+        let l = lam.eval_jw(w);
+        assert!(
+            (l - a).abs() < 0.02 * a.abs(),
+            "λ {l} should be close to A {a}"
+        );
+        assert!(lam.aliasing_excess(w).abs() < 0.02 * a.abs());
+    }
+
+    #[test]
+    fn fast_loop_lambda_deviates_from_a() {
+        // ω_UG/ω₀ = 0.5: the first alias lands right above crossover.
+        let lam = reference_lambda(0.5);
+        let w = 1.0;
+        let a = lam.open_loop().eval_jw(w);
+        let l = lam.eval_jw(w);
+        assert!(
+            (l - a).abs() > 0.2 * a.abs(),
+            "λ {l} should deviate strongly from A {a}"
+        );
+    }
+
+    #[test]
+    fn conjugate_symmetry() {
+        // A real ⇒ λ(s̄) = λ(s)̄; on the jω axis λ(−jω) = conj λ(jω).
+        let lam = reference_lambda(0.3);
+        let l_pos = lam.eval(Complex::from_im(0.7));
+        let l_neg = lam.eval(Complex::from_im(-0.7));
+        assert!((l_pos.conj() - l_neg).abs() < 1e-10 * l_pos.abs());
+    }
+
+    #[test]
+    fn periodicity_in_omega0() {
+        // λ(s + jω₀) = λ(s): the alias sum is invariant under a one-band
+        // shift.
+        let lam = reference_lambda(0.25);
+        let s = Complex::new(0.1, 0.4);
+        let a = lam.eval(s);
+        let b = lam.eval(s + Complex::from_im(lam.omega0()));
+        assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn rejects_improper_gain() {
+        let biproper = Tf::from_coeffs(vec![1.0, 1.0], vec![2.0, 1.0]).unwrap();
+        assert!(matches!(
+            EffectiveGain::new(&biproper, 1.0),
+            Err(CoreError::OpenLoopNotStrictlyProper)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_omega() {
+        let a = Tf::integrator();
+        assert!(EffectiveGain::new(&a, 0.0).is_err());
+    }
+
+    #[test]
+    fn simple_first_order_closed_form() {
+        // A = 1/(s + 1): λ(s) = (π/ω₀)·coth(π(s+1)/ω₀).
+        let a = Tf::from_coeffs(vec![1.0], vec![1.0, 1.0]).unwrap();
+        let lam = EffectiveGain::new(&a, 2.0).unwrap();
+        let s = Complex::new(0.5, 0.3);
+        let expect = Complex::from_re(std::f64::consts::PI / 2.0)
+            * ((s + 1.0).scale(std::f64::consts::PI / 2.0)).coth();
+        assert!((lam.eval(s) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suggested_truncation_meets_tolerance() {
+        let lam = reference_lambda(0.2);
+        for tol in [1e-2, 1e-3, 1e-4] {
+            let k = lam.suggest_truncation(tol);
+            // Actual tail at a representative point.
+            let s = Complex::from_im(0.7);
+            let exact = lam.eval(s);
+            let truncated = lam.eval_truncated(s, k);
+            let tail = (exact - truncated).abs();
+            assert!(
+                tail <= 2.0 * tol,
+                "tol {tol}: K = {k} leaves tail {tail}"
+            );
+            // And the bound is not wildly pessimistic (within 100×).
+            if k > 4 {
+                let loose = lam.eval_truncated(s, k / 4);
+                assert!((exact - loose).abs() > tail);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let lam = reference_lambda(0.2);
+        let s = Complex::new(0.05, 0.6);
+        let h = 1e-6;
+        let fd = (lam.eval(s + Complex::from_re(h)) - lam.eval(s - Complex::from_re(h)))
+            / (2.0 * h);
+        let exact = lam.eval_deriv(s);
+        assert!(
+            (fd - exact).abs() < 1e-5 * (1.0 + exact.abs()),
+            "fd {fd} vs exact {exact}"
+        );
+        // And along the imaginary direction (analyticity check).
+        let fd_im = (lam.eval(s + Complex::from_im(h)) - lam.eval(s - Complex::from_im(h)))
+            / Complex::new(0.0, 2.0 * h);
+        assert!((fd_im - exact).abs() < 1e-5 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn symbolic_rendering_lists_all_poles() {
+        let lam = reference_lambda(0.2);
+        let text = lam.symbolic();
+        // The charge-pump loop: coth (simple poles) + csch² (double pole
+        // at DC) terms, and the fundamental.
+        assert!(text.contains("coth"), "{text}");
+        assert!(text.contains("csch²"), "{text}");
+        assert!(text.contains("ω₀ = 5"), "{text}");
+        // One separator line between consecutive terms.
+        assert_eq!(
+            text.matches("\n      +").count() + 1,
+            lam.pfe().terms.len()
+        );
+    }
+
+    #[test]
+    fn double_pole_at_origin_handled() {
+        // A = 1/s² — pure double integrator; λ via csch² identity.
+        let a = Tf::new(Poly::constant(1.0), Poly::new(vec![0.0, 0.0, 1.0])).unwrap();
+        let lam = EffectiveGain::new(&a, 1.0).unwrap();
+        let s = Complex::new(0.2, 0.1);
+        // Tail of the order-2 sum decays like 1/M: 30k terms ⇒ ~7e−5.
+        let brute = lam.eval_truncated(s, 30_000);
+        assert!((lam.eval(s) - brute).abs() < 1e-4);
+    }
+}

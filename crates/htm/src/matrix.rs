@@ -1,0 +1,425 @@
+//! The harmonic transfer matrix value type.
+//!
+//! An [`Htm`] is one *evaluation* of a (truncated) harmonic transfer
+//! matrix `H̃(s)` at a fixed Laplace point `s`: a complex matrix tagged
+//! with its truncation and the fundamental `ω₀`, with accessors in
+//! harmonic (band) coordinates. Element `(n, m)` describes the transfer
+//! of signal content from the input band around `mω₀` to the output band
+//! around `nω₀` (paper eq. 5/9 and Fig. 2).
+//!
+//! ```
+//! use htmpll_htm::{Htm, Truncation};
+//! use htmpll_num::Complex;
+//!
+//! let t = Truncation::new(1);
+//! let id = Htm::identity(t, 1.0);
+//! assert_eq!(id.band(0, 0), Complex::ONE);
+//! assert_eq!(id.band(1, 0), Complex::ZERO);
+//! ```
+
+use crate::trunc::Truncation;
+use htmpll_num::{CMat, Complex, Lu, LuError};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A truncated harmonic transfer matrix evaluated at one Laplace point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Htm {
+    trunc: Truncation,
+    omega0: f64,
+    mat: CMat,
+}
+
+impl Htm {
+    /// Wraps an explicit matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix dimension does not match the truncation or
+    /// `omega0 <= 0`.
+    pub fn from_matrix(trunc: Truncation, omega0: f64, mat: CMat) -> Self {
+        assert!(omega0 > 0.0, "fundamental frequency must be positive");
+        assert_eq!(
+            (mat.rows(), mat.cols()),
+            (trunc.dim(), trunc.dim()),
+            "matrix does not match truncation dimension {}",
+            trunc.dim()
+        );
+        Htm { trunc, omega0, mat }
+    }
+
+    /// Builds an HTM by evaluating `f(n, m)` over harmonic indices.
+    pub fn from_fn<F: FnMut(i64, i64) -> Complex>(
+        trunc: Truncation,
+        omega0: f64,
+        mut f: F,
+    ) -> Self {
+        let mat = CMat::from_fn(trunc.dim(), trunc.dim(), |i, j| {
+            f(trunc.harmonic_at(i), trunc.harmonic_at(j))
+        });
+        Htm::from_matrix(trunc, omega0, mat)
+    }
+
+    /// Builds the HTM directly from **harmonic transfer functions**
+    /// `H_k(s)` (paper eq. 2–5): `H_{n,m}(s) = H_{n−m}(s + jmω₀)`.
+    /// `harmonic_tfs[i]` holds `H_k` for `k = i − (len−1)/2` (centered,
+    /// odd length); missing harmonics are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `harmonic_tfs` has even length or `omega0 <= 0`.
+    pub fn from_harmonic_tfs(
+        trunc: Truncation,
+        omega0: f64,
+        s: Complex,
+        harmonic_tfs: &[htmpll_lti::Tf],
+    ) -> Self {
+        assert!(
+            harmonic_tfs.len() % 2 == 1,
+            "centered harmonic transfer functions need odd length, got {}",
+            harmonic_tfs.len()
+        );
+        let half = (harmonic_tfs.len() / 2) as i64;
+        Htm::from_fn(trunc, omega0, |n, m| {
+            let k = n - m;
+            if k.abs() <= half {
+                harmonic_tfs[(k + half) as usize]
+                    .eval(s + Complex::from_im(m as f64 * omega0))
+            } else {
+                Complex::ZERO
+            }
+        })
+    }
+
+    /// The identity HTM (the memoryless unity system).
+    pub fn identity(trunc: Truncation, omega0: f64) -> Self {
+        Htm::from_matrix(trunc, omega0, CMat::identity(trunc.dim()))
+    }
+
+    /// The zero HTM.
+    pub fn zero(trunc: Truncation, omega0: f64) -> Self {
+        Htm::from_matrix(trunc, omega0, CMat::zeros(trunc.dim(), trunc.dim()))
+    }
+
+    /// The truncation this HTM was evaluated under.
+    pub fn truncation(&self) -> Truncation {
+        self.trunc
+    }
+
+    /// The fundamental angular frequency `ω₀`.
+    pub fn omega0(&self) -> f64 {
+        self.omega0
+    }
+
+    /// Borrows the underlying matrix.
+    pub fn as_matrix(&self) -> &CMat {
+        &self.mat
+    }
+
+    /// Consumes the HTM and returns the underlying matrix.
+    pub fn into_matrix(self) -> CMat {
+        self.mat
+    }
+
+    /// Band-transfer element `H_{n,m}`: input band `mω₀` → output band
+    /// `nω₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `|n| > K` or `|m| > K`.
+    pub fn band(&self, n: i64, m: i64) -> Complex {
+        let i = self.trunc.index_of(n).expect("output harmonic outside truncation");
+        let j = self.trunc.index_of(m).expect("input harmonic outside truncation");
+        self.mat[(i, j)]
+    }
+
+    /// Sum of all elements, `𝟙ᵀ H̃ 𝟙` — the scalar that becomes the
+    /// effective open-loop gain `λ(s)` when applied to
+    /// `H̃_VCO·H̃_LF` (paper eq. 33).
+    pub fn sum_entries(&self) -> Complex {
+        self.mat.sum_entries()
+    }
+
+    /// Applies the HTM to a vector of band contents (harmonic order
+    /// `−K..K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, bands: &[Complex]) -> Vec<Complex> {
+        self.mat.mul_vec(bands)
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, k: Complex) -> Htm {
+        Htm {
+            trunc: self.trunc,
+            omega0: self.omega0,
+            mat: self.mat.scale(k),
+        }
+    }
+
+    /// Solves the feedback equation: returns `(I + self)⁻¹ · self`, the
+    /// closed-loop HTM of a unity-negative-feedback loop with this
+    /// open-loop gain (paper eq. 28), via dense LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LU error when `I + G` is singular at this `s` — the
+    /// loop is on a closed-loop pole.
+    pub fn closed_loop(&self) -> Result<Htm, LuError> {
+        let n = self.trunc.dim();
+        let i_plus_g = &CMat::identity(n) + &self.mat;
+        let lu = Lu::factor(&i_plus_g)?;
+        let solved = lu.solve_mat(&self.mat)?;
+        Ok(Htm {
+            trunc: self.trunc,
+            omega0: self.omega0,
+            mat: solved,
+        })
+    }
+
+    /// Eigenvalues of the truncated HTM — the sample points of the
+    /// **generalized Nyquist loci**. For a rank-one loop (sampling PFD)
+    /// exactly one eigenvalue is nonzero and equals the truncated
+    /// effective gain `λ(s)`; general LPTV interconnections produce a
+    /// full set of loci whose `−1` encirclements decide stability
+    /// (Möllerstedt & Bernhardsson).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failures.
+    pub fn eigenvalues(&self) -> Result<Vec<Complex>, htmpll_num::EigError> {
+        htmpll_num::eigenvalues(&self.mat)
+    }
+
+    /// Checks shape compatibility for binary operations.
+    fn assert_compatible(&self, other: &Htm) {
+        assert_eq!(self.trunc, other.trunc, "truncation mismatch");
+        assert!(
+            (self.omega0 - other.omega0).abs() <= 1e-12 * self.omega0,
+            "fundamental frequency mismatch: {} vs {}",
+            self.omega0,
+            other.omega0
+        );
+    }
+}
+
+impl fmt::Display for Htm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Htm(K={}, ω₀={}, {}×{})",
+            self.trunc.order(),
+            self.omega0,
+            self.trunc.dim(),
+            self.trunc.dim()
+        )
+    }
+}
+
+impl Add for &Htm {
+    type Output = Htm;
+    /// Parallel connection `y = H₁[u] + H₂[u]` (paper eq. 10).
+    fn add(self, rhs: &Htm) -> Htm {
+        self.assert_compatible(rhs);
+        Htm {
+            trunc: self.trunc,
+            omega0: self.omega0,
+            mat: &self.mat + &rhs.mat,
+        }
+    }
+}
+
+impl Sub for &Htm {
+    type Output = Htm;
+    fn sub(self, rhs: &Htm) -> Htm {
+        self.assert_compatible(rhs);
+        Htm {
+            trunc: self.trunc,
+            omega0: self.omega0,
+            mat: &self.mat - &rhs.mat,
+        }
+    }
+}
+
+impl Mul for &Htm {
+    type Output = Htm;
+    /// Series connection: `self * rhs` is the system "`rhs` first, then
+    /// `self`" — matrix order matches operator order (paper eq. 11:
+    /// `H̃∘ = H̃₂ H̃₁` for `y = H₂[H₁[u]]`).
+    fn mul(self, rhs: &Htm) -> Htm {
+        self.assert_compatible(rhs);
+        Htm {
+            trunc: self.trunc,
+            omega0: self.omega0,
+            mat: &self.mat * &rhs.mat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: Truncation) -> Htm {
+        Htm::from_fn(t, 2.0, |n, m| Complex::new(n as f64, m as f64))
+    }
+
+    #[test]
+    fn band_indexing_matches_harmonics() {
+        let t = Truncation::new(2);
+        let h = sample(t);
+        assert_eq!(h.band(-2, 1), Complex::new(-2.0, 1.0));
+        assert_eq!(h.band(0, 0), Complex::ZERO);
+        assert_eq!(h.band(2, -2), Complex::new(2.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside truncation")]
+    fn band_out_of_range() {
+        let h = sample(Truncation::new(1));
+        let _ = h.band(2, 0);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let t = Truncation::new(2);
+        let id = Htm::identity(t, 2.0);
+        let h = sample(t);
+        assert_eq!(&id * &h, h);
+        assert_eq!(&h * &id, h);
+        let z = Htm::zero(t, 2.0);
+        assert_eq!(&h + &z, h);
+        assert_eq!(&h - &h, z);
+    }
+
+    #[test]
+    fn apply_maps_bands() {
+        let t = Truncation::new(1);
+        // H with only H_{1,0} = 2: content in band 0 appears in band +1.
+        let h = Htm::from_fn(t, 1.0, |n, m| {
+            if n == 1 && m == 0 {
+                Complex::from_re(2.0)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let input = [Complex::ZERO, Complex::ONE, Complex::ZERO]; // band 0 = 1
+        let out = h.apply(&input);
+        assert_eq!(out, vec![Complex::ZERO, Complex::ZERO, Complex::from_re(2.0)]);
+    }
+
+    #[test]
+    fn sum_entries_is_lambda_shape() {
+        let t = Truncation::new(1);
+        let h = Htm::from_fn(t, 1.0, |_, _| Complex::from_re(0.5));
+        assert!(h.sum_entries().approx_eq(Complex::from_re(4.5), 1e-14));
+    }
+
+    #[test]
+    fn closed_loop_of_scalar_case() {
+        // K=0 reduces to a scalar: G/(1+G).
+        let t = Truncation::new(0);
+        let g = Htm::from_fn(t, 1.0, |_, _| Complex::new(2.0, 1.0));
+        let cl = g.closed_loop().unwrap();
+        let expect = Complex::new(2.0, 1.0) / Complex::new(3.0, 1.0);
+        assert!(cl.band(0, 0).approx_eq(expect, 1e-13));
+    }
+
+    #[test]
+    fn closed_loop_matches_manual_inverse() {
+        let t = Truncation::new(2);
+        let g = Htm::from_fn(t, 1.0, |n, m| {
+            Complex::new(0.1 * (n + m) as f64, 0.05 * (n - m) as f64)
+        });
+        let cl = g.closed_loop().unwrap();
+        // Verify (I+G)·CL == G.
+        let n = t.dim();
+        let i_plus_g = &CMat::identity(n) + g.as_matrix();
+        let back = &i_plus_g * cl.as_matrix();
+        assert!(back.max_diff(g.as_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn closed_loop_singular_detected() {
+        // G = −I makes I+G singular.
+        let t = Truncation::new(1);
+        let g = Htm::identity(t, 1.0).scale(-Complex::ONE);
+        assert!(g.closed_loop().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation mismatch")]
+    fn incompatible_truncations_rejected() {
+        let a = Htm::identity(Truncation::new(1), 1.0);
+        let b = Htm::identity(Truncation::new(2), 1.0);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency mismatch")]
+    fn incompatible_omega_rejected() {
+        let a = Htm::identity(Truncation::new(1), 1.0);
+        let b = Htm::identity(Truncation::new(1), 2.0);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn from_harmonic_tfs_matches_eq5() {
+        use htmpll_lti::Tf;
+        // H₀ = 1/(s+1), H_{±1} = constants: check placement and shift.
+        let h0 = Tf::from_coeffs(vec![1.0], vec![1.0, 1.0]).unwrap();
+        let hp = Tf::constant(0.5);
+        let hm = Tf::constant(0.25);
+        let t = Truncation::new(2);
+        let w0 = 3.0;
+        let s = Complex::new(0.1, 0.4);
+        let htm = Htm::from_harmonic_tfs(t, w0, s, &[hm.clone(), h0.clone(), hp.clone()]);
+        for n in t.harmonics() {
+            for m in t.harmonics() {
+                let expect = match n - m {
+                    0 => h0.eval(s + Complex::from_im(m as f64 * w0)),
+                    1 => Complex::from_re(0.5),
+                    -1 => Complex::from_re(0.25),
+                    _ => Complex::ZERO,
+                };
+                assert!(
+                    (htm.band(n, m) - expect).abs() < 1e-14,
+                    "({n},{m}): {} vs {expect}",
+                    htm.band(n, m)
+                );
+            }
+        }
+        // An LTI system through this path equals the LtiHtm block.
+        use crate::blocks::{HtmBlock, LtiHtm};
+        let via_tfs = Htm::from_harmonic_tfs(t, w0, s, &[Tf::constant(0.0), h0.clone(), Tf::constant(0.0)]);
+        let via_block = LtiHtm::new(h0, w0).htm(s, t);
+        assert!(via_tfs.as_matrix().max_diff(via_block.as_matrix()) < 1e-14);
+    }
+
+    #[test]
+    fn eigenvalues_of_rank_one_loop_reduce_to_lambda() {
+        // G = u·𝟙ᵀ: one eigenvalue = Σu (the truncated λ), rest zero.
+        let t = Truncation::new(3);
+        let g = Htm::from_fn(t, 1.0, |n, _| Complex::new(0.1 * n as f64 + 0.4, 0.05));
+        let evs = g.eigenvalues().unwrap();
+        let lambda: Complex = t
+            .harmonics()
+            .map(|n| Complex::new(0.1 * n as f64 + 0.4, 0.05))
+            .sum();
+        assert!(
+            evs.iter().any(|e| (*e - lambda).abs() < 1e-10 * (1.0 + lambda.abs())),
+            "λ {lambda} missing from {evs:?}"
+        );
+        let zeros = evs.iter().filter(|e| e.abs() < 1e-10).count();
+        assert_eq!(zeros, t.dim() - 1);
+    }
+
+    #[test]
+    fn display() {
+        let h = Htm::identity(Truncation::new(2), 3.0);
+        let s = format!("{h}");
+        assert!(s.contains("K=2") && s.contains("5×5"), "{s}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Padé approximation of pure time delay.
+//!
+//! Real loops have latency — divider pipelines, PFD logic, charge-pump
+//! switching — that erodes phase margin at exactly the fast-loop
+//! operating points where sampling effects already bite. A pure delay
+//! `e^{−sτ}` is not rational, but its diagonal Padé approximants are,
+//! which keeps the *exact* lattice-sum evaluation of the effective gain
+//! available for delayed loops.
+//!
+//! ```
+//! use htmpll_lti::delay::pade_delay;
+//! use htmpll_num::Complex;
+//!
+//! let d = pade_delay(0.5, 3).unwrap();
+//! let s = Complex::from_im(1.0);
+//! let exact = (-s * 0.5).exp();
+//! assert!((d.eval(s) - exact).abs() < 1e-6);
+//! ```
+
+use crate::tf::{Tf, TfError};
+use htmpll_num::Poly;
+
+/// Maximum supported Padé order (beyond ~8 the coefficients lose
+/// precision in `f64` and the approximation stops improving).
+pub const MAX_PADE_ORDER: usize = 8;
+
+/// The diagonal Padé approximant of order `(n, n)` to the pure delay
+/// `e^{−sτ}`:
+///
+/// ```text
+/// e^{−sτ} ≈ P(−sτ)/P(sτ),   P(x) = Σ_k  (2n−k)!·n! / ((2n)!·k!·(n−k)!) · x^k
+/// ```
+///
+/// The approximant is all-pass (`|H(jω)| = 1` exactly) and matches the
+/// delay's phase to order `ω^{2n+1}` — accurate up to roughly
+/// `ωτ ≲ n`.
+///
+/// `tau = 0` returns the unity transfer function.
+///
+/// # Errors
+///
+/// Rejects negative `tau`, zero order, or order above
+/// [`MAX_PADE_ORDER`].
+pub fn pade_delay(tau: f64, order: usize) -> Result<Tf, TfError> {
+    if !(tau >= 0.0 && tau.is_finite()) {
+        // Reuse the zero-denominator variant for an invalid scalar: the
+        // dedicated message would need a new error variant for one
+        // degenerate input.
+        return Err(TfError::ZeroDenominator);
+    }
+    if order == 0 || order > MAX_PADE_ORDER {
+        return Err(TfError::ZeroDenominator);
+    }
+    if tau == 0.0 {
+        return Ok(Tf::one());
+    }
+    let n = order;
+    // c_k = (2n−k)!·n! / ((2n)!·k!·(n−k)!), computed by the stable
+    // recurrence c_0 = 1, c_{k+1} = c_k·(n−k)/((2n−k)(k+1)).
+    let mut c = vec![0.0f64; n + 1];
+    c[0] = 1.0;
+    for k in 0..n {
+        c[k + 1] = c[k] * (n - k) as f64 / (((2 * n - k) * (k + 1)) as f64);
+    }
+    // P(sτ) ascending in s: coefficient of s^k is c_k·τ^k.
+    let mut den = Vec::with_capacity(n + 1);
+    let mut num = Vec::with_capacity(n + 1);
+    let mut tk = 1.0;
+    for (k, &ck) in c.iter().enumerate() {
+        den.push(ck * tk);
+        num.push(if k % 2 == 0 { ck * tk } else { -ck * tk });
+        tk *= tau;
+    }
+    Tf::new(Poly::new(num), Poly::new(den))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htmpll_num::Complex;
+
+    #[test]
+    fn first_order_form() {
+        // (1, 1) Padé: (1 − sτ/2)/(1 + sτ/2).
+        let d = pade_delay(2.0, 1).unwrap();
+        assert_eq!(d.num().coeffs(), &[1.0, -1.0]);
+        assert_eq!(d.den().coeffs(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn all_pass_magnitude() {
+        let d = pade_delay(0.7, 4).unwrap();
+        for w in [0.1, 1.0, 5.0, 50.0] {
+            assert!((d.eval_jw(w).abs() - 1.0).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn phase_matches_exact_delay_in_band() {
+        let tau = 0.4;
+        for order in [2usize, 4, 6] {
+            let d = pade_delay(tau, order).unwrap();
+            // Accurate while ωτ ≲ order.
+            let w_max = 0.8 * order as f64 / tau;
+            for k in 1..10 {
+                let w = w_max * k as f64 / 10.0;
+                let approx = d.eval_jw(w);
+                let exact = Complex::cis(-w * tau);
+                assert!(
+                    (approx - exact).abs() < 0.05,
+                    "order {order}, w {w}: {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_is_better() {
+        let tau = 1.0;
+        let w = 3.0;
+        let exact = Complex::cis(-w * tau);
+        let e2 = (pade_delay(tau, 2).unwrap().eval_jw(w) - exact).abs();
+        let e5 = (pade_delay(tau, 5).unwrap().eval_jw(w) - exact).abs();
+        assert!(e5 < 0.1 * e2, "e2={e2}, e5={e5}");
+    }
+
+    #[test]
+    fn poles_are_stable() {
+        // Padé delay approximants are Hurwitz.
+        let d = pade_delay(1.3, 6).unwrap();
+        for p in d.poles().unwrap() {
+            assert!(p.re < 0.0, "unstable pole {p}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_is_unity() {
+        let d = pade_delay(0.0, 3).unwrap();
+        assert!((d.eval_jw(7.0) - Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(pade_delay(-1.0, 2).is_err());
+        assert!(pade_delay(1.0, 0).is_err());
+        assert!(pade_delay(1.0, MAX_PADE_ORDER + 1).is_err());
+        assert!(pade_delay(f64::NAN, 2).is_err());
+    }
+}

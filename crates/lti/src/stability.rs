@@ -1,0 +1,234 @@
+//! Routh–Hurwitz stability analysis of continuous-time polynomials.
+//!
+//! Classical LTI loop design checks the closed-loop denominator with the
+//! Routh array. The HTM analysis later *contrasts* this verdict with the
+//! time-varying one — a loop can be Routh-stable in its LTI approximation
+//! yet have a collapsing effective phase margin.
+//!
+//! ```
+//! use htmpll_lti::stability::{is_hurwitz, routh};
+//! use htmpll_num::Poly;
+//!
+//! // s² + s + 1 is Hurwitz.
+//! assert!(is_hurwitz(&Poly::new(vec![1.0, 1.0, 1.0])));
+//! // s² − s + 1 has two RHP roots.
+//! assert_eq!(routh(&Poly::new(vec![1.0, -1.0, 1.0])).unwrap().rhp_roots, 2);
+//! ```
+
+use htmpll_num::Poly;
+use std::fmt;
+
+/// Error returned by the Routh analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouthError {
+    /// The zero polynomial has no stability verdict.
+    ZeroPolynomial,
+}
+
+impl fmt::Display for RouthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouthError::ZeroPolynomial => write!(f, "zero polynomial has no stability verdict"),
+        }
+    }
+}
+
+impl std::error::Error for RouthError {}
+
+/// Outcome of a Routh–Hurwitz analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouthResult {
+    /// Number of right-half-plane roots indicated by first-column sign
+    /// changes.
+    pub rhp_roots: usize,
+    /// True when the array was degenerate (zero pivot or zero row),
+    /// indicating imaginary-axis roots or symmetric root sets; the loop
+    /// is at best *marginally* stable.
+    pub marginal: bool,
+}
+
+impl RouthResult {
+    /// True when no RHP roots exist and the array was not degenerate.
+    pub fn is_stable(&self) -> bool {
+        self.rhp_roots == 0 && !self.marginal
+    }
+}
+
+/// Runs the Routh–Hurwitz test on `p` (ascending coefficients).
+///
+/// Degenerate rows are handled with the standard ε-substitution (zero
+/// pivot) and auxiliary-polynomial derivative (all-zero row); either case
+/// sets `marginal = true`.
+///
+/// # Errors
+///
+/// Returns [`RouthError::ZeroPolynomial`] for the zero polynomial.
+pub fn routh(p: &Poly) -> Result<RouthResult, RouthError> {
+    if p.is_zero() {
+        return Err(RouthError::ZeroPolynomial);
+    }
+    let n = p.degree();
+    if n == 0 {
+        return Ok(RouthResult {
+            rhp_roots: 0,
+            marginal: false,
+        });
+    }
+    // Rows are indexed by descending power; row 0 holds a_n, a_{n−2}, …
+    let width = n / 2 + 1;
+    let mut rows = vec![vec![0.0f64; width]; n + 1];
+    for k in 0..=n {
+        let c = p.coeff(n - k);
+        rows[k % 2][k / 2] = c;
+    }
+    // Normalize overall sign so a positive leading coefficient is the
+    // reference (Routh counts sign *changes*, so a global flip is
+    // irrelevant, but keeping it positive simplifies the epsilon logic).
+    let scale = p.leading().abs().max(f64::MIN_POSITIVE);
+    let eps = 1e-9 * scale;
+    let mut marginal = false;
+
+    for i in 2..=n {
+        // Zero-row check: the previous row may be all zeros (even/odd
+        // symmetric factor). Replace with the derivative of the auxiliary
+        // polynomial built from the row above it.
+        if rows[i - 1].iter().all(|&v| v == 0.0) {
+            marginal = true;
+            let top_power = n as isize - (i as isize - 2);
+            for (j, v) in rows[i - 2].clone().iter().enumerate() {
+                let pw = top_power - 2 * j as isize;
+                rows[i - 1][j] = v * pw.max(0) as f64;
+            }
+        }
+        let mut pivot = rows[i - 1][0];
+        if pivot == 0.0 {
+            marginal = true;
+            pivot = eps;
+        }
+        for j in 0..width - 1 {
+            let a = rows[i - 2][0];
+            let b = rows[i - 2][j + 1];
+            let c = rows[i - 1][j + 1];
+            rows[i][j] = (pivot * b - a * c) / pivot;
+        }
+    }
+
+    // Count sign changes in the first column (ignoring exact zeros,
+    // which were already flagged as marginal).
+    let mut changes = 0usize;
+    let mut prev: Option<f64> = None;
+    for row in rows.iter().take(n + 1) {
+        let v = row[0];
+        if v == 0.0 {
+            marginal = true;
+            continue;
+        }
+        if let Some(p) = prev {
+            if p.signum() != v.signum() {
+                changes += 1;
+            }
+        }
+        prev = Some(v);
+    }
+    Ok(RouthResult {
+        rhp_roots: changes,
+        marginal,
+    })
+}
+
+/// True when every root of `p` lies strictly in the left half plane.
+pub fn is_hurwitz(p: &Poly) -> bool {
+    routh(p).map(|r| r.is_stable()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_second_order() {
+        assert!(is_hurwitz(&Poly::new(vec![1.0, 1.0]))); // s+1
+        assert!(!is_hurwitz(&Poly::new(vec![-1.0, 1.0]))); // s−1
+        assert!(is_hurwitz(&Poly::new(vec![2.0, 3.0, 1.0]))); // (s+1)(s+2)
+        assert!(!is_hurwitz(&Poly::new(vec![-2.0, 1.0, 1.0]))); // (s+2)(s−1)
+    }
+
+    #[test]
+    fn counts_rhp_roots() {
+        // (s−1)(s−2)(s+3) = s³ −7s + 6: two RHP roots.
+        let p = Poly::from_real_roots(&[1.0, 2.0, -3.0]);
+        let r = routh(&p).unwrap();
+        assert_eq!(r.rhp_roots, 2);
+        assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn complex_rhp_pair() {
+        // s² − s + 1: roots (1 ± j√3)/2, both RHP.
+        let r = routh(&Poly::new(vec![1.0, -1.0, 1.0])).unwrap();
+        assert_eq!(r.rhp_roots, 2);
+    }
+
+    #[test]
+    fn marginal_imaginary_axis_pair() {
+        // (s² + 1)(s + 1) = s³ + s² + s + 1: jω-axis pair ⇒ marginal,
+        // zero RHP roots.
+        let p = &Poly::new(vec![1.0, 0.0, 1.0]) * &Poly::new(vec![1.0, 1.0]);
+        let r = routh(&p).unwrap();
+        assert!(r.marginal);
+        assert_eq!(r.rhp_roots, 0);
+        assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn fifth_order_textbook_case() {
+        // s⁵ + 2s⁴ + 2s³ + 4s² + 11s + 10 — classic ε-case with 2 RHP
+        // roots (Ogata).
+        let p = Poly::new(vec![10.0, 11.0, 4.0, 2.0, 2.0, 1.0]);
+        let r = routh(&p).unwrap();
+        assert_eq!(r.rhp_roots, 2, "{r:?}");
+    }
+
+    #[test]
+    fn negative_leading_coefficient() {
+        // −(s+1)(s+2): stable roots, flipped sign — still stable.
+        let p = Poly::from_real_roots(&[-1.0, -2.0]).scale(-1.0);
+        let r = routh(&p).unwrap();
+        assert_eq!(r.rhp_roots, 0);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let r = routh(&Poly::constant(3.0)).unwrap();
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn zero_rejected() {
+        assert_eq!(routh(&Poly::zero()).unwrap_err(), RouthError::ZeroPolynomial);
+        assert!(!is_hurwitz(&Poly::zero()));
+    }
+
+    #[test]
+    fn agrees_with_root_finder_on_random_cubics() {
+        // Cross-validate against the Aberth root finder.
+        use htmpll_num::roots::find_roots;
+        let cases = [
+            vec![1.0, 2.0, 3.0, 1.0],
+            vec![5.0, -1.0, 2.0, 1.0],
+            vec![-1.0, 4.0, -2.0, 1.0],
+            vec![0.5, 0.5, 4.0, 1.0],
+        ];
+        for c in cases {
+            let p = Poly::new(c.clone());
+            let rhp_true = find_roots(&p)
+                .unwrap()
+                .iter()
+                .filter(|z| z.re > 1e-9)
+                .count();
+            let r = routh(&p).unwrap();
+            assert_eq!(r.rhp_roots, rhp_true, "coeffs {c:?}");
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Complex eigenvalues via Hessenberg reduction and shifted QR.
+//!
+//! The rank-one structure of the sampling PFD lets the PLL closed loop
+//! collapse to a scalar, but the HTM formalism itself covers arbitrary
+//! LPTV interconnections. Their stability runs through the generalized
+//! (MIMO) Nyquist criterion on the **eigenvalue loci** of the open-loop
+//! HTM — which needs a dense complex eigensolver. This module provides
+//! one: Householder reduction to upper Hessenberg form, then the
+//! single-shift QR iteration with Wilkinson shifts and deflation.
+//!
+//! ```
+//! use htmpll_num::{eig::eigenvalues, CMat, Complex};
+//!
+//! let a = CMat::from_diag(&[Complex::new(1.0, 2.0), Complex::from_re(-3.0)]);
+//! let mut ev = eigenvalues(&a).unwrap();
+//! ev.sort_by(|x, y| x.re.partial_cmp(&y.re).unwrap());
+//! assert!((ev[0] - Complex::from_re(-3.0)).abs() < 1e-12);
+//! assert!((ev[1] - Complex::new(1.0, 2.0)).abs() < 1e-12);
+//! ```
+
+use crate::complex::Complex;
+use crate::mat::CMat;
+use std::fmt;
+
+/// Error returned by the eigensolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EigError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// QR iteration failed to deflate within the iteration budget.
+    NoConvergence,
+}
+
+impl fmt::Display for EigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigError::NotSquare => write!(f, "eigenvalues require a square matrix"),
+            EigError::NoConvergence => write!(f, "QR iteration failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
+
+/// Reduces a square matrix to upper Hessenberg form by Householder
+/// similarity transforms (same eigenvalues, zero below the first
+/// subdiagonal).
+///
+/// # Panics
+///
+/// Panics when the input is not square.
+pub fn hessenberg(a: &CMat) -> CMat {
+    assert!(a.is_square(), "hessenberg requires a square matrix");
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector eliminating column k below row k+1.
+        let mut norm = 0.0f64;
+        for i in (k + 1)..n {
+            norm += h[(i, k)].norm_sqr();
+        }
+        let norm = norm.sqrt();
+        if norm <= f64::EPSILON * h.norm_max() {
+            continue;
+        }
+        let x0 = h[(k + 1, k)];
+        // alpha = -e^{i·arg(x0)}·norm keeps v well conditioned.
+        let phase = if x0 == Complex::ZERO {
+            Complex::ONE
+        } else {
+            x0 / x0.abs()
+        };
+        let alpha = -phase.scale(norm);
+        let mut v = vec![Complex::ZERO; n];
+        v[k + 1] = x0 - alpha;
+        for i in (k + 2)..n {
+            v[i] = h[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm2 <= 0.0 {
+            continue;
+        }
+        // H ← (I − 2vv*/v*v)·H·(I − 2vv*/v*v)
+        // Left multiply: H -= (2/v*v)·v·(v*·H)
+        let mut w = vec![Complex::ZERO; n];
+        for j in 0..n {
+            let mut acc = Complex::ZERO;
+            for i in (k + 1)..n {
+                acc += v[i].conj() * h[(i, j)];
+            }
+            w[j] = acc.scale(2.0 / vnorm2);
+        }
+        for i in (k + 1)..n {
+            for j in 0..n {
+                let delta = v[i] * w[j];
+                h[(i, j)] -= delta;
+            }
+        }
+        // Right multiply: H -= (2/v*v)·(H·v)·v*
+        let mut u = vec![Complex::ZERO; n];
+        for (i, ui) in u.iter_mut().enumerate() {
+            let mut acc = Complex::ZERO;
+            for j in (k + 1)..n {
+                acc += h[(i, j)] * v[j];
+            }
+            *ui = acc.scale(2.0 / vnorm2);
+        }
+        for i in 0..n {
+            for j in (k + 1)..n {
+                let delta = u[i] * v[j].conj();
+                h[(i, j)] -= delta;
+            }
+        }
+        // Clean the column explicitly.
+        h[(k + 1, k)] = alpha;
+        for i in (k + 2)..n {
+            h[(i, k)] = Complex::ZERO;
+        }
+    }
+    h
+}
+
+/// Computes all eigenvalues of a square complex matrix.
+///
+/// # Errors
+///
+/// [`EigError::NotSquare`] for rectangular inputs;
+/// [`EigError::NoConvergence`] if the QR iteration stalls (does not
+/// occur for the well-scaled matrices HTM analysis produces).
+pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex>, EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![a[(0, 0)]]);
+    }
+    let mut h = hessenberg(a);
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n; // active block is rows/cols [lo, hi)
+    let scale = h.norm_max().max(f64::MIN_POSITIVE);
+    let tol = f64::EPSILON * scale;
+    let mut budget = 60 * n;
+
+    while hi > 0 {
+        // Deflate converged subdiagonals.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let sub = h[(lo, lo - 1)].abs();
+            if sub <= tol + f64::EPSILON * (h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs()) {
+                h[(lo, lo - 1)] = Complex::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+        if lo == hi - 1 {
+            // 1×1 block converged.
+            eigs.push(h[(hi - 1, hi - 1)]);
+            hi -= 1;
+            continue;
+        }
+        if budget == 0 {
+            return Err(EigError::NoConvergence);
+        }
+        budget -= 1;
+
+        // Wilkinson shift from the trailing 2×2 of the active block.
+        let m = hi - 1;
+        let a11 = h[(m - 1, m - 1)];
+        let a12 = h[(m - 1, m)];
+        let a21 = h[(m, m - 1)];
+        let a22 = h[(m, m)];
+        let tr = a11 + a22;
+        let det = a11 * a22 - a12 * a21;
+        let disc = (tr.sqr() - det.scale(4.0)).sqrt();
+        let r1 = (tr + disc).scale(0.5);
+        let r2 = (tr - disc).scale(0.5);
+        let shift = if (r1 - a22).abs() < (r2 - a22).abs() {
+            r1
+        } else {
+            r2
+        };
+
+        // One explicit QR step on the active block via Givens rotations:
+        // H − σI = QR, then H ← RQ + σI.
+        for i in lo..hi {
+            h[(i, i)] -= shift;
+        }
+        // Forward pass: annihilate subdiagonals, remembering rotations.
+        let mut rot = Vec::with_capacity(hi - lo - 1);
+        for i in lo..hi - 1 {
+            let (c, s, r) = givens(h[(i, i)], h[(i + 1, i)]);
+            rot.push((c, s));
+            h[(i, i)] = r;
+            h[(i + 1, i)] = Complex::ZERO;
+            for j in (i + 1)..hi {
+                let x = h[(i, j)];
+                let y = h[(i + 1, j)];
+                h[(i, j)] = x.scale(c) + s.conj() * y;
+                h[(i + 1, j)] = y.scale(c) - s * x;
+            }
+        }
+        // Backward pass: H ← R·Qᴴ... (apply rotations on the right).
+        for (idx, &(c, s)) in rot.iter().enumerate() {
+            let i = lo + idx;
+            for r_i in lo..=(i + 1).min(hi - 1) {
+                let x = h[(r_i, i)];
+                let y = h[(r_i, i + 1)];
+                h[(r_i, i)] = x.scale(c) + s * y;
+                h[(r_i, i + 1)] = y.scale(c) - s.conj() * x;
+            }
+        }
+        for i in lo..hi {
+            h[(i, i)] += shift;
+        }
+    }
+    Ok(eigs)
+}
+
+/// Complex Givens rotation zeroing `b`: returns `(c, s, r)` with
+/// `c` real, `c² + |s|² = 1` and
+/// `[c  s̄; −s  c]·[a; b] = [r; 0]`.
+fn givens(a: Complex, b: Complex) -> (f64, Complex, Complex) {
+    if b == Complex::ZERO {
+        return (1.0, Complex::ZERO, a);
+    }
+    let norm = (a.norm_sqr() + b.norm_sqr()).sqrt();
+    if a == Complex::ZERO {
+        // Rotate b straight into r: need s̄·b real ⇒ s = b/|b|.
+        return (0.0, b.scale(1.0 / b.abs()), Complex::from_re(b.abs()));
+    }
+    let c = a.abs() / norm;
+    let phase = a / a.abs();
+    // −s·a + c·b = 0 ⇒ s = c·b/a = conj(phase)·b/norm.
+    let s = phase.conj() * b.scale(1.0 / norm);
+    let r = phase.scale(norm);
+    (c, s, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Poly;
+    use crate::roots::find_roots;
+
+    fn contains(evs: &[Complex], target: Complex, tol: f64) -> bool {
+        evs.iter().any(|e| (*e - target).abs() < tol)
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let d = [
+            Complex::new(1.0, -1.0),
+            Complex::from_re(4.0),
+            Complex::new(-2.0, 0.5),
+        ];
+        let evs = eigenvalues(&CMat::from_diag(&d)).unwrap();
+        for t in d {
+            assert!(contains(&evs, t, 1e-12), "{t} missing from {evs:?}");
+        }
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[0, 1], [-1, 0]]: eigenvalues ±j.
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[
+                Complex::ZERO,
+                Complex::ONE,
+                -Complex::ONE,
+                Complex::ZERO,
+            ],
+        );
+        let evs = eigenvalues(&a).unwrap();
+        assert!(contains(&evs, Complex::I, 1e-12));
+        assert!(contains(&evs, -Complex::I, 1e-12));
+    }
+
+    #[test]
+    fn companion_matrix_matches_roots() {
+        // Companion of p(x) = x⁴ + 2x³ − x + 3: eigenvalues = roots.
+        let p = Poly::new(vec![3.0, -1.0, 0.0, 2.0, 1.0]);
+        let n = p.degree();
+        let comp = CMat::from_fn(n, n, |i, j| {
+            if j == n - 1 {
+                Complex::from_re(-p.coeff(i))
+            } else if i == j + 1 {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            }
+        });
+        let evs = eigenvalues(&comp).unwrap();
+        let roots = find_roots(&p).unwrap();
+        for r in roots {
+            assert!(contains(&evs, r, 1e-7), "root {r} missing from {evs:?}");
+        }
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = CMat::from_fn(6, 6, |i, j| {
+            Complex::new(
+                ((i * 7 + j * 3) % 5) as f64 - 2.0,
+                ((i + 2 * j) % 3) as f64 - 1.0,
+            )
+        });
+        let evs = eigenvalues(&a).unwrap();
+        let tr: Complex = (0..6).map(|i| a[(i, i)]).sum();
+        let ev_sum: Complex = evs.iter().copied().sum();
+        assert!((tr - ev_sum).abs() < 1e-9 * (1.0 + tr.abs()), "{tr} vs {ev_sum}");
+        let det = crate::lu::Lu::factor(&a).unwrap().det();
+        let ev_prod: Complex = evs.iter().copied().product();
+        assert!(
+            (det - ev_prod).abs() < 1e-8 * (1.0 + det.abs()),
+            "{det} vs {ev_prod}"
+        );
+    }
+
+    #[test]
+    fn rank_one_matrix_has_trace_eigenvalue() {
+        // u·vᵀ: one eigenvalue vᵀu, rest zero — the algebraic fact behind
+        // the paper's Sherman–Morrison reduction.
+        let u: Vec<Complex> = (0..5).map(|i| Complex::new(1.0 + i as f64, 0.3)).collect();
+        let v: Vec<Complex> = (0..5).map(|i| Complex::new(0.2, 0.1 * i as f64)).collect();
+        let g = CMat::outer(&u, &v);
+        let evs = eigenvalues(&g).unwrap();
+        let lambda: Complex = u.iter().zip(&v).map(|(a, b)| *a * *b).sum();
+        assert!(contains(&evs, lambda, 1e-9 * (1.0 + lambda.abs())));
+        let zeros = evs
+            .iter()
+            .filter(|e| e.abs() < 1e-9 * (1.0 + lambda.abs()))
+            .count();
+        assert_eq!(zeros, 4, "{evs:?}");
+    }
+
+    #[test]
+    fn hessenberg_preserves_eigenvalues_structure() {
+        let a = CMat::from_fn(5, 5, |i, j| {
+            Complex::new((i as f64 - j as f64) * 0.3, (i * j) as f64 * 0.1)
+        });
+        let h = hessenberg(&a);
+        // Zero below the first subdiagonal.
+        for i in 2..5 {
+            for j in 0..i - 1 {
+                assert!(h[(i, j)].abs() < 1e-12, "({i},{j}) = {}", h[(i, j)]);
+            }
+        }
+        // Same trace (similarity).
+        let tr_a: Complex = (0..5).map(|i| a[(i, i)]).sum();
+        let tr_h: Complex = (0..5).map(|i| h[(i, i)]).sum();
+        assert!((tr_a - tr_h).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(eigenvalues(&CMat::zeros(0, 0)).unwrap().is_empty());
+        let one = CMat::from_diag(&[Complex::new(2.0, -1.0)]);
+        assert_eq!(eigenvalues(&one).unwrap(), vec![Complex::new(2.0, -1.0)]);
+    }
+
+    #[test]
+    fn defective_jordan_block() {
+        // [[1,1],[0,1]] is defective (one eigenvector); QR still returns
+        // the double eigenvalue, with the usual √ε accuracy loss.
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[Complex::ONE, Complex::ONE, Complex::ZERO, Complex::ONE],
+        );
+        let evs = eigenvalues(&a).unwrap();
+        assert_eq!(evs.len(), 2);
+        for e in evs {
+            assert!((e - Complex::ONE).abs() < 1e-7, "{e}");
+        }
+    }
+
+    #[test]
+    fn nilpotent_matrix() {
+        // Strictly upper triangular: all eigenvalues zero.
+        let a = CMat::from_fn(4, 4, |i, j| {
+            if j > i {
+                Complex::new(1.0 + (i + j) as f64, 0.5)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let evs = eigenvalues(&a).unwrap();
+        for e in evs {
+            assert!(e.abs() < 1e-7, "{e}");
+        }
+    }
+
+    #[test]
+    fn large_matrix_converges() {
+        // 40×40 with clustered structure: convergence within budget.
+        let n = 40;
+        let a = CMat::from_fn(n, n, |i, j| {
+            let base = if i == j {
+                Complex::new((i % 5) as f64, 0.2 * (i % 3) as f64)
+            } else {
+                Complex::ZERO
+            };
+            base + Complex::new(
+                0.01 * (((i * 13 + j * 7) % 11) as f64 - 5.0),
+                0.01 * (((i * 5 + j * 3) % 7) as f64 - 3.0),
+            )
+        });
+        let evs = eigenvalues(&a).unwrap();
+        assert_eq!(evs.len(), n);
+        let tr: Complex = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: Complex = evs.iter().copied().sum();
+        assert!((tr - sum).abs() < 1e-7 * (1.0 + tr.abs()));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert_eq!(
+            eigenvalues(&CMat::zeros(2, 3)).unwrap_err(),
+            EigError::NotSquare
+        );
+    }
+
+    #[test]
+    fn upper_triangular_reads_diagonal() {
+        let a = CMat::from_rows(
+            3,
+            3,
+            &[
+                Complex::from_re(1.0),
+                Complex::from_re(5.0),
+                Complex::from_re(-2.0),
+                Complex::ZERO,
+                Complex::new(0.0, 2.0),
+                Complex::from_re(7.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_re(-4.0),
+            ],
+        );
+        let evs = eigenvalues(&a).unwrap();
+        for t in [
+            Complex::from_re(1.0),
+            Complex::new(0.0, 2.0),
+            Complex::from_re(-4.0),
+        ] {
+            assert!(contains(&evs, t, 1e-10));
+        }
+    }
+}

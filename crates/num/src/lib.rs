@@ -1,0 +1,52 @@
+//! # htmpll-num — numerical substrate for the `htmpll` workspace
+//!
+//! Self-contained numerics used by every other crate in the workspace:
+//!
+//! * [`Complex`] — `f64` complex arithmetic with the elementary
+//!   transcendental functions (including an overflow-safe `coth`).
+//! * [`CMat`] — dense row-major complex matrices; the carrier for
+//!   truncated harmonic transfer matrices.
+//! * [`Lu`] — LU factorization with partial pivoting: solve / inverse /
+//!   determinant for the dense closed-loop HTM path.
+//! * [`eig`] — complex eigenvalues (Hessenberg + shifted QR) for the
+//!   generalized-Nyquist analysis of non-rank-one LPTV loops.
+//! * [`Poly`] — real-coefficient polynomials (transfer-function
+//!   numerators/denominators) with complex Horner evaluation.
+//! * [`roots`] — Aberth–Ehrlich simultaneous root finding plus root
+//!   clustering for repeated-pole detection.
+//! * [`special`] — exact harmonic lattice sums
+//!   `Σ_m (z + jmω₀)^{−r}` via `coth` closed forms; the engine behind
+//!   the exact effective open-loop gain `λ(s)` of a sampled PLL.
+//! * [`optim`] — scalar bracketing / bisection / Brent refinement for
+//!   margin and bandwidth extraction.
+//! * [`quad`] — adaptive Simpson quadrature (linear and log-domain) for
+//!   noise integrals.
+//!
+//! Everything is implemented on `std` alone; no external numerics crates.
+//!
+//! ```
+//! use htmpll_num::{Complex, Poly};
+//!
+//! // Evaluate H(s) = 1/(s² + s + 1) at s = jω.
+//! let den = Poly::new(vec![1.0, 1.0, 1.0]);
+//! let h = Complex::ONE / den.eval_complex(Complex::from_im(1.0));
+//! assert!((h.abs() - 1.0).abs() < 1e-12); // |H(j·1)| = 1 at the resonance
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod eig;
+pub mod lu;
+pub mod mat;
+pub mod optim;
+pub mod poly;
+pub mod quad;
+pub mod roots;
+pub mod special;
+
+pub use complex::Complex;
+pub use eig::{eigenvalues, EigError};
+pub use lu::{Lu, LuError};
+pub use mat::{expm, CMat};
+pub use poly::Poly;

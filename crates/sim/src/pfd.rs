@@ -1,0 +1,173 @@
+//! Tri-state phase-frequency detector with charge pump.
+//!
+//! The behavioral model of Fig. 3: two edge-triggered flip-flops (UP set
+//! by reference edges, DOWN set by divided-VCO edges) with an AND-reset.
+//! The phase error is encoded as the **width** of the UP/DOWN pulses —
+//! exactly the circuit-level behavior the paper's Matlab/Simulink
+//! verification model implements, and the behavior the impulse-train HTM
+//! model (Fig. 4) approximates.
+//!
+//! ```
+//! use htmpll_sim::pfd::TriStatePfd;
+//!
+//! let mut pfd = TriStatePfd::new(1.0e-3);
+//! assert_eq!(pfd.current(), 0.0);
+//! pfd.ref_edge();                 // reference leads...
+//! assert_eq!(pfd.current(), 1.0e-3); // ...pump up
+//! pfd.vco_edge();                 // VCO edge arrives: reset
+//! assert_eq!(pfd.current(), 0.0);
+//! ```
+
+/// Tri-state PFD driving a charge pump of `±i_cp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriStatePfd {
+    i_cp: f64,
+    up: bool,
+    down: bool,
+}
+
+impl TriStatePfd {
+    /// Creates a PFD with charge-pump current `i_cp` (A).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i_cp <= 0`.
+    pub fn new(i_cp: f64) -> Self {
+        assert!(i_cp > 0.0 && i_cp.is_finite(), "charge-pump current must be positive");
+        TriStatePfd {
+            i_cp,
+            up: false,
+            down: false,
+        }
+    }
+
+    /// Charge-pump current magnitude.
+    pub fn i_cp(&self) -> f64 {
+        self.i_cp
+    }
+
+    /// UP flip-flop state.
+    pub fn up(&self) -> bool {
+        self.up
+    }
+
+    /// DOWN flip-flop state.
+    pub fn down(&self) -> bool {
+        self.down
+    }
+
+    /// Instantaneous charge-pump output current.
+    pub fn current(&self) -> f64 {
+        match (self.up, self.down) {
+            (true, false) => self.i_cp,
+            (false, true) => -self.i_cp,
+            _ => 0.0,
+        }
+    }
+
+    /// Registers a reference edge: sets UP, or resets both when DOWN was
+    /// already high (zero reset delay).
+    pub fn ref_edge(&mut self) {
+        if self.down {
+            self.up = false;
+            self.down = false;
+        } else {
+            self.up = true;
+        }
+    }
+
+    /// Registers a divided-VCO edge: sets DOWN, or resets both when UP
+    /// was already high.
+    pub fn vco_edge(&mut self) {
+        if self.up {
+            self.up = false;
+            self.down = false;
+        } else {
+            self.down = true;
+        }
+    }
+
+    /// Forces both flip-flops low (power-on reset, or the delayed AND
+    /// reset when the engine models a nonzero reset delay).
+    pub fn reset(&mut self) {
+        self.up = false;
+        self.down = false;
+    }
+
+    /// Sets the UP flip-flop without the immediate AND-reset — used by
+    /// engines that model a finite reset delay (both outputs stay high
+    /// until the delayed reset fires).
+    pub fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Sets the DOWN flip-flop without the immediate AND-reset.
+    pub fn set_down(&mut self) {
+        self.down = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pumps_up_when_reference_leads() {
+        let mut p = TriStatePfd::new(2.0);
+        p.ref_edge();
+        assert!(p.up() && !p.down());
+        assert_eq!(p.current(), 2.0);
+        p.vco_edge(); // reset
+        assert!(!p.up() && !p.down());
+        assert_eq!(p.current(), 0.0);
+    }
+
+    #[test]
+    fn pumps_down_when_vco_leads() {
+        let mut p = TriStatePfd::new(2.0);
+        p.vco_edge();
+        assert_eq!(p.current(), -2.0);
+        p.ref_edge();
+        assert_eq!(p.current(), 0.0);
+    }
+
+    #[test]
+    fn frequency_detection_behavior() {
+        // Two reference edges in a row (reference faster): UP stays high
+        // through the second edge — net positive drive, the
+        // frequency-acquisition property of the tri-state PFD.
+        let mut p = TriStatePfd::new(1.0);
+        p.ref_edge();
+        p.ref_edge();
+        assert_eq!(p.current(), 1.0);
+        // One VCO edge only resets; current returns to zero, not −Icp.
+        p.vco_edge();
+        assert_eq!(p.current(), 0.0);
+    }
+
+    #[test]
+    fn alternating_edges_in_lock() {
+        let mut p = TriStatePfd::new(1.0);
+        for _ in 0..10 {
+            p.ref_edge();
+            assert_eq!(p.current(), 1.0);
+            p.vco_edge();
+            assert_eq!(p.current(), 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = TriStatePfd::new(1.0);
+        p.ref_edge();
+        p.reset();
+        assert_eq!(p.current(), 0.0);
+        assert!(!p.up() && !p.down());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_current_rejected() {
+        let _ = TriStatePfd::new(0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Arbitrary-length FFT via Bluestein's chirp-z algorithm.
+//!
+//! Simulator records rarely have power-of-two lengths (they are cut at
+//! reference-period boundaries), so [`fft_any`] re-expresses an N-point
+//! DFT as a circular convolution of chirped sequences, evaluated with the
+//! radix-2 kernel at a padded power-of-two length `≥ 2N − 1`.
+//!
+//! ```
+//! use htmpll_spectral::bluestein::fft_any;
+//! use htmpll_spectral::fft::dft_naive;
+//! use htmpll_num::Complex;
+//!
+//! let x: Vec<Complex> = (0..12).map(|i| Complex::from_re(i as f64)).collect();
+//! let fast = fft_any(&x);
+//! let slow = dft_naive(&x);
+//! for (a, b) in fast.iter().zip(&slow) {
+//!     assert!((*a - *b).abs() < 1e-9);
+//! }
+//! ```
+
+use crate::fft::{fft, ifft, is_power_of_two};
+use htmpll_num::Complex;
+
+/// Forward DFT of arbitrary length (dispatches to radix-2 when the
+/// length is a power of two; Bluestein otherwise). Empty input returns
+/// an empty spectrum.
+pub fn fft_any(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut buf = x.to_vec();
+        fft(&mut buf).expect("power-of-two checked");
+        return buf;
+    }
+    bluestein(x)
+}
+
+/// Inverse DFT of arbitrary length (with `1/N` normalization).
+pub fn ifft_any(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // IDFT via conjugation: idft(x) = conj(dft(conj(x)))/N.
+    let conj: Vec<Complex> = x.iter().map(|v| v.conj()).collect();
+    let y = fft_any(&conj);
+    y.into_iter().map(|v| v.conj().scale(1.0 / n as f64)).collect()
+}
+
+fn bluestein(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    // Chirp w[k] = e^{−jπk²/N}. Reduce k² mod 2N before the trig call so
+    // large k does not lose precision.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(-std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft(&mut a).expect("padded power of two");
+    fft(&mut b).expect("padded power of two");
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av *= *bv;
+    }
+    ifft(&mut a).expect("padded power of two");
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_naive;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_for_awkward_lengths() {
+        for n in [3usize, 5, 7, 12, 100, 127, 1000] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let fast = fft_any(&x);
+            let slow = dft_naive(&x);
+            assert!(
+                max_err(&fast, &slow) < 1e-8 * n as f64,
+                "n={n}: err {}",
+                max_err(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn dispatches_radix2() {
+        let x: Vec<Complex> = (0..16).map(|i| Complex::from_re(i as f64)).collect();
+        let fast = fft_any(&x);
+        let slow = dft_naive(&x);
+        assert!(max_err(&fast, &slow) < 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_odd_length() {
+        let x: Vec<Complex> = (0..31)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64 * 2.0).sin()))
+            .collect();
+        let y = ifft_any(&fft_any(&x));
+        assert!(max_err(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(fft_any(&[]).is_empty());
+        assert!(ifft_any(&[]).is_empty());
+        let one = fft_any(&[Complex::new(2.0, 1.0)]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0] - Complex::new(2.0, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tone_in_prime_length() {
+        // A bin-3 tone in a length-13 DFT lands exactly in bin 3.
+        let n = 13;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64))
+            .collect();
+        let y = fft_any(&x);
+        assert!((y[3].abs() - n as f64).abs() < 1e-8);
+        for (k, v) in y.iter().enumerate() {
+            if k != 3 {
+                assert!(v.abs() < 1e-8, "bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn large_index_chirp_precision() {
+        // Large n exercises the k² mod 2n reduction.
+        let n = 4099; // prime
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_re((i % 17) as f64)).collect();
+        let y = fft_any(&x);
+        // Spot-check DC bin against direct sum.
+        let dc: Complex = x.iter().copied().sum();
+        assert!((y[0] - dc).abs() < 1e-6 * dc.abs());
+    }
+}

@@ -1,0 +1,133 @@
+//! Window functions for spectral estimation.
+//!
+//! Periodogram and Welch PSD estimates taper each record with a window to
+//! trade main-lobe width against side-lobe leakage. Gains are exposed so
+//! PSDs can be normalized to physical units.
+//!
+//! ```
+//! use htmpll_spectral::window::Window;
+//!
+//! let w = Window::Hann.samples(8);
+//! assert_eq!(w.len(), 8);
+//! assert!(w[0] < 1e-12); // Hann starts at zero
+//! ```
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No taper (all ones).
+    Rectangular,
+    /// Hann (raised cosine), the default general-purpose window.
+    #[default]
+    Hann,
+    /// Hamming (non-zero endpoints, slightly better first side lobe).
+    Hamming,
+    /// 4-term Blackman–Harris (−92 dB side lobes) for high-dynamic-range
+    /// spur measurements.
+    BlackmanHarris,
+}
+
+impl Window {
+    /// Generates `n` window samples (periodic convention, suited to
+    /// spectral averaging).
+    pub fn samples(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let nn = n as f64;
+        (0..n)
+            .map(|k| {
+                let x = 2.0 * std::f64::consts::PI * k as f64 / nn;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * x.cos(),
+                    Window::BlackmanHarris => {
+                        0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos()
+                            - 0.01168 * (3.0 * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: the mean window value (amplitude correction for
+    /// tone measurements).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.samples(n).iter().sum::<f64>() / n as f64
+    }
+
+    /// Power (noise) gain: the mean squared window value (PSD
+    /// normalization).
+    pub fn power_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.samples(n).iter().map(|w| w * w).sum::<f64>() / n as f64
+    }
+
+    /// Equivalent noise bandwidth in bins: `power_gain / coherent_gain²`.
+    pub fn enbw_bins(self, n: usize) -> f64 {
+        let cg = self.coherent_gain(n);
+        self.power_gain(n) / (cg * cg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_ones() {
+        let w = Window::Rectangular.samples(5);
+        assert!(w.iter().all(|&v| v == 1.0));
+        assert_eq!(Window::Rectangular.coherent_gain(5), 1.0);
+        assert_eq!(Window::Rectangular.power_gain(5), 1.0);
+        assert!((Window::Rectangular.enbw_bins(128) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_properties() {
+        let n = 1024;
+        // Asymptotic gains: CG = 0.5, PG = 0.375, ENBW = 1.5 bins.
+        assert!((Window::Hann.coherent_gain(n) - 0.5).abs() < 1e-3);
+        assert!((Window::Hann.power_gain(n) - 0.375).abs() < 1e-3);
+        assert!((Window::Hann.enbw_bins(n) - 1.5).abs() < 5e-3);
+        // Symmetry of the periodic window: w[k] == w[n−k].
+        let w = Window::Hann.samples(n);
+        for k in 1..n / 2 {
+            assert!((w[k] - w[n - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.samples(64);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        let peak = w.iter().cloned().fold(0.0, f64::max);
+        assert!((peak - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn blackman_harris_dynamic_range() {
+        // Its coherent gain ≈ 0.35875 for large n.
+        assert!((Window::BlackmanHarris.coherent_gain(4096) - 0.35875).abs() < 1e-3);
+        // ENBW ≈ 2.0 bins.
+        assert!((Window::BlackmanHarris.enbw_bins(4096) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_window() {
+        assert!(Window::Hann.samples(0).is_empty());
+        assert_eq!(Window::Hann.coherent_gain(0), 0.0);
+        assert_eq!(Window::Hann.power_gain(0), 0.0);
+    }
+
+    #[test]
+    fn default_is_hann() {
+        assert_eq!(Window::default(), Window::Hann);
+    }
+}

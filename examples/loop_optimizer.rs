@@ -1,0 +1,113 @@
+//! Loop-design optimization and million-period Monte Carlo.
+//!
+//! Part 1 asks the optimizer for the lowest-noise loop under an
+//! *effective*-margin constraint in two noise environments (VCO-limited
+//! and reference-limited), showing the bandwidth trade flip.
+//!
+//! Part 2 takes the winning design and runs a million reference periods
+//! through the fast period-map engine with a dead-zone pulse law and a
+//! jittery reference — the limit-cycle statistics study that would take
+//! hours on an event-driven simulator.
+//!
+//! Run with `cargo run --release --example loop_optimizer`.
+
+use htmpll::core::{optimize_loop, NoiseShape, NoiseSpec, OptimizeSpec};
+use htmpll::sim::{PeriodMap, PulseLaw, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = OptimizeSpec {
+        min_pm_eff_deg: 45.0,
+        ratios: (0.03, 0.25, 12),
+        spreads: vec![3.0, 4.0, 6.0],
+    };
+
+    println!("=== optimizer: lowest integrated noise with PM_eff ≥ 45° ===");
+    for (name, env) in [
+        (
+            "VCO-limited (noisy oscillator, clean reference)",
+            NoiseSpec {
+                reference: NoiseShape::White { level: 1e-13 },
+                vco: NoiseShape::PowerLaw {
+                    level_at_ref: 3e-11,
+                    w_ref: 1.0,
+                    exponent: 2,
+                },
+                band: (1e-3, 0.45),
+            },
+        ),
+        (
+            "reference-limited (noisy reference, quiet VCO)",
+            NoiseSpec {
+                reference: NoiseShape::White { level: 1e-9 },
+                vco: NoiseShape::PowerLaw {
+                    level_at_ref: 1e-15,
+                    w_ref: 1.0,
+                    exponent: 2,
+                },
+                band: (1e-3, 0.45),
+            },
+        ),
+    ] {
+        let best = optimize_loop(&spec, &env)?;
+        println!("\n{name}:");
+        println!(
+            "  chosen ω_UG/ω₀ = {:.3}, spread = {} (PM_LTI {:.1}°, PM_eff {:.1}°)",
+            best.ratio,
+            best.spread,
+            best.report.phase_margin_lti_deg,
+            best.report.phase_margin_eff_deg
+        );
+        println!(
+            "  integrated output noise: {:.3e} (rms {:.3e})",
+            best.integrated_noise,
+            best.integrated_noise.sqrt()
+        );
+    }
+    println!("\nA noisy VCO wants the widest loop the margin allows; a noisy");
+    println!("reference wants the narrowest. The binding constraint is the");
+    println!("EFFECTIVE margin — LTI analysis would let the loop run far faster.");
+
+    // ---- Part 2: million-period dead-zone Monte Carlo --------------
+    println!("\n=== fast engine: 1M periods with a dead zone + reference jitter ===");
+    let design = htmpll::core::PllDesign::reference_design(0.1)?;
+    let params = SimParams::from_design(&design);
+    let t_ref = params.t_ref;
+    let dead = 2e-3 * t_ref;
+
+    let offset = 8e-3 * t_ref; // reference phase step, well outside the zone
+    for (name, law, jitter_on) in [
+        ("ideal pump, jitter", PulseLaw::Linear, true),
+        ("dead zone, NO jitter", PulseLaw::DeadZone { width: dead }, false),
+        ("dead zone, jitter", PulseLaw::DeadZone { width: dead }, true),
+    ] {
+        let mut map = PeriodMap::new(&params, law);
+        // Deterministic pseudo-random reference jitter, rms 0.05 %·T.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut jitter = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 32) as u32 as f64) / (u32::MAX as f64) - 0.5) * 1.7e-3 * t_ref
+        };
+        let n = 1_000_000usize;
+        let theta = map.run(n, |_| offset + if jitter_on { jitter() } else { 0.0 });
+        let tail = &theta[n / 10..];
+        let mean_err = offset - tail.iter().sum::<f64>() / tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let rms = (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / tail.len() as f64)
+            .sqrt();
+        println!(
+            "  {name:<22} residual error = {:+.3e}·T   wander rms = {:.3e}·T",
+            mean_err / t_ref,
+            rms / t_ref
+        );
+    }
+    println!("\nWithout jitter the dead-zone pump parks exactly a zone-width away");
+    println!("from the target (on the overshoot side, given this loop's ringing).");
+    println!("WITH jitter the error dithers
+across both zone edges and averages away — the classic dither");
+    println!("linearization — at the price of doubled wander. A million-period");
+    println!("statistic, computed in well under a second by the period map.");
+    Ok(())
+}

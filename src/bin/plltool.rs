@@ -1,0 +1,377 @@
+//! `plltool` — command-line front end for the htmpll analyses.
+//!
+//! ```text
+//! plltool analyze --ratio 0.15
+//! plltool analyze --fref 10e6 --n 64 --kvco 6.28e8 --bw 500e3
+//! plltool sweep   --from 0.02 --to 0.3 --points 15
+//! plltool bode    --ratio 0.15 --lambda
+//! plltool step    --ratio 0.2 --until 40
+//! plltool spur    --ratio 0.1 --leakage-frac 1e-3
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! workspace dependency-free.
+
+use htmpll::core::{
+    analyze, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs, NoiseShape,
+    NoiseSpec, OptimizeSpec, PllDesign, PllModel, SampleHoldModel,
+};
+use htmpll::lti::bode_sweep;
+use htmpll::num::optim::{lin_grid, log_grid};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; rejects stray positionals and
+    /// dangling flags.
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{tok}`"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            values.insert(key.to_string(), val.clone());
+        }
+        Ok(Args { values })
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("--{key}: `{v}` is not a number")),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        Ok(self.f64_opt(key)?.unwrap_or(default))
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("--{key}: `{v}` is not an integer")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// Builds a design from either `--ratio` (normalized reference family)
+/// or physical parameters `--fref --n --kvco --bw [--spread --ctotal]`.
+fn design_from(args: &Args) -> Result<PllDesign, String> {
+    if let Some(ratio) = args.f64_opt("ratio")? {
+        let spread = args.f64_or("spread", 4.0)?;
+        return PllDesign::reference_design_shaped(ratio, spread).map_err(|e| e.to_string());
+    }
+    let fref = args
+        .f64_opt("fref")?
+        .ok_or("need --ratio or --fref/--n/--kvco/--bw")?;
+    let n = args.f64_or("n", 1.0)?;
+    let kvco = args
+        .f64_opt("kvco")?
+        .ok_or("--kvco required with --fref")?;
+    let bw = args.f64_opt("bw")?.ok_or("--bw required with --fref")?;
+    let spread = args.f64_or("spread", 4.0)?;
+    let ctotal = args.f64_or("ctotal", 1e-9)?;
+    PllDesign::synthesize(fref, n, kvco, 2.0 * std::f64::consts::PI * bw, spread, ctotal)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let design = design_from(args)?;
+    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
+    let r = analyze(&model).map_err(|e| e.to_string())?;
+    println!("design             : {design}");
+    println!("ω₀ (reference)     : {:.6e} rad/s", design.omega_ref());
+    println!("ω_UG (LTI)         : {:.6e} rad/s  (ω_UG/ω₀ = {:.4})", r.omega_ug_lti, r.omega_ug_ratio);
+    println!("phase margin (LTI) : {:.2}°", r.phase_margin_lti_deg);
+    println!("ω_UG,eff           : {:.6e} rad/s  ({:.3}× LTI)", r.omega_ug_eff, r.omega_ug_eff / r.omega_ug_lti);
+    println!("phase margin (eff) : {:.2}°  ({:.1} % degradation)", r.phase_margin_eff_deg, 100.0 * r.phase_margin_degradation_rel());
+    match r.bandwidth_3db {
+        Some(bw) => println!("−3 dB bandwidth    : {bw:.6e} rad/s"),
+        None => println!("−3 dB bandwidth    : (none in scan window)"),
+    }
+    println!("peaking            : {:.2} dB (LTI predicted {:.2} dB)", r.peaking_db, r.peaking_lti_db);
+    println!("stable (HTM)       : {}{}", r.nyquist_stable, if r.beyond_sampling_limit { "  [beyond sampling limit]" } else { "" });
+    if let Ok(poles) = dominant_poles(&model) {
+        println!("strip poles        :");
+        for p in poles {
+            println!("    {:.4} {:+.4}j   (Im/(ω₀/2) = {:.3})", p.re, p.im, p.im / (0.5 * design.omega_ref()));
+        }
+    }
+    if args.values.get("pfd").map(String::as_str) == Some("sh") {
+        let sh = SampleHoldModel::new(model.design().clone()).map_err(|e| e.to_string())?;
+        match sh.margins() {
+            Ok(m) => println!(
+                "sample-and-hold PFD: ω_UG,eff = {:.4e} rad/s, PM = {:.2}°",
+                m.omega_ug, m.phase_margin_deg
+            ),
+            Err(e) => println!("sample-and-hold PFD: no margin ({e})"),
+        }
+    }
+    if args.has("symbolic") {
+        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
+            .map_err(|e| e.to_string())?;
+        println!("\n{}", lam.symbolic());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let from = args.f64_or("from", 0.02)?;
+    let to = args.f64_or("to", 0.3)?;
+    let points = args.usize_or("points", 15)?;
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>8}",
+        "ratio", "wUG_eff/wUG", "PM_eff", "PM_LTI", "limit?"
+    );
+    for ratio in lin_grid(from, to, points.max(2)) {
+        let model = PllModel::new(
+            PllDesign::reference_design(ratio).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        let r = analyze(&model).map_err(|e| e.to_string())?;
+        println!(
+            "{:8.3} {:14.4} {:12.2} {:12.2} {:>8}",
+            ratio,
+            r.omega_ug_eff / r.omega_ug_lti,
+            r.phase_margin_eff_deg,
+            r.phase_margin_lti_deg,
+            if r.beyond_sampling_limit { "YES" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bode(args: &Args) -> Result<(), String> {
+    let design = design_from(args)?;
+    let wug = analyze(&PllModel::new(design.clone()).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?
+        .omega_ug_lti;
+    let points = args.usize_or("points", 31)?;
+    let grid = log_grid(1e-2 * wug, 1e2 * wug, points.max(2));
+    println!("{:>14} {:>12} {:>12}", "omega", "mag_dB", "phase_deg");
+    if args.has("lambda") {
+        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
+            .map_err(|e| e.to_string())?;
+        // λ is only meaningful inside the first band.
+        let grid: Vec<f64> = grid
+            .into_iter()
+            .filter(|w| *w < 0.4999 * design.omega_ref())
+            .collect();
+        for p in bode_sweep(|w| lam.eval_jw(w), &grid) {
+            println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
+        }
+    } else {
+        let a = design.open_loop_gain();
+        for p in bode_sweep(|w| a.eval_jw(w), &grid) {
+            println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_step(args: &Args) -> Result<(), String> {
+    let design = design_from(args)?;
+    let model = PllModel::new(design).map_err(|e| e.to_string())?;
+    let until = args.f64_or("until", 40.0)?;
+    let points = args.usize_or("points", 20)?;
+    let ts = lin_grid(until / points as f64, until, points.max(2));
+    let ys = transient::step_response(&model, &ts);
+    println!("{:>12} {:>12}", "t", "theta/step");
+    for (t, y) in ts.iter().zip(&ys) {
+        println!("{t:12.4} {y:12.5}");
+    }
+    Ok(())
+}
+
+fn cmd_hop(args: &Args) -> Result<(), String> {
+    let design = design_from(args)?;
+    let model = PllModel::new(design).map_err(|e| e.to_string())?;
+    let until = args.f64_or("until", 40.0)?;
+    let points = args.usize_or("points", 20)?;
+    let ts = lin_grid(until / points as f64, until, points.max(2));
+    let errs = transient::frequency_step_error(&model, &ts);
+    println!("{:>12} {:>14}", "t", "tracking error");
+    for (t, e) in ts.iter().zip(&errs) {
+        println!("{t:12.4} {e:14.5e}");
+    }
+    Ok(())
+}
+
+fn cmd_spur(args: &Args) -> Result<(), String> {
+    let design = design_from(args)?;
+    let frac = args.f64_or("leakage-frac", 1e-3)?;
+    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
+    let spurs = LeakageSpurs::new(&model, frac * design.icp());
+    println!("leakage            : {:.3e} × I_cp", frac);
+    println!("static offset      : {:.4e} s ({:.3e}·T)", spurs.static_offset(), spurs.static_offset() * design.f_ref());
+    println!("{:>6} {:>16} {:>12}", "k", "|sideband| (s)", "dBc");
+    for k in 1..=4 {
+        println!(
+            "{k:>6} {:16.4e} {:12.2}",
+            spurs.sideband(k).abs(),
+            spurs.level_dbc(k)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let spec = OptimizeSpec {
+        min_pm_eff_deg: args.f64_or("min-pm", 45.0)?,
+        ratios: (
+            args.f64_or("from", 0.03)?,
+            args.f64_or("to", 0.25)?,
+            args.usize_or("points", 10)?,
+        ),
+        spreads: vec![3.0, 4.0, 6.0],
+    };
+    let noise = NoiseSpec {
+        reference: NoiseShape::White {
+            level: args.f64_or("ref-noise", 1e-12)?,
+        },
+        vco: NoiseShape::PowerLaw {
+            level_at_ref: args.f64_or("vco-noise", 1e-11)?,
+            w_ref: 1.0,
+            exponent: 2,
+        },
+        band: (1e-3, 0.45),
+    };
+    let best = optimize_loop(&spec, &noise).map_err(|e| e.to_string())?;
+    println!(
+        "best: ω_UG/ω₀ = {:.3}, spread = {} (PM_LTI {:.1}°, PM_eff {:.1}°)",
+        best.ratio,
+        best.spread,
+        best.report.phase_margin_lti_deg,
+        best.report.phase_margin_eff_deg
+    );
+    println!(
+        "integrated output noise: {:.3e} (rms {:.3e})",
+        best.integrated_noise,
+        best.integrated_noise.sqrt()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop> [--key value ...]
+  analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
+          (or --fref --n --kvco --bw)
+  sweep   [--from A] [--to B] [--points N]
+  bode    --ratio R [--lambda x] [--points N]
+  step    --ratio R [--until T] [--points N]
+  spur    --ratio R [--leakage-frac F]
+  optimize [--min-pm DEG] [--from A] [--to B] [--points N]
+           [--ref-noise PSD] [--vco-noise PSD]
+  hop     --ratio R [--until T] [--points N]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let cmd = argv.first().map(String::as_str).ok_or(USAGE)?;
+    let args = Args::parse(&argv[1..])?;
+    match cmd {
+        "analyze" => cmd_analyze(&args),
+        "sweep" => cmd_sweep(&args),
+        "bode" => cmd_bode(&args),
+        "step" => cmd_step(&args),
+        "spur" => cmd_spur(&args),
+        "optimize" => cmd_optimize(&args),
+        "hop" => cmd_hop(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::parse(&strs(&["--ratio", "0.1", "--points", "7"])).unwrap();
+        assert_eq!(a.f64_opt("ratio").unwrap(), Some(0.1));
+        assert_eq!(a.usize_or("points", 3).unwrap(), 7);
+        assert_eq!(a.f64_or("missing", 2.5).unwrap(), 2.5);
+        assert!(!a.has("symbolic"));
+    }
+
+    #[test]
+    fn rejects_malformed_args() {
+        assert!(Args::parse(&strs(&["ratio", "0.1"])).is_err());
+        assert!(Args::parse(&strs(&["--ratio"])).is_err());
+        let a = Args::parse(&strs(&["--ratio", "abc"])).unwrap();
+        assert!(a.f64_opt("ratio").is_err());
+        let b = Args::parse(&strs(&["--points", "1.5"])).unwrap();
+        assert!(b.usize_or("points", 1).is_err());
+    }
+
+    #[test]
+    fn design_from_ratio_and_physical() {
+        let a = Args::parse(&strs(&["--ratio", "0.1"])).unwrap();
+        let d = design_from(&a).unwrap();
+        assert!((d.omega_ref() - 10.0).abs() < 1e-9);
+
+        let b = Args::parse(&strs(&[
+            "--fref", "10e6", "--n", "64", "--kvco", "6.283e8", "--bw", "500e3",
+        ]))
+        .unwrap();
+        let d2 = design_from(&b).unwrap();
+        assert!((d2.f_ref() - 10e6).abs() < 1.0);
+        assert_eq!(d2.divider(), 64.0);
+
+        let c = Args::parse(&strs(&["--fref", "10e6"])).unwrap();
+        assert!(design_from(&c).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        run(&strs(&["analyze", "--ratio", "0.1"])).unwrap();
+        run(&strs(&["analyze", "--ratio", "0.1", "--pfd", "sh"])).unwrap();
+        run(&strs(&["sweep", "--from", "0.05", "--to", "0.15", "--points", "3"])).unwrap();
+        run(&strs(&["bode", "--ratio", "0.1", "--points", "9"])).unwrap();
+        run(&strs(&["bode", "--ratio", "0.1", "--points", "9", "--lambda", "x"])).unwrap();
+        run(&strs(&["step", "--ratio", "0.15", "--points", "5", "--until", "20"])).unwrap();
+        run(&strs(&["spur", "--ratio", "0.1"])).unwrap();
+        run(&strs(&[
+            "optimize", "--min-pm", "50", "--from", "0.05", "--to", "0.15", "--points", "4",
+        ]))
+        .unwrap();
+        run(&strs(&["hop", "--ratio", "0.15", "--points", "5", "--until", "25"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

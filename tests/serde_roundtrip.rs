@@ -1,0 +1,71 @@
+//! Round-trip tests for the optional `serde` feature
+//! (`cargo test --features serde --test serde_roundtrip`).
+
+#![cfg(feature = "serde")]
+
+use htmpll::core::{analyze, AnalysisReport, NoiseShape, PllDesign, PllModel};
+use htmpll::lti::Tf;
+use htmpll::num::{Complex, Poly};
+use htmpll::sim::{SimConfig, SimParams};
+
+#[test]
+fn complex_and_poly_roundtrip() {
+    let z = Complex::new(1.25, -3.5);
+    let back: Complex = serde_json::from_str(&serde_json::to_string(&z).unwrap()).unwrap();
+    assert_eq!(z, back);
+
+    let p = Poly::new(vec![1.0, -2.5, 0.125]);
+    let back: Poly = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(p, back);
+}
+
+#[test]
+fn tf_roundtrip_preserves_response() {
+    let tf = Tf::from_coeffs(vec![1.0, 0.5], vec![2.0, 1.0, 0.25]).unwrap();
+    let back: Tf = serde_json::from_str(&serde_json::to_string(&tf).unwrap()).unwrap();
+    let s = Complex::new(0.3, 1.1);
+    assert!((tf.eval(s) - back.eval(s)).abs() < 1e-15);
+}
+
+#[test]
+fn design_roundtrip_preserves_analysis() {
+    let design = PllDesign::reference_design(0.15).unwrap();
+    let json = serde_json::to_string(&design).unwrap();
+    let back: PllDesign = serde_json::from_str(&json).unwrap();
+    assert_eq!(design, back);
+    // The restored design analyzes identically.
+    let a = analyze(&PllModel::new(design).unwrap()).unwrap();
+    let b = analyze(&PllModel::new(back).unwrap()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn report_and_config_roundtrip() {
+    let report: AnalysisReport =
+        analyze(&PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap()).unwrap();
+    let back: AnalysisReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(report, back);
+
+    let cfg = SimConfig::default();
+    let back: SimConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(cfg.samples_per_ref, back.samples_per_ref);
+
+    let params = SimParams::from_design(&PllDesign::reference_design(0.1).unwrap());
+    let back: SimParams =
+        serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+    assert_eq!(params.t_ref, back.t_ref);
+    assert_eq!(params.filter, back.filter);
+
+    let shape = NoiseShape::Sum(vec![
+        NoiseShape::White { level: 1e-12 },
+        NoiseShape::Leeson {
+            floor: 1e-13,
+            flicker_corner: 0.1,
+            half_bw: 2.0,
+        },
+    ]);
+    let back: NoiseShape =
+        serde_json::from_str(&serde_json::to_string(&shape).unwrap()).unwrap();
+    assert_eq!(shape, back);
+}
