@@ -86,6 +86,7 @@ const SCAN_DECADES_DOWN: f64 = 1e-4;
 /// Propagates margin-extraction failures (e.g. a loop so slow/fast that
 /// no unity crossing exists in the scan window).
 pub fn analyze(model: &PllModel) -> Result<AnalysisReport, CoreError> {
+    let _span = htmpll_obs::span("core", "analyze");
     let a = model.open_loop().clone();
     let w0 = model.design().omega_ref();
 
@@ -195,8 +196,10 @@ mod tests {
                 pair[0].phase_margin_eff_deg,
                 pair[1].phase_margin_eff_deg
             );
-            assert!(pair[1].omega_ug_eff / pair[1].omega_ug_lti
-                >= pair[0].omega_ug_eff / pair[0].omega_ug_lti - 1e-9);
+            assert!(
+                pair[1].omega_ug_eff / pair[1].omega_ug_lti
+                    >= pair[0].omega_ug_eff / pair[0].omega_ug_lti - 1e-9
+            );
         }
         // LTI margin is the same constant for every ratio (shape fixed).
         for r in &reports {
@@ -237,7 +240,10 @@ mod tests {
         let r = report(0.1);
         let bw = r.bandwidth_3db.expect("bandwidth in scan window");
         // Closed-loop bandwidth sits around ω_UG,eff (within a factor ~3).
-        assert!(bw > 0.5 * r.omega_ug_eff && bw < 5.0 * r.omega_ug_eff, "{bw}");
+        assert!(
+            bw > 0.5 * r.omega_ug_eff && bw < 5.0 * r.omega_ug_eff,
+            "{bw}"
+        );
     }
 
     #[test]

@@ -222,6 +222,9 @@ impl PllModel {
     /// Propagates the solve error when evaluated exactly on a closed-loop
     /// pole.
     pub fn closed_loop_htm_dense(&self, s: Complex, trunc: Truncation) -> Result<Htm, CoreError> {
+        let _span = htmpll_obs::span_labeled("core", "closed_loop_htm_dense", || {
+            format!("dim={}", trunc.dim())
+        });
         let w0 = self.design.omega_ref();
         let pfd = SamplerHtm::new(w0);
         let mut fwd_tf = self.design.loop_filter_tf();
@@ -357,10 +360,8 @@ mod tests {
         let t_ref = 1.0 / design.f_ref();
         let plain = analyze(&PllModel::new(design.clone()).unwrap()).unwrap();
         let quarter =
-            analyze(&PllModel::with_loop_delay(design.clone(), 0.25 * t_ref, 6).unwrap())
-                .unwrap();
-        let half =
-            analyze(&PllModel::with_loop_delay(design, 0.5 * t_ref, 6).unwrap()).unwrap();
+            analyze(&PllModel::with_loop_delay(design.clone(), 0.25 * t_ref, 6).unwrap()).unwrap();
+        let half = analyze(&PllModel::with_loop_delay(design, 0.5 * t_ref, 6).unwrap()).unwrap();
         // Delay always costs effective margin, monotonically in τ. (The
         // loss is smaller than the naive ω·τ because the delay also
         // reshapes the alias interference and moves the crossover down —

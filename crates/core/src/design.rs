@@ -337,7 +337,11 @@ mod tests {
             let d = PllDesign::reference_design(ratio).unwrap();
             let a = d.open_loop_gain();
             let m = stability_margins(|w| a.eval_jw(w), 1e-4, 1e3).unwrap();
-            assert!((m.omega_ug - 1.0).abs() < 1e-6, "ratio {ratio}: {}", m.omega_ug);
+            assert!(
+                (m.omega_ug - 1.0).abs() < 1e-6,
+                "ratio {ratio}: {}",
+                m.omega_ug
+            );
             // LTI phase margin of the ωz = ωug/4, ωp = 4ωug shape:
             // 180 − 180 + atan(4) − atan(1/4) ≈ 61.93°.
             let expect = 4.0f64.atan().to_degrees() - 0.25f64.atan().to_degrees();
@@ -392,7 +396,10 @@ mod tests {
             .kvco(1e6)
             .filter(LoopFilter::SecondOrder(filt))
             .build();
-        assert!(matches!(r, Err(CoreError::InvalidParameter { name: "f_ref", .. })));
+        assert!(matches!(
+            r,
+            Err(CoreError::InvalidParameter { name: "f_ref", .. })
+        ));
     }
 
     #[test]
@@ -450,8 +457,7 @@ mod tests {
             let d = PllDesign::reference_design_shaped(0.1, spread).unwrap();
             let a = d.open_loop_gain();
             let m = stability_margins(|w| a.eval_jw(w), 1e-4, 1e3).unwrap();
-            let expect =
-                spread.atan().to_degrees() - (1.0 / spread).atan().to_degrees();
+            let expect = spread.atan().to_degrees() - (1.0 / spread).atan().to_degrees();
             assert!((m.omega_ug - 1.0).abs() < 1e-6, "spread {spread}");
             assert!(
                 (m.phase_margin_deg - expect).abs() < 1e-6,

@@ -31,10 +31,16 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             CoreError::OpenLoopNotStrictlyProper => {
-                write!(f, "open-loop gain must be strictly proper for the harmonic sum to converge")
+                write!(
+                    f,
+                    "open-loop gain must be strictly proper for the harmonic sum to converge"
+                )
             }
             CoreError::Tf(e) => write!(f, "transfer function error: {e}"),
             CoreError::Filter(e) => write!(f, "loop filter error: {e}"),
@@ -85,16 +91,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CoreError::InvalidParameter { name: "icp", value: -1.0 };
+        let e = CoreError::InvalidParameter {
+            name: "icp",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("icp"));
-        assert!(CoreError::OpenLoopNotStrictlyProper.to_string().contains("strictly proper"));
+        assert!(CoreError::OpenLoopNotStrictlyProper
+            .to_string()
+            .contains("strictly proper"));
         let tf: CoreError = TfError::ZeroDenominator.into();
         assert!(tf.to_string().contains("denominator"));
         let lu: CoreError = LuError::NotSquare.into();
         assert!(lu.to_string().contains("square"));
         let m: CoreError = MarginError::NoUnityCrossing.into();
         assert!(m.to_string().contains("0 dB"));
-        let fe: CoreError = FilterError::NonPositiveComponent { name: "R", value: 0.0 }.into();
+        let fe: CoreError = FilterError::NonPositiveComponent {
+            name: "R",
+            value: 0.0,
+        }
+        .into();
         assert!(fe.to_string().contains('R'));
     }
 

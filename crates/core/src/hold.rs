@@ -169,10 +169,8 @@ mod tests {
     fn sample_hold_degrades_margin_more_than_impulse() {
         for ratio in [0.1, 0.2] {
             let m = sh(ratio);
-            let imp = analyze(
-                &PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap(),
-            )
-            .unwrap();
+            let imp = analyze(&PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap())
+                .unwrap();
             let sh_margin = m.margins().unwrap();
             assert!(
                 sh_margin.phase_margin_deg < imp.phase_margin_eff_deg,

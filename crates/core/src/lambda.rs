@@ -96,6 +96,7 @@ impl EffectiveGain {
     /// `λ(s) = Σ c_{i,r}·S_r(s − p_i; ω₀)` with
     /// `S₁(z) = (π/ω₀)·coth(πz/ω₀)`.
     pub fn eval(&self, s: Complex) -> Complex {
+        htmpll_obs::counter!("core", "lambda.eval").inc();
         let mut acc = Complex::ZERO;
         for term in &self.pfe.terms {
             acc += term.coeff * lattice_sum(s - term.pole, self.omega0, term.order);
@@ -111,6 +112,8 @@ impl EffectiveGain {
     /// Truncated sum `Σ_{|m| ≤ terms} A(s + jmω₀)` — the numerical
     /// cross-check for [`eval`](EffectiveGain::eval).
     pub fn eval_truncated(&self, s: Complex, terms: usize) -> Complex {
+        htmpll_obs::counter!("core", "lambda.eval_truncated").inc();
+        htmpll_obs::record!("core", "lambda.eval_truncated.terms").record(terms as f64);
         let mut acc = self.a.eval(s);
         for m in 1..=terms as i64 {
             let shift = Complex::from_im(m as f64 * self.omega0);
@@ -136,9 +139,7 @@ impl EffectiveGain {
         let mut acc = Complex::ZERO;
         for term in &self.pfe.terms {
             let z = s - term.pole;
-            acc -= term.coeff
-                * (term.order as f64)
-                * lattice_sum(z, self.omega0, term.order + 1);
+            acc -= term.coeff * (term.order as f64) * lattice_sum(z, self.omega0, term.order + 1);
         }
         acc
     }
@@ -157,7 +158,10 @@ impl EffectiveGain {
         let d = self.a.relative_degree().max(2) as f64;
         let c = (self.a.num().leading() / self.a.den().leading()).abs();
         let k = (2.0 * c / ((d - 1.0) * self.omega0.powf(d) * tol)).powf(1.0 / (d - 1.0));
-        (k.ceil() as usize).max(2)
+        let k = (k.ceil() as usize).max(2);
+        htmpll_obs::counter!("core", "lambda.suggest_truncation").inc();
+        htmpll_obs::record!("core", "lambda.suggest_truncation.k").record(k as f64);
+        k
     }
 
     /// Renders the **closed-form symbolic expression** for `λ(s)` — the
@@ -173,8 +177,10 @@ impl EffectiveGain {
         let mut out = String::from("λ(s) =");
         for (k, term) in self.pfe.terms.iter().enumerate() {
             if k > 0 {
-                out.push_str("
-      +");
+                out.push_str(
+                    "
+      +",
+                );
             }
             let pole = if term.pole.abs() < 1e-12 {
                 "s".to_string()
@@ -188,8 +194,11 @@ impl EffectiveGain {
             };
             out.push_str(&format!(" ({:.6})·{kernel}", term.coeff));
         }
-        out.push_str(&format!("
-      with ω₀ = {:.6} rad/s", self.omega0));
+        out.push_str(&format!(
+            "
+      with ω₀ = {:.6} rad/s",
+            self.omega0
+        ));
         out
     }
 }
@@ -311,10 +320,7 @@ mod tests {
             let exact = lam.eval(s);
             let truncated = lam.eval_truncated(s, k);
             let tail = (exact - truncated).abs();
-            assert!(
-                tail <= 2.0 * tol,
-                "tol {tol}: K = {k} leaves tail {tail}"
-            );
+            assert!(tail <= 2.0 * tol, "tol {tol}: K = {k} leaves tail {tail}");
             // And the bound is not wildly pessimistic (within 100×).
             if k > 4 {
                 let loose = lam.eval_truncated(s, k / 4);
@@ -328,8 +334,8 @@ mod tests {
         let lam = reference_lambda(0.2);
         let s = Complex::new(0.05, 0.6);
         let h = 1e-6;
-        let fd = (lam.eval(s + Complex::from_re(h)) - lam.eval(s - Complex::from_re(h)))
-            / (2.0 * h);
+        let fd =
+            (lam.eval(s + Complex::from_re(h)) - lam.eval(s - Complex::from_re(h))) / (2.0 * h);
         let exact = lam.eval_deriv(s);
         assert!(
             (fd - exact).abs() < 1e-5 * (1.0 + exact.abs()),
@@ -351,10 +357,7 @@ mod tests {
         assert!(text.contains("csch²"), "{text}");
         assert!(text.contains("ω₀ = 5"), "{text}");
         // One separator line between consecutive terms.
-        assert_eq!(
-            text.matches("\n      +").count() + 1,
-            lam.pfe().terms.len()
-        );
+        assert_eq!(text.matches("\n      +").count() + 1, lam.pfe().terms.len());
     }
 
     #[test]

@@ -184,8 +184,8 @@ impl NoiseShape {
 #[cfg(test)]
 mod shape_tests {
     use super::*;
-    use crate::design::PllDesign;
     use crate::closed_loop::PllModel;
+    use crate::design::PllDesign;
 
     #[test]
     fn white_is_flat() {
@@ -278,7 +278,13 @@ mod tests {
         // Far above the loop bandwidth (but inside the first band):
         // H00 → 0, so VCO noise passes and reference noise is rejected.
         let w = 4.5;
-        let vco_only = n.output_psd(w, &|_| 0.0, &|f| if (f - w).abs() < 1e-6 { 1.0 } else { 0.0 });
+        let vco_only = n.output_psd(w, &|_| 0.0, &|f| {
+            if (f - w).abs() < 1e-6 {
+                1.0
+            } else {
+                0.0
+            }
+        });
         assert!((vco_only - n.vco_gain_baseband(w).norm_sqr()).abs() < 1e-9);
         assert!(vco_only > 0.5, "{vco_only}");
     }

@@ -210,6 +210,10 @@ mod tests {
             spreads: vec![4.0],
         };
         let best = optimize_loop(&spec, &env).unwrap();
-        assert!(best.ratio < 0.06, "expected the slowest loop, got {}", best.ratio);
+        assert!(
+            best.ratio < 0.06,
+            "expected the slowest loop, got {}",
+            best.ratio
+        );
     }
 }

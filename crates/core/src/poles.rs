@@ -33,7 +33,7 @@ pub fn refine_pole(model: &PllModel, seed: Complex, tol: f64) -> Option<Complex>
     let lam = model.lambda();
     let w0 = model.design().omega_ref();
     let mut s = seed;
-    for _ in 0..80 {
+    for iter in 0..80 {
         let f = Complex::ONE + lam.eval(s);
         let df = lam.eval_deriv(s);
         if !f.is_finite() || !df.is_finite() || df.abs() < 1e-300 {
@@ -49,11 +49,15 @@ pub fn refine_pole(model: &PllModel, seed: Complex, tol: f64) -> Option<Complex>
         if step.abs() < tol * (1.0 + s.abs()) {
             // Verify residual.
             if (Complex::ONE + lam.eval(s)).abs() < 1e-6 {
+                htmpll_obs::counter!("core", "poles.refine.converged").inc();
+                htmpll_obs::record!("core", "poles.refine.iters").record((iter + 1) as f64);
                 return Some(s);
             }
+            htmpll_obs::counter!("core", "poles.refine.rejected").inc();
             return None;
         }
     }
+    htmpll_obs::counter!("core", "poles.refine.exhausted").inc();
     None
 }
 
@@ -71,6 +75,7 @@ pub fn refine_pole(model: &PllModel, seed: Complex, tol: f64) -> Option<Complex>
 /// Propagates LTI pole extraction failures; returns an empty vector when
 /// no Newton run converges.
 pub fn dominant_poles(model: &PllModel) -> Result<Vec<Complex>, CoreError> {
+    let _span = htmpll_obs::span("core", "dominant_poles");
     let cl = model.open_loop().feedback_unity()?;
     let mut seeds: Vec<Complex> = cl
         .poles()?
@@ -97,10 +102,7 @@ pub fn dominant_poles(model: &PllModel) -> Result<Vec<Complex>, CoreError> {
     for i in 1..NR - 1 {
         for j in 1..NI - 1 {
             let v = grid[i][j];
-            if v < grid[i - 1][j]
-                && v < grid[i + 1][j]
-                && v < grid[i][j - 1]
-                && v < grid[i][j + 1]
+            if v < grid[i - 1][j] && v < grid[i + 1][j] && v < grid[i][j - 1] && v < grid[i][j + 1]
             {
                 seeds.push(Complex::new(re_at(i), im_at(j)));
             }
@@ -114,7 +116,10 @@ pub fn dominant_poles(model: &PllModel) -> Result<Vec<Complex>, CoreError> {
             let mut p = p;
             p.im -= w0 * (p.im / w0).round();
             let p = if p.im < 0.0 { p.conj() } else { p };
-            if !found.iter().any(|q| (*q - p).abs() < 1e-6 * (1.0 + p.abs())) {
+            if !found
+                .iter()
+                .any(|q| (*q - p).abs() < 1e-6 * (1.0 + p.abs()))
+            {
                 found.push(p);
             }
         }
@@ -153,7 +158,10 @@ mod tests {
                 .iter()
                 .map(|q| (*q - *p).abs().min((q.conj() - *p).abs()))
                 .fold(f64::INFINITY, f64::min);
-            assert!(nearest < 1e-2 * (1.0 + p.abs()), "pole {p} far from LTI set");
+            assert!(
+                nearest < 1e-2 * (1.0 + p.abs()),
+                "pole {p} far from LTI set"
+            );
         }
     }
 

@@ -64,10 +64,7 @@ impl<'a> LeakageSpurs<'a> {
             return Complex::from_re(self.static_offset());
         }
         let w0 = self.model.design().omega_ref();
-        let a = self
-            .model
-            .open_loop()
-            .eval(Complex::from_im(k as f64 * w0));
+        let a = self.model.open_loop().eval(Complex::from_im(k as f64 * w0));
         -a * self.static_offset()
     }
 

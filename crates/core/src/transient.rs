@@ -176,10 +176,7 @@ mod tests {
         let exact = response::step_response(&cl, &ts).unwrap();
         let inverted = step_response(&model, &ts);
         for ((t, e), g) in ts.iter().zip(&exact).zip(&inverted) {
-            assert!(
-                (e - g).abs() < 0.02,
-                "t={t}: exact {e} vs inverted {g}"
-            );
+            assert!((e - g).abs() < 0.02, "t={t}: exact {e} vs inverted {g}");
         }
     }
 
@@ -216,11 +213,7 @@ mod tests {
         let cl = design.open_loop_gain().feedback_unity().unwrap();
         let model = PllModel::new(design).unwrap();
         let ts = [2.0, 6.0, 12.0];
-        let inverted = ramp_response_of(
-            |w| model.h00_lti(w),
-            model.design().omega_ref(),
-            &ts,
-        );
+        let inverted = ramp_response_of(|w| model.h00_lti(w), model.design().omega_ref(), &ts);
         // Exact ramp response = inverse Laplace of H/s² = step response
         // of H/s.
         let h_over_s = &cl * &Tf::integrator();

@@ -362,10 +362,7 @@ mod tests {
     #[test]
     fn multiplier_is_toeplitz() {
         // p(t) = 1 + 2cos(ω₀t) ⇒ P₀ = 1, P_{±1} = 1.
-        let blk = MultiplierHtm::from_fourier(
-            vec![Complex::ONE, Complex::ONE, Complex::ONE],
-            W0,
-        );
+        let blk = MultiplierHtm::from_fourier(vec![Complex::ONE, Complex::ONE, Complex::ONE], W0);
         let t = Truncation::new(2);
         let h = blk.htm(Complex::ZERO, t);
         assert_eq!(h.band(0, 0), Complex::ONE);
@@ -445,7 +442,9 @@ mod tests {
         let h = blk.htm(s, t);
         // Row n = 1 is scaled by 1/(s + jω₀), matching eq. 25.
         let row_pole = (s + Complex::from_im(W0)).recip();
-        assert!(h.band(1, 0).approx_eq(Complex::new(0.3, -0.1) * row_pole, 1e-14));
+        assert!(h
+            .band(1, 0)
+            .approx_eq(Complex::new(0.3, -0.1) * row_pole, 1e-14));
         assert!(h.band(1, 1).approx_eq(row_pole, 1e-14));
         // Out-of-range ISF coefficient contributes zero.
         assert_eq!(blk.isf_coeff(5), Complex::ZERO);

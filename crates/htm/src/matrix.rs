@@ -54,6 +54,8 @@ impl Htm {
         omega0: f64,
         mut f: F,
     ) -> Self {
+        htmpll_obs::counter!("htm", "from_fn.calls").inc();
+        htmpll_obs::record!("htm", "from_fn.dim").record(trunc.dim() as f64);
         let mat = CMat::from_fn(trunc.dim(), trunc.dim(), |i, j| {
             f(trunc.harmonic_at(i), trunc.harmonic_at(j))
         });
@@ -79,12 +81,12 @@ impl Htm {
             "centered harmonic transfer functions need odd length, got {}",
             harmonic_tfs.len()
         );
+        htmpll_obs::counter!("htm", "from_harmonic_tfs.calls").inc();
         let half = (harmonic_tfs.len() / 2) as i64;
         Htm::from_fn(trunc, omega0, |n, m| {
             let k = n - m;
             if k.abs() <= half {
-                harmonic_tfs[(k + half) as usize]
-                    .eval(s + Complex::from_im(m as f64 * omega0))
+                harmonic_tfs[(k + half) as usize].eval(s + Complex::from_im(m as f64 * omega0))
             } else {
                 Complex::ZERO
             }
@@ -128,8 +130,14 @@ impl Htm {
     ///
     /// Panics when `|n| > K` or `|m| > K`.
     pub fn band(&self, n: i64, m: i64) -> Complex {
-        let i = self.trunc.index_of(n).expect("output harmonic outside truncation");
-        let j = self.trunc.index_of(m).expect("input harmonic outside truncation");
+        let i = self
+            .trunc
+            .index_of(n)
+            .expect("output harmonic outside truncation");
+        let j = self
+            .trunc
+            .index_of(m)
+            .expect("input harmonic outside truncation");
         self.mat[(i, j)]
     }
 
@@ -169,9 +177,17 @@ impl Htm {
     /// loop is on a closed-loop pole.
     pub fn closed_loop(&self) -> Result<Htm, LuError> {
         let n = self.trunc.dim();
+        let _span = htmpll_obs::span_labeled("htm", "closed_loop", || format!("dim={n}"));
         let i_plus_g = &CMat::identity(n) + &self.mat;
         let lu = Lu::factor(&i_plus_g)?;
         let solved = lu.solve_mat(&self.mat)?;
+        // ‖(I+G)X − G‖_max: a telemetry-only backward check on the solve,
+        // worth the extra matmul only when someone is looking.
+        let residual = htmpll_obs::record!("htm", "closed_loop.residual", htmpll_obs::Level::Debug);
+        if residual.is_enabled() {
+            let diff = &(&i_plus_g * &solved) - &self.mat;
+            residual.record(diff.norm_max());
+        }
         Ok(Htm {
             trunc: self.trunc,
             omega0: self.omega0,
@@ -190,6 +206,8 @@ impl Htm {
     ///
     /// Propagates eigensolver failures.
     pub fn eigenvalues(&self) -> Result<Vec<Complex>, htmpll_num::EigError> {
+        let _span =
+            htmpll_obs::span_labeled("htm", "eigenvalues", || format!("dim={}", self.trunc.dim()));
         htmpll_num::eigenvalues(&self.mat)
     }
 
@@ -307,7 +325,10 @@ mod tests {
         });
         let input = [Complex::ZERO, Complex::ONE, Complex::ZERO]; // band 0 = 1
         let out = h.apply(&input);
-        assert_eq!(out, vec![Complex::ZERO, Complex::ZERO, Complex::from_re(2.0)]);
+        assert_eq!(
+            out,
+            vec![Complex::ZERO, Complex::ZERO, Complex::from_re(2.0)]
+        );
     }
 
     #[test]
@@ -393,7 +414,12 @@ mod tests {
         }
         // An LTI system through this path equals the LtiHtm block.
         use crate::blocks::{HtmBlock, LtiHtm};
-        let via_tfs = Htm::from_harmonic_tfs(t, w0, s, &[Tf::constant(0.0), h0.clone(), Tf::constant(0.0)]);
+        let via_tfs = Htm::from_harmonic_tfs(
+            t,
+            w0,
+            s,
+            &[Tf::constant(0.0), h0.clone(), Tf::constant(0.0)],
+        );
         let via_block = LtiHtm::new(h0, w0).htm(s, t);
         assert!(via_tfs.as_matrix().max_diff(via_block.as_matrix()) < 1e-14);
     }
@@ -409,7 +435,8 @@ mod tests {
             .map(|n| Complex::new(0.1 * n as f64 + 0.4, 0.05))
             .sum();
         assert!(
-            evs.iter().any(|e| (*e - lambda).abs() < 1e-10 * (1.0 + lambda.abs())),
+            evs.iter()
+                .any(|e| (*e - lambda).abs() < 1e-10 * (1.0 + lambda.abs())),
             "λ {lambda} missing from {evs:?}"
         );
         let zeros = evs.iter().filter(|e| e.abs() < 1e-10).count();

@@ -33,7 +33,10 @@ impl fmt::Display for MarginError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MarginError::NoUnityCrossing => {
-                write!(f, "open-loop magnitude never crosses 0 dB on the scan interval")
+                write!(
+                    f,
+                    "open-loop magnitude never crosses 0 dB on the scan interval"
+                )
             }
             MarginError::RefineFailed => write!(f, "margin refinement failed to converge"),
         }
@@ -65,11 +68,7 @@ const SCAN_POINTS: usize = 2048;
 
 /// Finds all unity-gain crossover frequencies of `f` on `[wmin, wmax]`
 /// (log-spaced scan + Brent refinement), in ascending order.
-pub fn unity_gain_crossings<F: FnMut(f64) -> Complex>(
-    mut f: F,
-    wmin: f64,
-    wmax: f64,
-) -> Vec<f64> {
+pub fn unity_gain_crossings<F: FnMut(f64) -> Complex>(mut f: F, wmin: f64, wmax: f64) -> Vec<f64> {
     let grid = log_grid(wmin, wmax, SCAN_POINTS);
     // Work in log-magnitude so the function is well-scaled across decades.
     let mut g = |w: f64| f(w).abs().ln();
@@ -213,7 +212,8 @@ mod tests {
             // Magnitude profile: 2 for w<1, 0.5 for 1<w<10, then rises to 2
             // above 10 and finally falls past 100. Smooth via logistic
             // interpolation; phase irrelevant for the crossing count.
-            let m = 2.0 * (1.0 / (1.0 + (w / 1.0).powi(4))) + 0.5
+            let m = 2.0 * (1.0 / (1.0 + (w / 1.0).powi(4)))
+                + 0.5
                 + 1.5 / (1.0 + ((w - 30.0) / 5.0).powi(2))
                 - 0.49 / (1.0 + (300.0 / w).powi(4));
             Complex::from_re(m)

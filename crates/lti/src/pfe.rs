@@ -266,7 +266,11 @@ mod tests {
     #[test]
     fn triple_pole() {
         // 1/(s+2)³.
-        let h = Tf::new(Poly::constant(1.0), Poly::from_real_roots(&[-2.0, -2.0, -2.0])).unwrap();
+        let h = Tf::new(
+            Poly::constant(1.0),
+            Poly::from_real_roots(&[-2.0, -2.0, -2.0]),
+        )
+        .unwrap();
         // Aberth returns a loose cluster for the triple root, so use a
         // coarse cluster tolerance.
         let pfe = Pfe::expand(&h, 1e-3).unwrap();

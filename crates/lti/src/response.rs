@@ -33,7 +33,10 @@ impl fmt::Display for ResponseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResponseError::NotStrictlyProper => {
-                write!(f, "time response requires a strictly proper transfer function")
+                write!(
+                    f,
+                    "time response requires a strictly proper transfer function"
+                )
             }
             ResponseError::Tf(e) => write!(f, "transfer function error: {e}"),
         }

@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn zero_rejected() {
-        assert_eq!(routh(&Poly::zero()).unwrap_err(), RouthError::ZeroPolynomial);
+        assert_eq!(
+            routh(&Poly::zero()).unwrap_err(),
+            RouthError::ZeroPolynomial
+        );
         assert!(!is_hurwitz(&Poly::zero()));
     }
 

@@ -175,7 +175,11 @@ impl Complex {
     /// Real power `z^x` via the principal branch.
     pub fn powf(self, x: f64) -> Self {
         if self == Complex::ZERO {
-            return if x == 0.0 { Complex::ONE } else { Complex::ZERO };
+            return if x == 0.0 {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
         }
         (self.ln().scale(x)).exp()
     }
@@ -530,10 +534,7 @@ mod tests {
         let z = Complex::new(-1.5, 2.5);
         let (r, th) = z.to_polar();
         assert!(Complex::from_polar(r, th).approx_eq(z, TOL));
-        assert!(Complex::cis(PI / 3.0).approx_eq(
-            Complex::new(0.5, (3.0f64).sqrt() / 2.0),
-            TOL
-        ));
+        assert!(Complex::cis(PI / 3.0).approx_eq(Complex::new(0.5, (3.0f64).sqrt() / 2.0), TOL));
     }
 
     #[test]
@@ -562,9 +563,7 @@ mod tests {
         assert!(z.powi(-2).approx_eq(Complex::new(0.0, -0.5), TOL));
         assert_eq!(z.powi(0), Complex::ONE);
         assert!(z.powf(2.0).approx_eq(z.sqr(), TOL));
-        assert!(z
-            .powc(Complex::from_re(3.0))
-            .approx_eq(z.powi(3), 1e-10));
+        assert!(z.powc(Complex::from_re(3.0)).approx_eq(z.powi(3), 1e-10));
         assert_eq!(Complex::ZERO.powf(2.0), Complex::ZERO);
         assert_eq!(Complex::ZERO.powf(0.0), Complex::ONE);
     }

@@ -138,6 +138,7 @@ pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex>, EigError> {
     if n == 1 {
         return Ok(vec![a[(0, 0)]]);
     }
+    htmpll_obs::counter!("num", "eig.calls").inc();
     let mut h = hessenberg(a);
     let mut eigs = Vec::with_capacity(n);
     let mut hi = n; // active block is rows/cols [lo, hi)
@@ -217,6 +218,7 @@ pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex>, EigError> {
             h[(i, i)] += shift;
         }
     }
+    htmpll_obs::record!("num", "eig.qr_steps").record((60 * n - budget) as f64);
     Ok(eigs)
 }
 
@@ -269,12 +271,7 @@ mod tests {
         let a = CMat::from_rows(
             2,
             2,
-            &[
-                Complex::ZERO,
-                Complex::ONE,
-                -Complex::ONE,
-                Complex::ZERO,
-            ],
+            &[Complex::ZERO, Complex::ONE, -Complex::ONE, Complex::ZERO],
         );
         let evs = eigenvalues(&a).unwrap();
         assert!(contains(&evs, Complex::I, 1e-12));
@@ -313,7 +310,10 @@ mod tests {
         let evs = eigenvalues(&a).unwrap();
         let tr: Complex = (0..6).map(|i| a[(i, i)]).sum();
         let ev_sum: Complex = evs.iter().copied().sum();
-        assert!((tr - ev_sum).abs() < 1e-9 * (1.0 + tr.abs()), "{tr} vs {ev_sum}");
+        assert!(
+            (tr - ev_sum).abs() < 1e-9 * (1.0 + tr.abs()),
+            "{tr} vs {ev_sum}"
+        );
         let det = crate::lu::Lu::factor(&a).unwrap().det();
         let ev_prod: Complex = evs.iter().copied().product();
         assert!(

@@ -21,6 +21,8 @@
 //!   margin and bandwidth extraction.
 //! * [`quad`] — adaptive Simpson quadrature (linear and log-domain) for
 //!   noise integrals.
+//! * [`rng`] — vendored deterministic PRNG (SplitMix64 + xoshiro256++)
+//!   for the behavioral simulator's jitter and noise draws.
 //!
 //! Everything is implemented on `std` alone; no external numerics crates.
 //!
@@ -42,6 +44,7 @@ pub mod mat;
 pub mod optim;
 pub mod poly;
 pub mod quad;
+pub mod rng;
 pub mod roots;
 pub mod special;
 

@@ -73,11 +73,14 @@ impl Lu {
         if !a.is_square() {
             return Err(LuError::NotSquare);
         }
+        htmpll_obs::counter!("num", "lu.factor").inc();
+        htmpll_obs::record!("num", "lu.dim").record(a.rows() as f64);
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
-        let tiny = lu.norm_max() * (n as f64) * f64::EPSILON;
+        let norm_a = lu.norm_max();
+        let tiny = norm_a * (n as f64) * f64::EPSILON;
 
         for k in 0..n {
             // Partial pivoting: pick the largest |entry| in column k at/below row k.
@@ -111,7 +114,17 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        // Pivot growth ‖U‖_max/‖A‖_max ≫ 1 flags an ill-conditioned HTM
+        // truncation long before the solve visibly misbehaves.
+        let growth = htmpll_obs::record!("num", "lu.pivot_growth", htmpll_obs::Level::Debug);
+        if growth.is_enabled() && norm_a > 0.0 {
+            growth.record(lu.norm_max() / norm_a);
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -229,7 +242,9 @@ mod tests {
         // Small deterministic LCG so the test needs no external RNG.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 32) as u32 as f64) / (u32::MAX as f64) - 0.5
         };
         CMat::from_fn(n, n, |_, _| c(next(), next()))
@@ -238,11 +253,7 @@ mod tests {
     #[test]
     fn solve_known_system() {
         // (1+j)x + y = 2 ; x − y = j  →  hand-checked solution below.
-        let a = CMat::from_rows(
-            2,
-            2,
-            &[c(1.0, 1.0), c(1.0, 0.0), c(1.0, 0.0), c(-1.0, 0.0)],
-        );
+        let a = CMat::from_rows(2, 2, &[c(1.0, 1.0), c(1.0, 0.0), c(1.0, 0.0), c(-1.0, 0.0)]);
         let b = [c(2.0, 0.0), c(0.0, 1.0)];
         let x = solve(&a, &b).unwrap();
         // Verify by substitution.
@@ -266,9 +277,15 @@ mod tests {
             3,
             3,
             &[
-                c(2.0, 0.0), c(5.0, 1.0), c(0.0, 3.0),
-                Complex::ZERO, c(0.0, 1.0), c(7.0, 0.0),
-                Complex::ZERO, Complex::ZERO, c(3.0, 0.0),
+                c(2.0, 0.0),
+                c(5.0, 1.0),
+                c(0.0, 3.0),
+                Complex::ZERO,
+                c(0.0, 1.0),
+                c(7.0, 0.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                c(3.0, 0.0),
             ],
         );
         let lu = Lu::factor(&a).unwrap();
@@ -287,11 +304,7 @@ mod tests {
 
     #[test]
     fn singular_detected() {
-        let a = CMat::from_rows(
-            2,
-            2,
-            &[c(1.0, 0.0), c(2.0, 0.0), c(2.0, 0.0), c(4.0, 0.0)],
-        );
+        let a = CMat::from_rows(2, 2, &[c(1.0, 0.0), c(2.0, 0.0), c(2.0, 0.0), c(4.0, 0.0)]);
         match Lu::factor(&a) {
             Err(LuError::Singular { .. }) => {}
             other => panic!("expected Singular, got {other:?}"),
@@ -308,7 +321,10 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let a = CMat::identity(3);
         let lu = Lu::factor(&a).unwrap();
-        assert_eq!(lu.solve(&[Complex::ONE; 2]).unwrap_err(), LuError::DimensionMismatch);
+        assert_eq!(
+            lu.solve(&[Complex::ONE; 2]).unwrap_err(),
+            LuError::DimensionMismatch
+        );
         assert_eq!(
             lu.solve_mat(&CMat::zeros(2, 2)).unwrap_err(),
             LuError::DimensionMismatch

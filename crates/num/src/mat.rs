@@ -153,7 +153,9 @@ impl CMat {
 
     /// Copies the main diagonal into a new vector.
     pub fn diag(&self) -> Vec<Complex> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// The transpose `Aᵀ` (no conjugation).
@@ -259,7 +261,10 @@ impl Index<(usize, usize)> for CMat {
     type Output = Complex;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &Complex {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -267,7 +272,10 @@ impl Index<(usize, usize)> for CMat {
 impl IndexMut<(usize, usize)> for CMat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -289,11 +297,20 @@ impl fmt::Debug for CMat {
 impl Add for &CMat {
     type Output = CMat;
     fn add(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -301,11 +318,20 @@ impl Add for &CMat {
 impl Sub for &CMat {
     type Output = CMat;
     fn sub(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -506,7 +532,11 @@ mod tests {
 
     #[test]
     fn norms() {
-        let a = CMat::from_rows(2, 2, &[c(3.0, 4.0), Complex::ZERO, Complex::ZERO, Complex::ZERO]);
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[c(3.0, 4.0), Complex::ZERO, Complex::ZERO, Complex::ZERO],
+        );
         assert!((a.norm_fro() - 5.0).abs() < 1e-15);
         assert!((a.norm_max() - 5.0).abs() < 1e-15);
         assert!((a.norm_one() - 5.0).abs() < 1e-15);
@@ -540,11 +570,7 @@ mod tests {
     fn expm_rotation_generator() {
         // exp(t·[[0,−1],[1,0]]) is the rotation by t.
         let t = 0.7f64;
-        let a = CMat::from_rows(
-            2,
-            2,
-            &[Complex::ZERO, c(-t, 0.0), c(t, 0.0), Complex::ZERO],
-        );
+        let a = CMat::from_rows(2, 2, &[Complex::ZERO, c(-t, 0.0), c(t, 0.0), Complex::ZERO]);
         let e = expm(&a);
         assert!((e[(0, 0)] - Complex::from_re(t.cos())).abs() < 1e-12);
         assert!((e[(0, 1)] + Complex::from_re(t.sin())).abs() < 1e-12);
@@ -570,7 +596,9 @@ mod tests {
     #[test]
     fn expm_group_property() {
         // e^{A}·e^{A} = e^{2A} (A commutes with itself).
-        let a = CMat::from_fn(4, 4, |i, j| c(0.2 * (i as f64 - j as f64), 0.1 * (i + j) as f64));
+        let a = CMat::from_fn(4, 4, |i, j| {
+            c(0.2 * (i as f64 - j as f64), 0.1 * (i + j) as f64)
+        });
         let e1 = expm(&a);
         let e2 = expm(&a.scale(c(2.0, 0.0)));
         assert!((&e1 * &e1).max_diff(&e2) < 1e-10);
@@ -581,7 +609,10 @@ mod tests {
         // Forces several squaring steps.
         let a = CMat::from_diag(&[c(8.0, 3.0), c(-10.0, 0.0)]);
         let e = expm(&a);
-        assert!((e[(0, 0)] - Complex::new(8.0, 3.0).exp()).abs() < 1e-6 * Complex::new(8.0, 3.0).exp().abs());
+        assert!(
+            (e[(0, 0)] - Complex::new(8.0, 3.0).exp()).abs()
+                < 1e-6 * Complex::new(8.0, 3.0).exp().abs()
+        );
         assert!((e[(1, 1)] - Complex::from_re((-10.0f64).exp())).abs() < 1e-10);
     }
 

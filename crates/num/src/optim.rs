@@ -274,7 +274,10 @@ mod tests {
         .unwrap();
         assert!((r1 - 3f64.ln()).abs() < 1e-12);
         assert!((r2 - 3f64.ln()).abs() < 1e-12);
-        assert!(calls_brent < calls_bisect, "{calls_brent} vs {calls_bisect}");
+        assert!(
+            calls_brent < calls_bisect,
+            "{calls_brent} vs {calls_bisect}"
+        );
     }
 
     #[test]

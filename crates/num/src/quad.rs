@@ -72,7 +72,15 @@ fn adaptive<F: FnMut(f64) -> f64>(
 /// Panics when `a <= 0` or `b <= a`.
 pub fn integrate_log<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> f64 {
     assert!(a > 0.0 && b > a, "integrate_log needs 0 < a < b");
-    integrate(|u| { let x = u.exp(); f(x) * x }, a.ln(), b.ln(), tol)
+    integrate(
+        |u| {
+            let x = u.exp();
+            f(x) * x
+        },
+        a.ln(),
+        b.ln(),
+        tol,
+    )
 }
 
 /// Composite trapezoid rule over explicit samples `(x_k, y_k)`.

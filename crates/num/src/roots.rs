@@ -107,7 +107,7 @@ fn aberth(p: &Poly) -> Result<Vec<Complex>, FindRootsError> {
     let tol = 1e-14 * scale;
 
     let max_iter = 200 + 20 * n;
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
         let mut max_step = 0.0f64;
         for i in 0..n {
             let pi = p.eval_complex(z[i]);
@@ -152,9 +152,11 @@ fn aberth(p: &Poly) -> Result<Vec<Complex>, FindRootsError> {
                 }
             }
             snap_to_axes(&mut z);
+            htmpll_obs::record!("num", "roots.aberth_iters").record((iter + 1) as f64);
             return Ok(z);
         }
     }
+    htmpll_obs::counter!("num", "roots.aberth_failures").inc();
     Err(FindRootsError::NoConvergence)
 }
 
@@ -229,7 +231,10 @@ mod tests {
         for target in [1.0, 2.0, 3.0] {
             assert_contains_root(&r, Complex::from_re(target), 1e-8);
         }
-        assert!(r.iter().all(|z| z.im == 0.0), "roots should be snapped real");
+        assert!(
+            r.iter().all(|z| z.im == 0.0),
+            "roots should be snapped real"
+        );
     }
 
     #[test]
@@ -309,6 +314,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(FindRootsError::ZeroPolynomial.to_string().contains("zero"));
-        assert!(FindRootsError::NoConvergence.to_string().contains("converge"));
+        assert!(FindRootsError::NoConvergence
+            .to_string()
+            .contains("converge"));
     }
 }

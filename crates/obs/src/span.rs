@@ -1,0 +1,221 @@
+//! RAII timing spans with parent/child nesting.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and drop
+//! on the monotonic clock, and records it under a key built from the
+//! per-thread stack of active span names:
+//!
+//! ```text
+//! span("core", "analyze")                → core.analyze
+//!   span("htm", "closed_loop")           → htm.analyze/closed_loop
+//!     span_labeled("num", "lu", ||"n=5") → num.analyze/closed_loop/lu{n=5}
+//! ```
+//!
+//! so solver time can be attributed to the pipeline stage that asked for
+//! it. When the site is disabled the constructor returns an inert guard
+//! without touching the clock, the thread-local stack, or the registry.
+
+use crate::filter::{enabled, Level};
+use crate::registry::{cell, MetricKind};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names (with labels) of the spans currently open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span guard; records its duration when dropped.
+#[derive(Debug)]
+#[must_use = "a span measures the time until it is dropped; bind it to a variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    key: String,
+    start: Instant,
+}
+
+fn open(target: &str, name: &str, label: Option<String>, level: Level) -> Span {
+    if !enabled(target, level) {
+        return Span { inner: None };
+    }
+    let segment = match label {
+        Some(l) if !l.is_empty() => format!("{name}{{{l}}}"),
+        _ => name.to_string(),
+    };
+    let key = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let mut path = String::with_capacity(target.len() + 1 + 16 * (stack.len() + 1));
+        path.push_str(target);
+        path.push('.');
+        for parent in stack.iter() {
+            path.push_str(parent);
+            path.push('/');
+        }
+        path.push_str(&segment);
+        stack.push(segment);
+        path
+    });
+    Span {
+        inner: Some(SpanInner {
+            key,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Span {
+    /// True when this span is live (its site was enabled at entry).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let ns = inner.start.elapsed().as_secs_f64() * 1e9;
+            STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            cell(&inner.key, MetricKind::Span).observe(ns);
+        }
+    }
+}
+
+/// Opens an `Info`-level span.
+pub fn span(target: &'static str, name: &'static str) -> Span {
+    open(target, name, None, Level::Info)
+}
+
+/// Opens a span at an explicit level.
+pub fn span_at(target: &'static str, name: &'static str, level: Level) -> Span {
+    open(target, name, None, level)
+}
+
+/// Opens an `Info`-level span with a label (e.g. `dim=21`). The label
+/// closure runs only when the site is enabled.
+pub fn span_labeled<F: FnOnce() -> String>(
+    target: &'static str,
+    name: &'static str,
+    label: F,
+) -> Span {
+    if !enabled(target, Level::Info) {
+        return Span { inner: None };
+    }
+    open(target, name, Some(label()), Level::Info)
+}
+
+/// Opens a labeled span at an explicit level.
+pub fn span_labeled_at<F: FnOnce() -> String>(
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    label: F,
+) -> Span {
+    if !enabled(target, level) {
+        return Span { inner: None };
+    }
+    open(target, name, Some(label()), level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::override_filter;
+    use crate::registry::{snapshot, test_lock};
+
+    fn keys_with_prefix(prefix: &str) -> Vec<String> {
+        snapshot()
+            .into_iter()
+            .map(|m| m.key)
+            .filter(|k| k.starts_with(prefix))
+            .collect()
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _g = test_lock();
+        override_filter("spantest=debug");
+        {
+            let _a = span("spantest", "outer");
+            {
+                let _b = span("spantest", "mid");
+                let _c = span_labeled("spantest", "leaf", || "k=3".to_string());
+            }
+            let _d = span("spantest", "sibling");
+        }
+        let keys = keys_with_prefix("spantest.");
+        assert!(keys.contains(&"spantest.outer".to_string()), "{keys:?}");
+        assert!(keys.contains(&"spantest.outer/mid".to_string()), "{keys:?}");
+        assert!(
+            keys.contains(&"spantest.outer/mid/leaf{k=3}".to_string()),
+            "{keys:?}"
+        );
+        assert!(
+            keys.contains(&"spantest.outer/sibling".to_string()),
+            "{keys:?}"
+        );
+        override_filter("off");
+    }
+
+    #[test]
+    fn durations_are_positive_and_ordered() {
+        let _g = test_lock();
+        override_filter("spantest=debug");
+        {
+            let _a = span("spantest", "timed_outer");
+            let _b = span("spantest", "timed_inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snaps = snapshot();
+        let outer = snaps
+            .iter()
+            .find(|m| m.key == "spantest.timed_outer")
+            .unwrap();
+        let inner = snaps
+            .iter()
+            .find(|m| m.key == "spantest.timed_outer/timed_inner")
+            .unwrap();
+        assert_eq!(outer.kind, crate::MetricKind::Span);
+        assert!(outer.sum > 0.0 && inner.sum > 0.0);
+        // The outer span closes after the inner one.
+        assert!(outer.sum >= inner.sum, "{} < {}", outer.sum, inner.sum);
+        override_filter("off");
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = test_lock();
+        override_filter("off");
+        let before = snapshot().len();
+        {
+            let s = span("spantest", "inert");
+            assert!(!s.is_recording());
+            let mut ran = false;
+            let _l = span_labeled("spantest", "inert_labeled", || {
+                ran = true;
+                "x=1".to_string()
+            });
+            assert!(!ran, "label closure must not run while disabled");
+        }
+        assert_eq!(snapshot().len(), before);
+    }
+
+    #[test]
+    fn stack_unwinds_across_disabled_parents() {
+        let _g = test_lock();
+        // A disabled parent contributes nothing to the path of an enabled
+        // child of a *different* target.
+        override_filter("spanchild=info");
+        {
+            let _p = span("spanparent", "off_parent"); // disabled target
+            let _c = span("spanchild", "on_child");
+        }
+        let keys = keys_with_prefix("spanchild.");
+        assert!(keys.contains(&"spanchild.on_child".to_string()), "{keys:?}");
+        override_filter("off");
+    }
+}

@@ -26,8 +26,7 @@ use crate::pfd::TriStatePfd;
 use crate::state_space::StateSpace;
 use htmpll_core::PllDesign;
 use htmpll_lti::Tf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use htmpll_num::rng::Rng;
 
 /// Physical parameters of the simulated loop.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -219,7 +218,7 @@ pub struct PllSim {
     next_ref_index: u64,
     /// VCO cycle count at which the next divided edge fires.
     next_div_cycles: f64,
-    rng: StdRng,
+    rng: Rng,
     /// Jitter of the upcoming reference edge (drawn once per edge).
     pending_jitter: f64,
     /// Current VCO frequency-noise offset (Hz), redrawn per segment.
@@ -245,11 +244,14 @@ impl PllSim {
         assert!(params.kvco > 0.0, "VCO gain must be positive");
         assert!(params.divider >= 1.0, "divider must be at least 1");
         assert!(params.f_center > 0.0, "center frequency must be positive");
-        assert!(config.samples_per_ref > 0, "need at least one sample per period");
+        assert!(
+            config.samples_per_ref > 0,
+            "need at least one sample per period"
+        );
         assert!(config.substeps > 0, "need at least one substep");
         let filter = StateSpace::from_tf(&params.filter);
         let pfd = TriStatePfd::new(params.i_cp);
-        let mut rng = StdRng::seed_from_u64(config.jitter_seed);
+        let mut rng = Rng::seed_from_u64(config.jitter_seed);
         let pending_jitter = draw_jitter(&mut rng, config.ref_jitter_rms);
         let divider = params.divider;
         PllSim {
@@ -339,6 +341,11 @@ impl PllSim {
     /// Routes a PFD edge through the delayed-reset logic, keeping the
     /// dead-zone turn-on timestamps current.
     fn pfd_edge(&mut self, is_ref: bool) {
+        if is_ref {
+            htmpll_obs::counter!("sim", "pfd.ref_edges").inc();
+        } else {
+            htmpll_obs::counter!("sim", "pfd.div_edges").inc();
+        }
         let (up_before, down_before) = (self.pfd.up(), self.pfd.down());
         if self.params.reset_delay > 0.0 {
             if is_ref {
@@ -497,6 +504,7 @@ impl PllSim {
             }
             let x0 = self.combined_state();
             let i_now = self.filter_current();
+            htmpll_obs::counter!("sim", "engine.rk4_steps").inc();
             let trial = self.rk4(&x0, i_now, h);
             let phi_idx = x0.len() - 1;
             if trial[phi_idx] >= self.next_div_cycles {
@@ -522,9 +530,7 @@ impl PllSim {
                 self.t += hi;
                 self.pfd_edge(false);
                 let offset = match &self.params.div_sequence {
-                    Some(seq) if !seq.is_empty() => {
-                        seq[self.div_edge_index % seq.len()] as f64
-                    }
+                    Some(seq) if !seq.is_empty() => seq[self.div_edge_index % seq.len()] as f64,
                     _ => 0.0,
                 };
                 self.div_edge_index += 1;
@@ -556,6 +562,9 @@ impl PllSim {
     /// Panics when `duration <= 0`.
     pub fn run(&mut self, duration: f64, modulation: &dyn Fn(f64) -> f64) -> Trace {
         assert!(duration > 0.0, "duration must be positive");
+        let _span = htmpll_obs::span_labeled("sim", "engine.run", || {
+            format!("periods={:.0}", duration / self.params.t_ref)
+        });
         let dt = self.params.t_ref / self.config.samples_per_ref as f64;
         let n = (duration / dt).round() as usize;
         let t0 = self.t;
@@ -578,7 +587,7 @@ impl PllSim {
     }
 }
 
-fn draw_jitter(rng: &mut StdRng, rms: f64) -> f64 {
+fn draw_jitter(rng: &mut Rng, rms: f64) -> f64 {
     if rms == 0.0 {
         return 0.0;
     }
@@ -586,10 +595,8 @@ fn draw_jitter(rng: &mut StdRng, rms: f64) -> f64 {
 }
 
 /// Standard normal sample by Box–Muller.
-fn draw_gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+fn draw_gaussian(rng: &mut Rng) -> f64 {
+    rng.gaussian()
 }
 
 #[cfg(test)]
@@ -660,10 +667,7 @@ mod tests {
         // Settle, then measure.
         let _ = sim.run(400.0 * t_ref, &modulation);
         let trace = sim.run(800.0 * t_ref, &modulation);
-        let peak = trace
-            .theta_vco
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b.abs()));
+        let peak = trace.theta_vco.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         // In-band modulation is tracked: output amplitude ≈ input.
         assert!(peak > 0.8 * amp && peak < 1.6 * amp, "peak {peak} vs {amp}");
     }
@@ -925,8 +929,7 @@ mod tests {
         sim.detune(1e-4);
         let trace = sim.run(2000.0 * t_ref, &|_| 0.0);
         let f_c = sim.params().f_center;
-        let expect = -(1e-4 / (1.0 + 1e-4)) * f_c * 2.0 * std::f64::consts::PI
-            / sim.params().kvco;
+        let expect = -(1e-4 / (1.0 + 1e-4)) * f_c * 2.0 * std::f64::consts::PI / sim.params().kvco;
         let v_tail = *trace.v_ctrl.last().unwrap();
         assert!(
             (v_tail - expect).abs() < 0.05 * expect.abs(),

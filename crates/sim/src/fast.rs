@@ -126,8 +126,7 @@ impl PeriodMap {
         let nf = ss.order();
         let n = nf + 1;
         // θ̇ = g·v, v = Cx + D·i, g = K_vco·T/(2π·N).
-        let g = params.kvco * params.t_ref
-            / (2.0 * std::f64::consts::PI * params.divider);
+        let g = params.kvco * params.t_ref / (2.0 * std::f64::consts::PI * params.divider);
 
         // Continuous generator M (companion A from the state space) and
         // input column P, extracted by probing the state-space callbacks.
@@ -240,10 +239,7 @@ mod tests {
         // θ((k+1)T): compare against the z-domain sample k+1.
         for (k, a) in theta.iter().enumerate() {
             let b = z_step[k + 1];
-            assert!(
-                (a - b).abs() < 1e-9,
-                "k={k}: map {a} vs zdomain {b}"
-            );
+            assert!((a - b).abs() < 1e-9, "k={k}: map {a} vs zdomain {b}");
         }
     }
 
@@ -285,10 +281,7 @@ mod tests {
 
     #[test]
     fn dead_zone_wanders() {
-        let mut map = PeriodMap::new(
-            &params(0.1),
-            PulseLaw::DeadZone { width: 1e-3 },
-        );
+        let mut map = PeriodMap::new(&params(0.1), PulseLaw::DeadZone { width: 1e-3 });
         let offset = 5e-4; // inside the dead zone
         let theta = map.run(600, |_| offset);
         let residual = offset - theta.last().unwrap();
@@ -332,10 +325,7 @@ mod tests {
         let theta = map.run(3000, |_| 0.0);
         let expect = p.leakage * p.t_ref / p.i_cp;
         let got = *theta.last().unwrap();
-        assert!(
-            (got - expect).abs() < 0.1 * expect,
-            "{got} vs {expect}"
-        );
+        assert!((got - expect).abs() < 0.1 * expect, "{got} vs {expect}");
     }
 
     #[test]
@@ -372,11 +362,7 @@ mod tests {
 
     #[test]
     fn hold_mode_tracks_and_settles() {
-        let mut map = PeriodMap::with_kind(
-            &params(0.1),
-            PulseLaw::Linear,
-            CorrectionKind::Hold,
-        );
+        let mut map = PeriodMap::with_kind(&params(0.1), PulseLaw::Linear, CorrectionKind::Hold);
         let theta = map.run(600, |_| 1.5e-3);
         assert!((theta.last().unwrap() - 1.5e-3).abs() < 1e-6);
     }

@@ -66,6 +66,7 @@ pub fn acquire_lock(
     freq_offset_frac: f64,
     opts: &LockOptions,
 ) -> LockResult {
+    let _span = htmpll_obs::span("sim", "acquire_lock");
     let mut sim = PllSim::new(params.clone(), *config);
     sim.detune(freq_offset_frac);
     let t_ref = params.t_ref;
@@ -89,9 +90,13 @@ pub fn acquire_lock(
         if err < threshold {
             if held == 0 {
                 hold_start = sim.time() - t_ref;
+                // First period back under threshold: an unlocked→locked
+                // candidate transition (re-entries count again).
+                htmpll_obs::counter!("sim", "lock.transitions").inc();
             }
             held += 1;
             if held >= opts.hold_periods {
+                htmpll_obs::counter!("sim", "lock.acquired").inc();
                 return LockResult {
                     locked: true,
                     lock_time: hold_start,
@@ -102,6 +107,7 @@ pub fn acquire_lock(
             held = 0;
         }
     }
+    htmpll_obs::counter!("sim", "lock.failed").inc();
     LockResult {
         locked: false,
         lock_time: f64::NAN,

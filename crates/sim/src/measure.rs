@@ -82,7 +82,10 @@ pub fn measure_h00(
     opts: &MeasureOptions,
 ) -> ToneMeasurement {
     assert!(omega > 0.0, "probe frequency must be positive");
-    assert!(opts.measure_cycles > 0, "need at least one measurement cycle");
+    assert!(
+        opts.measure_cycles > 0,
+        "need at least one measurement cycle"
+    );
     let dt = params.t_ref / config.samples_per_ref as f64;
     // Snap: one modulation period = integer number of samples.
     let samples_per_cycle = ((2.0 * std::f64::consts::PI / omega) / dt).round().max(2.0);
@@ -153,7 +156,10 @@ pub fn measure_band_transfer(
     opts: &MeasureOptions,
 ) -> ToneMeasurement {
     assert!(omega > 0.0, "probe frequency must be positive");
-    assert!(opts.measure_cycles > 0, "need at least one measurement cycle");
+    assert!(
+        opts.measure_cycles > 0,
+        "need at least one measurement cycle"
+    );
     let w0 = 2.0 * std::f64::consts::PI / params.t_ref;
     let dt = params.t_ref / config.samples_per_ref as f64;
     // Snap the *probe* so that both the probe and the readout land on
@@ -164,7 +170,10 @@ pub fn measure_band_transfer(
     // Whole reference periods so the readout at ω + band·ω₀ is also
     // orthogonal over the record.
     let spr = config.samples_per_ref as f64;
-    let record = ((cycles * 2.0 * std::f64::consts::PI / omega / dt / spr).round().max(1.0)) * spr;
+    let record = ((cycles * 2.0 * std::f64::consts::PI / omega / dt / spr)
+        .round()
+        .max(1.0))
+        * spr;
     let omega_snapped = 2.0 * std::f64::consts::PI * cycles / (record * dt);
     let readout = omega_snapped + band as f64 * w0;
     assert!(
@@ -237,7 +246,10 @@ pub fn measure_h00_multitone(
         omegas.iter().all(|&w| w > 0.0),
         "probe frequencies must be positive"
     );
-    assert!(opts.measure_cycles > 0, "need at least one measurement cycle");
+    assert!(
+        opts.measure_cycles > 0,
+        "need at least one measurement cycle"
+    );
     let dt = params.t_ref / config.samples_per_ref as f64;
     let w_min = omegas.iter().cloned().fold(f64::INFINITY, f64::min);
     // Record: enough whole reference periods that the lowest tone
@@ -247,7 +259,11 @@ pub fn measure_h00_multitone(
         .ceil()
         .max(1.0))
         * spr;
-    let bin = |w: f64| ((w * record * dt) / (2.0 * std::f64::consts::PI)).round().max(1.0);
+    let bin = |w: f64| {
+        ((w * record * dt) / (2.0 * std::f64::consts::PI))
+            .round()
+            .max(1.0)
+    };
     let mut bins: Vec<f64> = omegas.iter().map(|&w| bin(w)).collect();
     bins.sort_by(|a, b| a.partial_cmp(b).unwrap());
     bins.dedup();
@@ -389,7 +405,11 @@ mod tests {
             &MeasureOptions::default(),
         );
         let predict = model.h00(m.omega);
-        assert!((m.h - predict).abs() < 0.03 * predict.abs(), "{} vs {predict}", m.h);
+        assert!(
+            (m.h - predict).abs() < 0.03 * predict.abs(),
+            "{} vs {predict}",
+            m.h
+        );
     }
 
     #[test]
@@ -428,12 +448,7 @@ mod tests {
             ..MeasureOptions::default()
         };
         // Two requests that snap to the same bin collapse to one tone.
-        let res = measure_h00_multitone(
-            &params,
-            &SimConfig::default(),
-            &[1.0, 1.0000001],
-            &opts,
-        );
+        let res = measure_h00_multitone(&params, &SimConfig::default(), &[1.0, 1.0000001], &opts);
         assert_eq!(res.len(), 1);
     }
 
@@ -443,11 +458,16 @@ mod tests {
         let params = SimParams::from_design(&d);
         let cfg = SimConfig::default();
         let dt = params.t_ref / cfg.samples_per_ref as f64;
-        let m = measure_h00(&params, &cfg, 0.73, &MeasureOptions {
-            settle_cycles: 2,
-            measure_cycles: 2,
-            ..MeasureOptions::default()
-        });
+        let m = measure_h00(
+            &params,
+            &cfg,
+            0.73,
+            &MeasureOptions {
+                settle_cycles: 2,
+                measure_cycles: 2,
+                ..MeasureOptions::default()
+            },
+        );
         let samples_per_cycle = 2.0 * std::f64::consts::PI / (m.omega * dt);
         assert!((samples_per_cycle - samples_per_cycle.round()).abs() < 1e-9);
         assert!((m.omega - 0.73).abs() < 0.05);

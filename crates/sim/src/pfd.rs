@@ -33,7 +33,10 @@ impl TriStatePfd {
     ///
     /// Panics when `i_cp <= 0`.
     pub fn new(i_cp: f64) -> Self {
-        assert!(i_cp > 0.0 && i_cp.is_finite(), "charge-pump current must be positive");
+        assert!(
+            i_cp > 0.0 && i_cp.is_finite(),
+            "charge-pump current must be positive"
+        );
         TriStatePfd {
             i_cp,
             up: false,

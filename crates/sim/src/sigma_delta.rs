@@ -154,8 +154,7 @@ mod tests {
         let mut m = Mash111::new(0.321, 1 << 20, 11).unwrap();
         let seq: Vec<f64> = m.sequence(1 << 14).iter().map(|&v| v as f64).collect();
         let mean = seq.iter().sum::<f64>() / seq.len() as f64;
-        let var: f64 =
-            seq.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / seq.len() as f64;
+        let var: f64 = seq.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / seq.len() as f64;
         let dvar: f64 = seq
             .windows(2)
             .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
@@ -186,6 +185,9 @@ mod tests {
             Mash111::new(-0.1, 16, 0).unwrap_err(),
             MashError::FractionOutOfRange
         );
-        assert_eq!(Mash111::new(0.5, 1, 0).unwrap_err(), MashError::ModulusTooSmall);
+        assert_eq!(
+            Mash111::new(0.5, 1, 0).unwrap_err(),
+            MashError::ModulusTooSmall
+        );
     }
 }

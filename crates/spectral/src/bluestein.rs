@@ -46,10 +46,13 @@ pub fn ifft_any(x: &[Complex]) -> Vec<Complex> {
     // IDFT via conjugation: idft(x) = conj(dft(conj(x)))/N.
     let conj: Vec<Complex> = x.iter().map(|v| v.conj()).collect();
     let y = fft_any(&conj);
-    y.into_iter().map(|v| v.conj().scale(1.0 / n as f64)).collect()
+    y.into_iter()
+        .map(|v| v.conj().scale(1.0 / n as f64))
+        .collect()
 }
 
 fn bluestein(x: &[Complex]) -> Vec<Complex> {
+    htmpll_obs::counter!("spectral", "fft.bluestein").inc();
     let n = x.len();
     // Chirp w[k] = e^{−jπk²/N}. Reduce k² mod 2N before the trig call so
     // large k does not lose precision.

@@ -154,7 +154,12 @@ mod tests {
         }
         let est = tf_estimate(&x, &y, 1.0, 512);
         for bin in est.iter().step_by(23) {
-            assert!((bin.h.abs() - g).abs() < 0.03, "f={}: {}", bin.frequency, bin.h.abs());
+            assert!(
+                (bin.h.abs() - g).abs() < 0.03,
+                "f={}: {}",
+                bin.frequency,
+                bin.h.abs()
+            );
             let expect_phase = -2.0 * std::f64::consts::PI * bin.frequency * d as f64;
             let dphi = (bin.h.arg() - expect_phase).rem_euclid(2.0 * std::f64::consts::PI);
             let dphi = dphi.min(2.0 * std::f64::consts::PI - dphi);
@@ -190,8 +195,7 @@ mod tests {
         let x = noise(1 << 14, 5);
         let y = noise(1 << 14, 6);
         let est = tf_estimate(&x, &y, 1.0, 256);
-        let mean_coh: f64 =
-            est.iter().map(|b| b.coherence).sum::<f64>() / est.len() as f64;
+        let mean_coh: f64 = est.iter().map(|b| b.coherence).sum::<f64>() / est.len() as f64;
         assert!(mean_coh < 0.2, "mean coherence {mean_coh}");
     }
 
@@ -204,7 +208,11 @@ mod tests {
         let est = tf_estimate(&x, &y, 1.0, 512);
         let mid = &est[est.len() / 3];
         assert!((mid.h.abs() - 0.5).abs() < 0.08, "{}", mid.h.abs());
-        assert!(mid.coherence < 0.9 && mid.coherence > 0.2, "{}", mid.coherence);
+        assert!(
+            mid.coherence < 0.9 && mid.coherence > 0.2,
+            "{}",
+            mid.coherence
+        );
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
     if n <= 1 {
         return Ok(());
     }
+    htmpll_obs::counter!("spectral", "fft.radix2").inc();
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -125,6 +126,7 @@ pub fn fft_real(x: &[f64]) -> Result<Vec<Complex>, FftError> {
 /// Reference O(N²) DFT used to validate the fast paths in tests and as a
 /// fallback for tiny lengths.
 pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    htmpll_obs::counter!("spectral", "fft.naive").inc();
     let n = x.len();
     (0..n)
         .map(|k| {

@@ -117,9 +117,7 @@ mod tests {
         let n = 1000;
         let w_probe = 2.0 * PI * 7.0;
         let w_other = 2.0 * PI * 13.0;
-        let x: Vec<f64> = (0..n)
-            .map(|k| (w_other * k as f64 * dt).cos())
-            .collect();
+        let x: Vec<f64> = (0..n).map(|k| (w_other * k as f64 * dt).cos()).collect();
         let a = tone_amplitude(&x, w_probe, dt);
         assert!(a.abs() < 1e-9, "leakage {}", a.abs());
     }

@@ -49,7 +49,10 @@ impl fmt::Display for ZModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ZModelError::NotStrictlyProper => {
-                write!(f, "impulse-invariant transform requires a strictly proper plant")
+                write!(
+                    f,
+                    "impulse-invariant transform requires a strictly proper plant"
+                )
             }
             ZModelError::UnsupportedMultiplicity(m) => {
                 write!(f, "pole multiplicity {m} exceeds the supported order 3")
@@ -139,7 +142,7 @@ pub fn impulse_invariant(p: &Tf, t_sample: f64) -> Result<Zf, ZModelError> {
         let c = term.coeff;
         // h(kT) = c·(kT)^{r−1}/(r−1)!·q^k.
         let term_num: Vec<Complex> = match term.order {
-            1 => vec![Complex::ZERO, c], // c·z
+            1 => vec![Complex::ZERO, c],                // c·z
             2 => vec![Complex::ZERO, c * q * t_sample], // c·T·q·z
             3 => {
                 let k = c * (t_sample * t_sample / 2.0);
@@ -334,15 +337,11 @@ mod tests {
         // sits well below the Nyquist ratio 0.5 for this loop shape.
         assert!(limit > 0.1 && limit < 0.45, "limit {limit}");
         // Monotone: below stable, above unstable.
-        let below = CpPllZModel::from_design(
-            &PllDesign::reference_design(limit - 0.02).unwrap(),
-        )
-        .unwrap();
+        let below =
+            CpPllZModel::from_design(&PllDesign::reference_design(limit - 0.02).unwrap()).unwrap();
         assert!(below.is_stable().unwrap());
-        let above = CpPllZModel::from_design(
-            &PllDesign::reference_design(limit + 0.02).unwrap(),
-        )
-        .unwrap();
+        let above =
+            CpPllZModel::from_design(&PllDesign::reference_design(limit + 0.02).unwrap()).unwrap();
         assert!(!above.is_stable().unwrap());
     }
 
@@ -368,8 +367,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ZModelError::NotStrictlyProper.to_string().contains("strictly proper"));
-        assert!(ZModelError::UnsupportedMultiplicity(4).to_string().contains('4'));
+        assert!(ZModelError::NotStrictlyProper
+            .to_string()
+            .contains("strictly proper"));
+        assert!(ZModelError::UnsupportedMultiplicity(4)
+            .to_string()
+            .contains('4'));
         assert!(ZModelError::Algebra("x".into()).to_string().contains('x'));
     }
 }

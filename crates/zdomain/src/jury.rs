@@ -72,7 +72,11 @@ pub fn jury_stable(p: &Poly) -> Result<bool, JuryError> {
         .enumerate()
         .map(|(k, &c)| if k % 2 == 0 { c } else { -c })
         .sum();
-    let signed = if n.is_multiple_of(2) { at_minus_one } else { -at_minus_one };
+    let signed = if n.is_multiple_of(2) {
+        at_minus_one
+    } else {
+        -at_minus_one
+    };
     if signed <= 0.0 {
         return Ok(false);
     }
@@ -101,10 +105,7 @@ mod tests {
     use htmpll_num::roots::find_roots;
 
     fn stable_by_roots(p: &Poly) -> bool {
-        find_roots(p)
-            .unwrap()
-            .iter()
-            .all(|z| z.abs() < 1.0 - 1e-12)
+        find_roots(p).unwrap().iter().all(|z| z.abs() < 1.0 - 1e-12)
     }
 
     #[test]
@@ -127,11 +128,7 @@ mod tests {
         ];
         for (a0, a1, expect) in cases {
             let p = Poly::new(vec![a0, a1, 1.0]);
-            assert_eq!(
-                jury_stable(&p).unwrap(),
-                expect,
-                "a0={a0} a1={a1}"
-            );
+            assert_eq!(jury_stable(&p).unwrap(), expect, "a0={a0} a1={a1}");
             assert_eq!(jury_stable(&p).unwrap(), stable_by_roots(&p));
         }
     }
@@ -170,6 +167,9 @@ mod tests {
 
     #[test]
     fn zero_rejected() {
-        assert_eq!(jury_stable(&Poly::zero()).unwrap_err(), JuryError::ZeroPolynomial);
+        assert_eq!(
+            jury_stable(&Poly::zero()).unwrap_err(),
+            JuryError::ZeroPolynomial
+        );
     }
 }

@@ -35,8 +35,7 @@ pub mod jury;
 pub mod ztf;
 
 pub use cp_pll::{
-    impulse_invariant, reference_design_stability_limit, stability_limit, CpPllZModel,
-    ZModelError,
+    impulse_invariant, reference_design_stability_limit, stability_limit, CpPllZModel, ZModelError,
 };
 pub use jury::{jury_stable, JuryError};
 pub use ztf::{Zf, ZfError};

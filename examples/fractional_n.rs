@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // up as a deterministic ramp of slope frac/N: verify it, then remove
     // it (least-squares detrend) before spectral analysis.
     let n_s = trace.theta_vco.len();
-    let drift = (trace.theta_vco.last().unwrap() - trace.theta_vco[0])
-        / (n_s as f64 * trace.dt);
+    let drift = (trace.theta_vco.last().unwrap() - trace.theta_vco[0]) / (n_s as f64 * trace.dt);
     let expected_drift = mash.realized_fraction() / n_int;
     println!(
         "locked at {:.6}×f_ref (target {:.6}); θ ramp {:.5} (expected {:.5})",
@@ -89,15 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fmid = 0.5 * (lo + hi);
         // Standard model: S_q ∝ (2sin(πf/f_ref))⁴ in-band, cut by |H00|².
         let w = 2.0 * std::f64::consts::PI * fmid * f_ref;
-        let shape = (std::f64::consts::PI * fmid).sin().powi(4)
-            * model.h00(w).norm_sqr();
+        let shape = (std::f64::consts::PI * fmid).sin().powi(4) * model.h00(w).norm_sqr();
         println!(
             "  {:7.3}    {:10.2}       {:10.2}",
             fmid,
             10.0 * (avg / base_level).log10(),
             10.0 * (shape
                 / ((std::f64::consts::PI * 0.006).sin().powi(4)
-                    * model.h00(2.0 * std::f64::consts::PI * 0.006 * f_ref).norm_sqr()))
+                    * model
+                        .h00(2.0 * std::f64::consts::PI * 0.006 * f_ref)
+                        .norm_sqr()))
             .log10()
         );
     }

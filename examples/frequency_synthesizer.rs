@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = PllModel::new(design.clone())?;
     let report = analyze(&model)?;
 
-    println!("\nsynthesizer: {:.0} MHz out from {:.0} MHz reference (÷{n})", f_out / 1e6, f_ref / 1e6);
+    println!(
+        "\nsynthesizer: {:.0} MHz out from {:.0} MHz reference (÷{n})",
+        f_out / 1e6,
+        f_ref / 1e6
+    );
     println!(
         "loop crossover: {:.1} kHz (ω_UG/ω₀ = {:.3})",
         report.omega_ug_lti / (2.0 * std::f64::consts::PI) / 1e3,
@@ -48,14 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "closed-loop −3 dB bandwidth: {:.1} kHz",
         report.bandwidth_3db.unwrap_or(f64::NAN) / (2.0 * std::f64::consts::PI) / 1e3
     );
-    println!("peaking: {:.2} dB (LTI predicted {:.2} dB)", report.peaking_db, report.peaking_lti_db);
+    println!(
+        "peaking: {:.2} dB (LTI predicted {:.2} dB)",
+        report.peaking_db, report.peaking_lti_db
+    );
 
     // Reference spur estimate: the HTM band transfer |H_{1,0}| at small
     // offsets tells how baseband reference noise leaks to the first
     // reference harmonic of the output phase.
     let w_off = 0.05 * report.omega_ug_lti;
     let spur = model.h_band(1, w_off).abs();
-    println!("band transfer |H(+1 ← 0)| near DC: {:.2e} ({:.1} dBc-ish)", spur, 20.0 * spur.log10());
+    println!(
+        "band transfer |H(+1 ← 0)| near DC: {:.2e} ({:.1} dBc-ish)",
+        spur,
+        20.0 * spur.log10()
+    );
 
     // Lock acquisition from a 0.5 % VCO detuning.
     let result = acquire_lock(
@@ -71,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.lock_time * f_ref
         );
     } else {
-        println!("\nloop failed to lock within the horizon (error {:.3e})", result.final_error);
+        println!(
+            "\nloop failed to lock within the horizon (error {:.3e})",
+            result.final_error
+        );
     }
     Ok(())
 }

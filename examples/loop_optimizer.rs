@@ -77,8 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offset = 8e-3 * t_ref; // reference phase step, well outside the zone
     for (name, law, jitter_on) in [
         ("ideal pump, jitter", PulseLaw::Linear, true),
-        ("dead zone, NO jitter", PulseLaw::DeadZone { width: dead }, false),
-        ("dead zone, jitter", PulseLaw::DeadZone { width: dead }, true),
+        (
+            "dead zone, NO jitter",
+            PulseLaw::DeadZone { width: dead },
+            false,
+        ),
+        (
+            "dead zone, jitter",
+            PulseLaw::DeadZone { width: dead },
+            true,
+        ),
     ] {
         let mut map = PeriodMap::new(&params, law);
         // Deterministic pseudo-random reference jitter, rms 0.05 %·T.
@@ -94,9 +102,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tail = &theta[n / 10..];
         let mean_err = offset - tail.iter().sum::<f64>() / tail.len() as f64;
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let rms = (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / tail.len() as f64)
-            .sqrt();
+        let rms =
+            (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len() as f64).sqrt();
         println!(
             "  {name:<22} residual error = {:+.3e}·T   wander rms = {:.3e}·T",
             mean_err / t_ref,
@@ -105,8 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nWithout jitter the dead-zone pump parks exactly a zone-width away");
     println!("from the target (on the overshoot side, given this loop's ringing).");
-    println!("WITH jitter the error dithers
-across both zone edges and averages away — the classic dither");
+    println!(
+        "WITH jitter the error dithers
+across both zone edges and averages away — the classic dither"
+    );
     println!("linearization — at the price of doubled wander. A million-period");
     println!("statistic, computed in well under a second by the period map.");
     Ok(())

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let j_tv = noise.integrated_phase_noise(1e-3, 0.45 * w0, &s_ref, &s_vco);
-    println!("\nintegrated output phase noise 1e-3..0.45·ω₀: {:.3e} rad² (rms {:.3e} rad)", j_tv, j_tv.sqrt());
+    println!(
+        "\nintegrated output phase noise 1e-3..0.45·ω₀: {:.3e} rad² (rms {:.3e} rad)",
+        j_tv,
+        j_tv.sqrt()
+    );
 
     // Time-domain cross-check: drive the simulator with white reference
     // edge jitter and estimate the output phase PSD.
@@ -67,8 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Average a few bins to tame estimator variance.
         let lo = idx.saturating_sub(3);
         let hi = (idx + 4).min(psd.len());
-        let meas: f64 =
-            psd[lo..hi].iter().map(|&(_, p)| p).sum::<f64>() / (hi - lo) as f64;
+        let meas: f64 = psd[lo..hi].iter().map(|&(_, p)| p).sum::<f64>() / (hi - lo) as f64;
         let pred = model.h00(w).norm_sqr() * s_in;
         println!("  {f_hz:7.3}   {meas:11.3e}   {pred:11.3e}");
     }

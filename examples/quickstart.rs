@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.omega_ug_eff,
         report.omega_ug_eff / report.omega_ug_lti
     );
-    println!("effective phase margin: {:.2}°", report.phase_margin_eff_deg);
+    println!(
+        "effective phase margin: {:.2}°",
+        report.phase_margin_eff_deg
+    );
     println!("closed-loop peaking   : {:.2} dB", report.peaking_db);
     println!(
         "margin degradation    : {:.2}° ({:.1} % of the LTI prediction)",
@@ -54,7 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check one point against the behavioral time-domain simulator
     // (this is what the paper's Fig. 6 "marks" are).
     let params = SimParams::from_design(model.design());
-    let m = measure_h00(&params, &SimConfig::default(), 1.0, &MeasureOptions::default());
+    let m = measure_h00(
+        &params,
+        &SimConfig::default(),
+        1.0,
+        &MeasureOptions::default(),
+    );
     println!(
         "\nsimulated |H00({:.3})| = {:.4}  (HTM predicts {:.4})",
         m.omega,

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's symbolic capability: λ(s) in closed form.
     let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())?;
-    println!("closed-form effective open-loop gain:\n{}\n", lam.symbolic());
+    println!(
+        "closed-form effective open-loop gain:\n{}\n",
+        lam.symbolic()
+    );
 
     // 1. LTI step response.
     let cl = design.open_loop_gain().feedback_unity()?;
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = sim.run(50.0 * t_ref, &modulation);
 
     let spr = cfg.samples_per_ref;
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "t/T", "LTI", "HTM", "z-dom", "sim");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "t/T", "LTI", "HTM", "z-dom", "sim"
+    );
     for k in (2..48).step_by(4) {
         let t = k as f64 * t_ref;
         let lti = response::step_response(&cl, &[t])?[0];
@@ -54,8 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let idx = ((t - trace.t0 + t_step) / trace.dt).round() as usize;
         let lo = idx.saturating_sub(spr / 2);
         let hi = (idx + spr / 2).min(trace.theta_vco.len());
-        let sim_avg: f64 =
-            trace.theta_vco[lo..hi].iter().sum::<f64>() / (hi - lo) as f64 / step;
+        let sim_avg: f64 = trace.theta_vco[lo..hi].iter().sum::<f64>() / (hi - lo) as f64 / step;
         println!("{k:>8} {lti:>10.4} {htm:>10.4} {z:>10.4} {sim_avg:>10.4}");
     }
     println!("\nAt this ratio the LTI column under-predicts the ringing that");

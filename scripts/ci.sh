@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI: everything a reviewer needs to trust the tree, offline.
+#
+#   scripts/ci.sh            # build, test, clippy, fmt check, metrics smoke
+#
+# The bench crate is excluded from the workspace (needs the registry);
+# this script covers the offline workspace only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> plltool metrics smoke"
+out=$(./target/release/plltool metrics --ratio 0.1)
+echo "$out" | grep -q "core.analyze" || {
+    echo "metrics smoke failed: no core.analyze in output" >&2
+    exit 1
+}
+sites=$(echo "$out" | grep -cE "counter|histogram|span" || true)
+if [ "$sites" -lt 10 ]; then
+    echo "metrics smoke failed: only $sites instrumented sites" >&2
+    exit 1
+fi
+echo "metrics smoke ok ($sites instrumented sites)"
+
+echo "==> all green"

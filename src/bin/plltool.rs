@@ -16,8 +16,12 @@ use htmpll::core::{
     analyze, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs, NoiseShape,
     NoiseSpec, OptimizeSpec, PllDesign, PllModel, SampleHoldModel,
 };
+use htmpll::htm::Truncation;
 use htmpll::lti::bode_sweep;
 use htmpll::num::optim::{lin_grid, log_grid};
+use htmpll::num::Complex;
+use htmpll::sim::{acquire_lock, LockOptions, PllSim, SimConfig, SimParams};
+use htmpll::spectral::{periodogram, Window};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -84,14 +88,19 @@ fn design_from(args: &Args) -> Result<PllDesign, String> {
         .f64_opt("fref")?
         .ok_or("need --ratio or --fref/--n/--kvco/--bw")?;
     let n = args.f64_or("n", 1.0)?;
-    let kvco = args
-        .f64_opt("kvco")?
-        .ok_or("--kvco required with --fref")?;
+    let kvco = args.f64_opt("kvco")?.ok_or("--kvco required with --fref")?;
     let bw = args.f64_opt("bw")?.ok_or("--bw required with --fref")?;
     let spread = args.f64_or("spread", 4.0)?;
     let ctotal = args.f64_or("ctotal", 1e-9)?;
-    PllDesign::synthesize(fref, n, kvco, 2.0 * std::f64::consts::PI * bw, spread, ctotal)
-        .map_err(|e| e.to_string())
+    PllDesign::synthesize(
+        fref,
+        n,
+        kvco,
+        2.0 * std::f64::consts::PI * bw,
+        spread,
+        ctotal,
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
@@ -100,20 +109,47 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let r = analyze(&model).map_err(|e| e.to_string())?;
     println!("design             : {design}");
     println!("ω₀ (reference)     : {:.6e} rad/s", design.omega_ref());
-    println!("ω_UG (LTI)         : {:.6e} rad/s  (ω_UG/ω₀ = {:.4})", r.omega_ug_lti, r.omega_ug_ratio);
+    println!(
+        "ω_UG (LTI)         : {:.6e} rad/s  (ω_UG/ω₀ = {:.4})",
+        r.omega_ug_lti, r.omega_ug_ratio
+    );
     println!("phase margin (LTI) : {:.2}°", r.phase_margin_lti_deg);
-    println!("ω_UG,eff           : {:.6e} rad/s  ({:.3}× LTI)", r.omega_ug_eff, r.omega_ug_eff / r.omega_ug_lti);
-    println!("phase margin (eff) : {:.2}°  ({:.1} % degradation)", r.phase_margin_eff_deg, 100.0 * r.phase_margin_degradation_rel());
+    println!(
+        "ω_UG,eff           : {:.6e} rad/s  ({:.3}× LTI)",
+        r.omega_ug_eff,
+        r.omega_ug_eff / r.omega_ug_lti
+    );
+    println!(
+        "phase margin (eff) : {:.2}°  ({:.1} % degradation)",
+        r.phase_margin_eff_deg,
+        100.0 * r.phase_margin_degradation_rel()
+    );
     match r.bandwidth_3db {
         Some(bw) => println!("−3 dB bandwidth    : {bw:.6e} rad/s"),
         None => println!("−3 dB bandwidth    : (none in scan window)"),
     }
-    println!("peaking            : {:.2} dB (LTI predicted {:.2} dB)", r.peaking_db, r.peaking_lti_db);
-    println!("stable (HTM)       : {}{}", r.nyquist_stable, if r.beyond_sampling_limit { "  [beyond sampling limit]" } else { "" });
+    println!(
+        "peaking            : {:.2} dB (LTI predicted {:.2} dB)",
+        r.peaking_db, r.peaking_lti_db
+    );
+    println!(
+        "stable (HTM)       : {}{}",
+        r.nyquist_stable,
+        if r.beyond_sampling_limit {
+            "  [beyond sampling limit]"
+        } else {
+            ""
+        }
+    );
     if let Ok(poles) = dominant_poles(&model) {
         println!("strip poles        :");
         for p in poles {
-            println!("    {:.4} {:+.4}j   (Im/(ω₀/2) = {:.3})", p.re, p.im, p.im / (0.5 * design.omega_ref()));
+            println!(
+                "    {:.4} {:+.4}j   (Im/(ω₀/2) = {:.3})",
+                p.re,
+                p.im,
+                p.im / (0.5 * design.omega_ref())
+            );
         }
     }
     if args.values.get("pfd").map(String::as_str) == Some("sh") {
@@ -143,10 +179,8 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         "ratio", "wUG_eff/wUG", "PM_eff", "PM_LTI", "limit?"
     );
     for ratio in lin_grid(from, to, points.max(2)) {
-        let model = PllModel::new(
-            PllDesign::reference_design(ratio).map_err(|e| e.to_string())?,
-        )
-        .map_err(|e| e.to_string())?;
+        let model = PllModel::new(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
         let r = analyze(&model).map_err(|e| e.to_string())?;
         println!(
             "{:8.3} {:14.4} {:12.2} {:12.2} {:>8}",
@@ -222,7 +256,11 @@ fn cmd_spur(args: &Args) -> Result<(), String> {
     let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
     let spurs = LeakageSpurs::new(&model, frac * design.icp());
     println!("leakage            : {:.3e} × I_cp", frac);
-    println!("static offset      : {:.4e} s ({:.3e}·T)", spurs.static_offset(), spurs.static_offset() * design.f_ref());
+    println!(
+        "static offset      : {:.4e} s ({:.3e}·T)",
+        spurs.static_offset(),
+        spurs.static_offset() * design.f_ref()
+    );
     println!("{:>6} {:>16} {:>12}", "k", "|sideband| (s)", "dBc");
     for k in 1..=4 {
         println!(
@@ -258,10 +296,7 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     let best = optimize_loop(&spec, &noise).map_err(|e| e.to_string())?;
     println!(
         "best: ω_UG/ω₀ = {:.3}, spread = {} (PM_LTI {:.1}°, PM_eff {:.1}°)",
-        best.ratio,
-        best.spread,
-        best.report.phase_margin_lti_deg,
-        best.report.phase_margin_eff_deg
+        best.ratio, best.spread, best.report.phase_margin_lti_deg, best.report.phase_margin_eff_deg
     );
     println!(
         "integrated output noise: {:.3e} (rms {:.3e})",
@@ -271,7 +306,68 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop> [--key value ...]
+/// Runs a representative slice of the whole pipeline — analysis, strip
+/// poles, truncated/dense HTM closed loop, eigenvalues, behavioral
+/// simulation, lock acquisition, spectral estimation — under the obs
+/// filter, then reports every metric the run produced.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let spec = args
+        .values
+        .get("obs")
+        .cloned()
+        .unwrap_or_else(|| "debug".to_string());
+    htmpll::obs::override_filter(&spec);
+    htmpll::obs::reset();
+
+    let design = if args.has("ratio") || args.has("fref") {
+        design_from(args)?
+    } else {
+        PllDesign::reference_design(0.1).map_err(|e| e.to_string())?
+    };
+    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
+
+    // Frequency-domain leg: margins, strip poles, λ truncation.
+    analyze(&model).map_err(|e| e.to_string())?;
+    let _ = dominant_poles(&model);
+    let lam = model.lambda();
+    let k = lam.suggest_truncation(1e-6);
+    let s = Complex::from_im(0.3 * design.omega_ref());
+    let _ = lam.eval_truncated(s, k.min(1000));
+
+    // HTM leg: dense closed loop + generalized Nyquist eigenvalues.
+    let trunc = Truncation::new(k.min(10));
+    let cl = model
+        .closed_loop_htm_dense(s, trunc)
+        .map_err(|e| e.to_string())?;
+    cl.eigenvalues()
+        .map_err(|e| format!("eigensolver: {e:?}"))?;
+
+    // Time-domain leg: settle run, lock acquisition, PSD of the trace.
+    let params = SimParams::from_design(&design);
+    let config = SimConfig::default();
+    let mut sim = PllSim::new(params.clone(), config);
+    let trace = sim.run(30.0 * params.t_ref, &|_| 0.0);
+    let _ = acquire_lock(&params, &config, 5e-3, &LockOptions::default());
+    let fs = 1.0 / trace.dt;
+    let _ = periodogram(&trace.v_ctrl, fs, Window::Hann);
+
+    println!("filter : {}", spec);
+    println!(
+        "levels : {}",
+        htmpll::obs::describe_targets(&["num", "htm", "core", "sim", "spectral"])
+    );
+    println!();
+    print!("{}", htmpll::obs::export_table());
+    if let Some(path) = args.values.get("json") {
+        std::fs::write(path, htmpll::obs::export_json())
+            .map_err(|e| format!("--json {path}: {e}"))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|metrics> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -280,12 +376,22 @@ const USAGE: &str = "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop> 
   spur    --ratio R [--leakage-frac F]
   optimize [--min-pm DEG] [--from A] [--to B] [--points N]
            [--ref-noise PSD] [--vco-noise PSD]
-  hop     --ratio R [--until T] [--points N]";
+  hop     --ratio R [--until T] [--points N]
+  metrics [--ratio R] [--obs SPEC] [--json PATH]
+  any command also accepts --metrics-json PATH to dump instrumentation
+  (enables info-level collection if HTMPLL_OBS is unset)";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let cmd = argv.first().map(String::as_str).ok_or(USAGE)?;
     let args = Args::parse(&argv[1..])?;
-    match cmd {
+    if cmd == "metrics" {
+        return cmd_metrics(&args);
+    }
+    let metrics_path = args.values.get("metrics-json").cloned();
+    if metrics_path.is_some() && std::env::var_os("HTMPLL_OBS").is_none() {
+        htmpll::obs::override_filter("info");
+    }
+    let result = match cmd {
         "analyze" => cmd_analyze(&args),
         "sweep" => cmd_sweep(&args),
         "bode" => cmd_bode(&args),
@@ -294,7 +400,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&args),
         "hop" => cmd_hop(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, htmpll::obs::export_json())
+            .map_err(|e| format!("--metrics-json {path}: {e}"))?;
     }
+    result
 }
 
 fn main() -> ExitCode {
@@ -357,21 +468,70 @@ mod tests {
     fn commands_run_end_to_end() {
         run(&strs(&["analyze", "--ratio", "0.1"])).unwrap();
         run(&strs(&["analyze", "--ratio", "0.1", "--pfd", "sh"])).unwrap();
-        run(&strs(&["sweep", "--from", "0.05", "--to", "0.15", "--points", "3"])).unwrap();
+        run(&strs(&[
+            "sweep", "--from", "0.05", "--to", "0.15", "--points", "3",
+        ]))
+        .unwrap();
         run(&strs(&["bode", "--ratio", "0.1", "--points", "9"])).unwrap();
-        run(&strs(&["bode", "--ratio", "0.1", "--points", "9", "--lambda", "x"])).unwrap();
-        run(&strs(&["step", "--ratio", "0.15", "--points", "5", "--until", "20"])).unwrap();
+        run(&strs(&[
+            "bode", "--ratio", "0.1", "--points", "9", "--lambda", "x",
+        ]))
+        .unwrap();
+        run(&strs(&[
+            "step", "--ratio", "0.15", "--points", "5", "--until", "20",
+        ]))
+        .unwrap();
         run(&strs(&["spur", "--ratio", "0.1"])).unwrap();
         run(&strs(&[
             "optimize", "--min-pm", "50", "--from", "0.05", "--to", "0.15", "--points", "4",
         ]))
         .unwrap();
-        run(&strs(&["hop", "--ratio", "0.15", "--points", "5", "--until", "25"])).unwrap();
+        run(&strs(&[
+            "hop", "--ratio", "0.15", "--points", "5", "--until", "25",
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn unknown_command_errors() {
         assert!(run(&strs(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn metrics_command_writes_valid_json() {
+        let path = std::env::temp_dir().join("plltool_metrics_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&["metrics", "--ratio", "0.1", "--json", &path_s])).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"filter\": \"debug\""));
+        // Sites span every pipeline layer.
+        for target in ["\"htm.", "\"core.", "\"num.", "\"sim.", "\"spectral."] {
+            assert!(json.contains(target), "missing target {target}");
+        }
+        let sites = json.matches("\"kind\":").count();
+        assert!(sites >= 10, "expected ≥10 instrumented sites, got {sites}");
+        htmpll::obs::override_filter("off");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_json_flag_dumps_after_any_command() {
+        let path = std::env::temp_dir().join("plltool_metrics_flag_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&[
+            "analyze",
+            "--ratio",
+            "0.1",
+            "--metrics-json",
+            &path_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"core.analyze\""));
+        htmpll::obs::override_filter("off");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -58,6 +58,9 @@ pub use htmpll_sim as sim;
 /// Discrete-time baselines (re-export of `htmpll-zdomain`).
 pub use htmpll_zdomain as zdomain;
 
+/// Instrumentation: counters, histograms, spans (re-export of `htmpll-obs`).
+pub use htmpll_obs as obs;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
@@ -65,7 +68,9 @@ pub mod prelude {
         NoiseModel, NoiseShape, PllDesign, PllModel, SampleHoldModel,
     };
     pub use crate::htm::{Htm, HtmBlock, LtiHtm, MultiplierHtm, SamplerHtm, Truncation, VcoHtm};
-    pub use crate::lti::{bode_sweep, stability_margins, ChargePumpFilter2, ChargePumpFilter3, Pfe, Tf};
+    pub use crate::lti::{
+        bode_sweep, stability_margins, ChargePumpFilter2, ChargePumpFilter3, Pfe, Tf,
+    };
     pub use crate::num::{CMat, Complex, Poly};
     pub use crate::sim::{
         measure_band_transfer, measure_h00, MeasureOptions, PllSim, SimConfig, SimParams,

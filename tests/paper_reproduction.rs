@@ -24,7 +24,8 @@ fn htm_vs_simulation_agreement() {
             let err = (m.h - predict).abs() / predict.abs();
             assert!(
                 err < 0.03,
-                "ratio {ratio}, w {w}: sim {h} vs htm {predict} (err {err:.4})", h = m.h
+                "ratio {ratio}, w {w}: sim {h} vs htm {predict} (err {err:.4})",
+                h = m.h
             );
         }
     }
@@ -114,16 +115,20 @@ fn fig7_shape_effective_margins() {
 fn htm_and_zdomain_stability_boundaries_agree() {
     let z_limit = reference_design_stability_limit(0.05, 0.6, 1e-3);
     // HTM verdicts straddle the z-domain boundary.
-    let below = analyze(
-        &PllModel::new(PllDesign::reference_design(z_limit - 0.01).unwrap()).unwrap(),
-    )
-    .unwrap();
-    let above = analyze(
-        &PllModel::new(PllDesign::reference_design(z_limit + 0.01).unwrap()).unwrap(),
-    )
-    .unwrap();
-    assert!(below.nyquist_stable, "HTM should agree stable below {z_limit}");
-    assert!(!above.nyquist_stable, "HTM should agree unstable above {z_limit}");
+    let below =
+        analyze(&PllModel::new(PllDesign::reference_design(z_limit - 0.01).unwrap()).unwrap())
+            .unwrap();
+    let above =
+        analyze(&PllModel::new(PllDesign::reference_design(z_limit + 0.01).unwrap()).unwrap())
+            .unwrap();
+    assert!(
+        below.nyquist_stable,
+        "HTM should agree stable below {z_limit}"
+    );
+    assert!(
+        !above.nyquist_stable,
+        "HTM should agree unstable above {z_limit}"
+    );
 }
 
 /// The z-domain closed-loop response at the sampling instants agrees
@@ -155,7 +160,10 @@ fn all_models_collapse_in_the_slow_loop_limit() {
         let lti = model.h00_lti(w);
         let htm = model.h00(w);
         let z = zm.h_sampled(w).unwrap();
-        assert!((htm - lti).abs() < 0.03 * lti.abs(), "w={w}: {htm} vs {lti}");
+        assert!(
+            (htm - lti).abs() < 0.03 * lti.abs(),
+            "w={w}: {htm} vs {lti}"
+        );
         assert!((z - lti).abs() < 0.05 * lti.abs(), "w={w}: {z} vs {lti}");
     }
 }
@@ -201,7 +209,10 @@ fn truncation_convergence_to_exact_lambda() {
     for k in [5usize, 20, 80] {
         let htm = model.closed_loop_htm(Complex::from_im(w), Truncation::new(k));
         let err = (htm.band(0, 0) - exact).abs();
-        assert!(err < last_err + 1e-12, "K={k}: err {err} vs previous {last_err}");
+        assert!(
+            err < last_err + 1e-12,
+            "K={k}: err {err} vs previous {last_err}"
+        );
         last_err = err;
     }
     assert!(last_err < 5e-3 * exact.abs());
@@ -235,10 +246,19 @@ fn third_order_filter_htm_vs_simulation() {
     let model = PllModel::new(design.clone()).unwrap();
     let params = SimParams::from_design(&design);
     for &w in &[0.4, 1.1] {
-        let m = measure_h00(&params, &SimConfig::default(), w, &MeasureOptions::default());
+        let m = measure_h00(
+            &params,
+            &SimConfig::default(),
+            w,
+            &MeasureOptions::default(),
+        );
         let predict = model.h00(m.omega);
         let err = (m.h - predict).abs() / predict.abs();
-        assert!(err < 0.03, "w={w}: sim {} vs htm {predict} (err {err:.4})", m.h);
+        assert!(
+            err < 0.03,
+            "w={w}: sim {} vs htm {predict} (err {err:.4})",
+            m.h
+        );
     }
 }
 
@@ -354,10 +374,12 @@ fn fractional_n_locks_and_shapes_noise() {
 
     // Exact fractional lock: θ (referenced to integer N) ramps at frac/N.
     let n_s = trace.theta_vco.len();
-    let drift =
-        (trace.theta_vco[n_s - 1] - trace.theta_vco[0]) / (n_s as f64 * trace.dt);
+    let drift = (trace.theta_vco[n_s - 1] - trace.theta_vco[0]) / (n_s as f64 * trace.dt);
     let expect = mash.realized_fraction() / n_int;
-    assert!((drift - expect).abs() < 0.05 * expect, "{drift} vs {expect}");
+    assert!(
+        (drift - expect).abs() < 0.05 * expect,
+        "{drift} vs {expect}"
+    );
 
     // Detrended PSD shows the shaped-noise rise: ≥ factor 100 from the
     // 0.02 band to the 0.1 band (ideal third-order shaping: 625).
@@ -556,7 +578,11 @@ fn broadband_tf_estimate_matches_htm() {
         if !is_tone {
             continue;
         }
-        assert!(bin.coherence > 0.99, "tone bin f={} incoherent", bin.frequency);
+        assert!(
+            bin.coherence > 0.99,
+            "tone bin f={} incoherent",
+            bin.frequency
+        );
         let predict = model.h00(w);
         let err = (bin.h - predict).abs() / predict.abs();
         assert!(

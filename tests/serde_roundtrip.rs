@@ -52,8 +52,7 @@ fn report_and_config_roundtrip() {
     assert_eq!(cfg.samples_per_ref, back.samples_per_ref);
 
     let params = SimParams::from_design(&PllDesign::reference_design(0.1).unwrap());
-    let back: SimParams =
-        serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+    let back: SimParams = serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
     assert_eq!(params.t_ref, back.t_ref);
     assert_eq!(params.filter, back.filter);
 
@@ -65,7 +64,6 @@ fn report_and_config_roundtrip() {
             half_bw: 2.0,
         },
     ]);
-    let back: NoiseShape =
-        serde_json::from_str(&serde_json::to_string(&shape).unwrap()).unwrap();
+    let back: NoiseShape = serde_json::from_str(&serde_json::to_string(&shape).unwrap()).unwrap();
     assert_eq!(shape, back);
 }

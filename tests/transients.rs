@@ -134,7 +134,13 @@ fn frequency_step_error_matches_simulation() {
     let t_ref = params.t_ref;
     let slope = 2e-4; // dθ_ref/dt, dimensionless frequency offset
     let t_step = 20.0 * t_ref;
-    let modulation = move |t: f64| if t >= t_step { slope * (t - t_step) } else { 0.0 };
+    let modulation = move |t: f64| {
+        if t >= t_step {
+            slope * (t - t_step)
+        } else {
+            0.0
+        }
+    };
 
     let mut sim = PllSim::new(params, cfg);
     let _ = sim.run(t_step, &modulation);
@@ -170,7 +176,10 @@ fn frequency_step_error_matches_simulation() {
     let ts: Vec<f64> = picks.iter().map(|&i| avg_times[i]).collect();
     let predicted = transient::frequency_step_error(&model, &ts);
     // Peak error scale for the relative comparison.
-    let peak = predicted.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-12);
+    let peak = predicted
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b.abs()))
+        .max(1e-12);
     for (k, &i) in picks.iter().enumerate() {
         let s = avg[i] / slope;
         let p = predicted[k];

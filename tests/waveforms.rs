@@ -46,8 +46,7 @@ fn htm_synthesized_waveform_matches_simulator_trace() {
     // Pointwise comparison across ~1900 samples: the HTM comb must
     // reproduce the simulated waveform including its once-per-period
     // ripple, to within the truncation + pulse-width budget.
-    let rms_sim =
-        (trace.theta_vco.iter().map(|v| v * v).sum::<f64>() / ts.len() as f64).sqrt();
+    let rms_sim = (trace.theta_vco.iter().map(|v| v * v).sum::<f64>() / ts.len() as f64).sqrt();
     let rms_err = (trace
         .theta_vco
         .iter()
