@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let design = PllDesign::reference_design(0.1).expect("design");
-    let model = PllModel::new(design.clone()).expect("model");
+    let model = PllModel::builder(design.clone()).build().expect("model");
     let params = SimParams::from_design(&design);
     let cfg = SimConfig::default();
 

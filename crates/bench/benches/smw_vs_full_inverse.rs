@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let model =
-        PllModel::new(PllDesign::reference_design(0.2).expect("design")).expect("model");
+        PllModel::builder(PllDesign::reference_design(0.2).expect("design")).build().expect("model");
     let s = Complex::from_im(0.6);
 
     let mut group = c.benchmark_group("closed_loop_htm");

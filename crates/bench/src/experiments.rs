@@ -74,7 +74,7 @@ pub fn fig6_closed_loop(ratios: &[f64], points: usize, sim_marks: usize) -> Vec<
         .iter()
         .map(|&ratio| {
             let design = PllDesign::reference_design(ratio).expect("reference design");
-            let model = PllModel::new(design.clone()).expect("model");
+            let model = PllModel::builder(design.clone()).build().expect("model");
             let wug = design.omega_ug_nominal();
             let grid = log_grid(0.1 * wug, 10.0 * wug, points);
             // Single-tone measurements are degenerate at multiples of
@@ -169,7 +169,7 @@ pub fn fig7_margin_sweep(lo: f64, hi: f64, points: usize) -> Vec<Fig7Row> {
         .into_iter()
         .map(|ratio| {
             let model =
-                PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+                PllModel::builder(PllDesign::reference_design(ratio).expect("design")).build().expect("model");
             let r = analyze(&model).expect("analysis");
             Fig7Row {
                 ratio,
@@ -196,7 +196,7 @@ pub struct Fig2Map {
 /// Fig. 2: how signal content moves between frequency bands, shown as
 /// the magnitude map of the closed-loop HTM at one in-band frequency.
 pub fn fig2_band_transfers(ratio: f64, omega: f64, k: usize) -> Fig2Map {
-    let model = PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+    let model = PllModel::builder(PllDesign::reference_design(ratio).expect("design")).build().expect("model");
     let trunc = htmpll_htm::Truncation::new(k);
     let htm = model.closed_loop_htm(Complex::from_im(omega), trunc);
     let bands: Vec<i64> = trunc.harmonics().collect();
@@ -226,7 +226,7 @@ pub struct Fig4Row {
 /// for increasing modulation amplitudes.
 pub fn fig4_pulse_width_error(ratio: f64, omega: f64, amps: &[f64]) -> Vec<Fig4Row> {
     let design = PllDesign::reference_design(ratio).expect("design");
-    let model = PllModel::new(design.clone()).expect("model");
+    let model = PllModel::builder(design.clone()).build().expect("model");
     let params = SimParams::from_design(&design);
     let cfg = SimConfig::default();
     amps.iter()
@@ -267,7 +267,7 @@ impl TimingResult {
 /// HTM expression vs. measuring it by time-marching simulation.
 pub fn timing_comparison(ratio: f64, points: usize) -> TimingResult {
     let design = PllDesign::reference_design(ratio).expect("design");
-    let model = PllModel::new(design.clone()).expect("model");
+    let model = PllModel::builder(design.clone()).build().expect("model");
     let wug = design.omega_ug_nominal();
     let grid = log_grid(0.2 * wug, 5.0 * wug, points);
 
@@ -383,7 +383,7 @@ pub fn shape_ablation(spreads: &[f64]) -> Vec<ShapeRow> {
             let pm = spread.atan().to_degrees() - (1.0 / spread).atan().to_degrees();
             let stable_at = |ratio: f64| {
                 let d = PllDesign::reference_design_shaped(ratio, spread).expect("design");
-                let m = PllModel::new(d.clone()).expect("model");
+                let m = PllModel::builder(d.clone()).build().expect("model");
                 strip_zero_count(|s| m.lambda().eval(s), d.omega_ref(), 1e-4, 4096) == 0
             };
             let (mut lo, mut hi) = (0.01, 0.6);
@@ -433,7 +433,7 @@ pub fn pfd_comparison(ratios: &[f64]) -> Vec<PfdRow> {
         .iter()
         .map(|&ratio| {
             let design = PllDesign::reference_design(ratio).expect("design");
-            let imp = analyze(&PllModel::new(design.clone()).expect("model")).expect("analysis");
+            let imp = analyze(&PllModel::builder(design.clone()).build().expect("model")).expect("analysis");
             let sh = SampleHoldModel::new(design).expect("s&h model");
             let pm_sh = sh
                 .margins()
@@ -475,7 +475,7 @@ pub fn leakage_spur_study(ratio: f64, leakage_fracs: &[f64]) -> Vec<SpurRow> {
     use htmpll_sim::PllSim;
     use htmpll_spectral::{band_power, periodogram, Window};
     let design = PllDesign::reference_design(ratio).expect("design");
-    let model = PllModel::new(design.clone()).expect("model");
+    let model = PllModel::builder(design.clone()).build().expect("model");
     let mut spur_abs = Vec::new();
     let mut pred_abs = Vec::new();
     let mut rows = Vec::new();
@@ -531,7 +531,7 @@ pub fn pole_locus(ratios: &[f64]) -> Vec<PoleRow> {
         .iter()
         .map(|&ratio| {
             let model =
-                PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+                PllModel::builder(PllDesign::reference_design(ratio).expect("design")).build().expect("model");
             let w0 = model.design().omega_ref();
             let poles = dominant_poles(&model)
                 .expect("poles")
@@ -593,7 +593,7 @@ pub struct TruncRow {
 /// `Truncation::default()` choice.
 pub fn truncation_study(ratio: f64, omega: f64, ks: &[usize]) -> Vec<TruncRow> {
     use htmpll_htm::Truncation;
-    let model = PllModel::new(PllDesign::reference_design(ratio).expect("design")).expect("model");
+    let model = PllModel::builder(PllDesign::reference_design(ratio).expect("design")).build().expect("model");
     let s = Complex::from_im(omega);
     let lam_exact = model.lambda().eval(s);
     let h_exact = model.h00(omega);

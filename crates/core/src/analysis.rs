@@ -12,7 +12,7 @@
 //! ```
 //! use htmpll_core::{analyze, PllDesign, PllModel};
 //!
-//! let m = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let m = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let r = analyze(&m).unwrap();
 //! // Sampling always erodes the phase margin relative to LTI.
 //! assert!(r.phase_margin_eff_deg < r.phase_margin_lti_deg);
@@ -21,8 +21,12 @@
 
 use crate::closed_loop::PllModel;
 use crate::error::CoreError;
-use htmpll_htm::nyquist::strip_zero_count;
-use htmpll_lti::{bandwidth_3db, peaking_db, stability_margins, MarginError, Margins};
+use htmpll_htm::nyquist::{strip_contour, strip_zero_count_from_values};
+use htmpll_lti::{
+    bandwidth_3db_precomputed, margin_scan_grid, peaking_db_precomputed,
+    stability_margins_precomputed, MarginError, Margins,
+};
+use htmpll_par::{par_map, ThreadBudget};
 
 /// Analysis products for one PLL model.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -86,6 +90,20 @@ const SCAN_DECADES_DOWN: f64 = 1e-4;
 /// Propagates margin-extraction failures (e.g. a loop so slow/fast that
 /// no unity crossing exists in the scan window).
 pub fn analyze(model: &PllModel) -> Result<AnalysisReport, CoreError> {
+    analyze_with(model, ThreadBudget::Auto)
+}
+
+/// [`analyze`] with an explicit thread budget for the margin, peaking
+/// and Nyquist-contour scans. Every scan grid is evaluated on the
+/// `htmpll-par` pool and the extractors run over the precomputed
+/// values, so the report is **bitwise-identical for any thread count**
+/// (including the sequential `Fixed(1)` path).
+///
+/// # Errors
+///
+/// Propagates margin-extraction failures (e.g. a loop so slow/fast that
+/// no unity crossing exists in the scan window).
+pub fn analyze_with(model: &PllModel, threads: ThreadBudget) -> Result<AnalysisReport, CoreError> {
     let _span = htmpll_obs::span("core", "analyze");
     let a = model.open_loop().clone();
     let w0 = model.design().omega_ref();
@@ -93,62 +111,58 @@ pub fn analyze(model: &PllModel) -> Result<AnalysisReport, CoreError> {
     // Scan window scaled to the reference frequency so designs in
     // physical units (MHz references) and normalized units both work:
     // any practical loop crossover sits within [1e-7, 1e2]·ω₀.
-    let lti = stability_margins(|w| a.eval_jw(w), 1e-7 * w0, 100.0 * w0)?;
+    let lti_grid = margin_scan_grid(1e-7 * w0, 100.0 * w0);
+    let lti_vals = par_map(threads, &lti_grid, |_, &w| a.eval_jw(w));
+    let lti = stability_margins_precomputed(|w| a.eval_jw(w), &lti_grid, &lti_vals)?;
     // λ has a pole at every multiple of ω₀ on the jω axis (the aliased
     // integrators); stay strictly inside the first band.
     let lam = model.lambda();
     let band_edge = 0.499_999 * w0;
-    let (eff, beyond_limit) = match stability_margins(
-        |w| lam.eval_jw(w),
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        band_edge,
-    ) {
-        Ok(m) => (m, false),
-        // |λ| ≥ 1 across the whole band: the loop has reached the
-        // sampling stability limit. By the symmetry λ(j(ω₀−ω)) = λ̄(jω),
-        // λ(jω₀/2) is real (and negative for these loops), so the
-        // band-edge phase margin is the natural limiting value.
-        Err(MarginError::NoUnityCrossing) => {
-            let edge = lam.eval_jw(band_edge);
-            (
-                Margins {
-                    omega_ug: band_edge,
-                    phase_margin_deg: 180.0 + edge.arg().to_degrees(),
-                    omega_pc: Some(band_edge),
-                    gain_margin_db: Some(-20.0 * edge.abs().log10()),
-                },
-                true,
-            )
-        }
-        Err(e) => return Err(e.into()),
-    };
+    let lam_grid = margin_scan_grid(lti.omega_ug * SCAN_DECADES_DOWN, band_edge);
+    let lam_vals = par_map(threads, &lam_grid, |_, &w| lam.eval_jw(w));
+    let (eff, beyond_limit) =
+        match stability_margins_precomputed(|w| lam.eval_jw(w), &lam_grid, &lam_vals) {
+            Ok(m) => (m, false),
+            // |λ| ≥ 1 across the whole band: the loop has reached the
+            // sampling stability limit. By the symmetry λ(j(ω₀−ω)) = λ̄(jω),
+            // λ(jω₀/2) is real (and negative for these loops), so the
+            // band-edge phase margin is the natural limiting value.
+            Err(MarginError::NoUnityCrossing) => {
+                let edge = lam.eval_jw(band_edge);
+                (
+                    Margins {
+                        omega_ug: band_edge,
+                        phase_margin_deg: 180.0 + edge.arg().to_degrees(),
+                        omega_pc: Some(band_edge),
+                        gain_margin_db: Some(-20.0 * edge.abs().log10()),
+                    },
+                    true,
+                )
+            }
+            Err(e) => return Err(e.into()),
+        };
 
     // H₀,₀(jω) = A(jω)/(1+λ(jω)) is a valid transfer function at any ω
     // (λ is entire along the axis except the aliased-integrator poles at
     // mω₀, where H₀,₀ has physical notches) — scan past the band edge so
-    // wideband fast loops still report a −3 dB point.
+    // wideband fast loops still report a −3 dB point. One grid, one
+    // parallel evaluation, shared by the bandwidth and peaking
+    // extractors (the legacy path evaluated it once per extractor).
+    let w_ref = lti.omega_ug * SCAN_DECADES_DOWN;
     let h00_scan_hi = 100.0 * lti.omega_ug;
-    let bw = bandwidth_3db(
-        |w| model.h00(w),
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        h00_scan_hi,
-    );
-    let pk = peaking_db(
-        |w| model.h00(w),
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        h00_scan_hi,
-    );
-    let pk_lti = peaking_db(
-        |w| model.h00_lti(w),
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        lti.omega_ug * SCAN_DECADES_DOWN,
-        100.0 * lti.omega_ug,
-    );
+    let h_grid = margin_scan_grid(w_ref, h00_scan_hi);
+    let h_vals = par_map(threads, &h_grid, |_, &w| model.h00(w));
+    let bw = bandwidth_3db_precomputed(|w| model.h00(w), w_ref, &h_grid, &h_vals);
+    let pk = peaking_db_precomputed(|w| model.h00(w), w_ref, &h_vals);
+    let hlti_vals = par_map(threads, &h_grid, |_, &w| model.h00_lti(w));
+    let pk_lti = peaking_db_precomputed(|w| model.h00_lti(w), w_ref, &hlti_vals);
     // Zeros of 1 + λ in the right-half period strip, counted on a
     // contour offset slightly right of the jω-axis integrator poles.
-    let stable = strip_zero_count(|s| lam.eval(s), w0, 1e-4 * lti.omega_ug, 4096) == 0;
+    // The contour gains are evaluated on the pool; the winding count
+    // depends only on the value sequence.
+    let contour = strip_contour(w0, 1e-4 * lti.omega_ug, 4096);
+    let contour_vals = par_map(threads, &contour, |_, &s| lam.eval(s));
+    let stable = strip_zero_count_from_values(&contour_vals) == 0;
 
     Ok(AnalysisReport {
         omega_ug_ratio: lti.omega_ug / w0,
@@ -170,7 +184,9 @@ mod tests {
     use crate::design::PllDesign;
 
     fn report(ratio: f64) -> AnalysisReport {
-        let m = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+        let m = PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap();
         analyze(&m).unwrap()
     }
 

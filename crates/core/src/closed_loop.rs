@@ -17,7 +17,7 @@
 //! ```
 //! use htmpll_core::{PllDesign, PllModel};
 //!
-//! let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let h = model.h00(0.5); // closed-loop baseband transfer at ω = 0.5·ω_UG... (rad/s)
 //! assert!(h.abs() > 0.9 && h.abs() < 1.2); // in-band: follows the reference
 //! ```
@@ -25,7 +25,9 @@
 use crate::design::PllDesign;
 use crate::error::CoreError;
 use crate::lambda::EffectiveGain;
-use htmpll_htm::{closed_loop_rank_one, Htm, HtmBlock, LtiHtm, SamplerHtm, Truncation, VcoHtm};
+use htmpll_htm::{
+    closed_loop_rank_one, Htm, HtmBlock, LtiHtm, SamplerHtm, Truncation, TruncationSpec, VcoHtm,
+};
 use htmpll_num::Complex;
 
 /// A PLL small-signal model ready for frequency-domain evaluation.
@@ -42,67 +44,158 @@ pub struct PllModel {
     extra_lti: Option<htmpll_lti::Tf>,
 }
 
+/// Staged construction of a [`PllModel`]: start from a [`PllDesign`],
+/// optionally add a loop latency and/or a time-varying VCO ISF, then
+/// [`build`](PllModelBuilder::build). Unlike the legacy constructors,
+/// the builder composes freely — a delayed loop with a time-varying VCO
+/// is one chain:
+///
+/// ```
+/// use htmpll_core::{PllDesign, PllModel};
+/// use htmpll_num::Complex;
+///
+/// let d = PllDesign::reference_design(0.1).unwrap();
+/// let v0 = d.v0();
+/// let m = PllModel::builder(d)
+///     .loop_delay(0.05, 4)
+///     .vco_isf(vec![
+///         Complex::from_re(0.2 * v0),
+///         Complex::from_re(v0),
+///         Complex::from_re(0.2 * v0),
+///     ])
+///     .build()
+///     .unwrap();
+/// assert!(!m.is_time_invariant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PllModelBuilder {
+    design: PllDesign,
+    delay: Option<(f64, usize)>,
+    vco_isf: Option<Vec<Complex>>,
+}
+
+impl PllModelBuilder {
+    /// Adds a loop latency `tau` (divider pipeline, PFD logic,
+    /// charge-pump switching), folded into the open-loop gain via a
+    /// diagonal Padé-`(order,order)` delay approximant. The delayed gain
+    /// stays rational, so the **exact** lattice-sum `λ(s)` still
+    /// applies; choose `order ≳ ω₀·τ` for accuracy across the first
+    /// Nyquist band.
+    #[must_use]
+    pub fn loop_delay(mut self, tau: f64, order: usize) -> PllModelBuilder {
+        self.delay = Some((tau, order));
+        self
+    }
+
+    /// Describes a **time-varying** VCO by its centered ISF Fourier
+    /// coefficients `[v_{−K}, …, v₀, …, v_{+K}]` (odd length; the center
+    /// coefficient is the nominal sensitivity `v₀`). The scalar λ-based
+    /// closed form still applies (the PFD HTM stays rank one); only the
+    /// column `Ṽ(s)` changes. The `λ` evaluator is built from the `v₀`
+    /// (time-invariant) part, which is exact for λ because
+    /// `𝟙ᵀ H̃_VCO H̃_LF 𝟙` sums every row: off-center ISF terms
+    /// contribute through the same lattice sums with shifted arguments,
+    /// handled in [`lambda_tv`](PllModel::lambda_tv).
+    #[must_use]
+    pub fn vco_isf(mut self, vco_isf: Vec<Complex>) -> PllModelBuilder {
+        self.vco_isf = Some(vco_isf);
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] — even-length or empty ISF
+    ///   list (`"vco_isf length"`), or a negative/non-finite delay
+    ///   (`"loop delay tau"`).
+    /// * Padé construction and effective-gain failures (improper loop,
+    ///   pole extraction) are propagated.
+    pub fn build(self) -> Result<PllModel, CoreError> {
+        let PllModelBuilder {
+            design,
+            delay,
+            vco_isf,
+        } = self;
+        if let Some(isf) = &vco_isf {
+            if isf.is_empty() || isf.len() % 2 == 0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "vco_isf length",
+                    value: isf.len() as f64,
+                });
+            }
+        }
+        let mut open = design.open_loop_gain();
+        let mut extra_lti = None;
+        if let Some((tau, order)) = delay {
+            if !tau.is_finite() || tau < 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "loop delay tau",
+                    value: tau,
+                });
+            }
+            let pade = htmpll_lti::pade_delay(tau, order)?;
+            open = &open * &pade;
+            extra_lti = Some(pade);
+        }
+        let lambda = EffectiveGain::new(&open, design.omega_ref())?;
+        let vco_isf = vco_isf.unwrap_or_else(|| vec![Complex::from_re(design.v0())]);
+        Ok(PllModel {
+            design,
+            vco_isf,
+            lambda,
+            extra_lti,
+        })
+    }
+}
+
 impl PllModel {
-    /// Builds the model with a time-invariant VCO (`v(t) ≡ K_vco/N`),
-    /// matching the paper's §5 experimental setup.
+    /// Starts a [`PllModelBuilder`] for `design`. With no further
+    /// options, [`build`](PllModelBuilder::build) produces the
+    /// time-invariant VCO model (`v(t) ≡ K_vco/N`) matching the paper's
+    /// §5 experimental setup.
+    pub fn builder(design: PllDesign) -> PllModelBuilder {
+        PllModelBuilder {
+            design,
+            delay: None,
+            vco_isf: None,
+        }
+    }
+
+    /// Builds the model with a time-invariant VCO.
     ///
     /// # Errors
     ///
     /// Propagates effective-gain construction failures (improper loop,
     /// pole extraction).
+    #[deprecated(note = "use PllModel::builder(design).build()")]
     pub fn new(design: PllDesign) -> Result<PllModel, CoreError> {
-        let isf = vec![Complex::from_re(design.v0())];
-        PllModel::with_vco_isf(design, isf)
+        PllModel::builder(design).build()
     }
 
-    /// Builds the model with a loop latency `tau` (divider pipeline, PFD
-    /// logic, charge-pump switching) folded into the open-loop gain via
-    /// a diagonal Padé-`(order,order)` delay approximant. The delayed
-    /// gain stays rational, so the **exact** lattice-sum `λ(s)` still
-    /// applies; choose `order ≳ ω₀·τ` for accuracy across the first
-    /// Nyquist band.
+    /// Builds the model with a loop latency folded in.
     ///
     /// # Errors
     ///
     /// Propagates Padé construction and effective-gain failures.
+    #[deprecated(note = "use PllModel::builder(design).loop_delay(tau, order).build()")]
     pub fn with_loop_delay(
         design: PllDesign,
         tau: f64,
         order: usize,
     ) -> Result<PllModel, CoreError> {
-        let pade = htmpll_lti::pade_delay(tau, order)?;
-        let delayed = &design.open_loop_gain() * &pade;
-        let lambda = EffectiveGain::new(&delayed, design.omega_ref())?;
-        let isf = vec![Complex::from_re(design.v0())];
-        Ok(PllModel {
-            design,
-            vco_isf: isf,
-            lambda,
-            extra_lti: Some(pade),
-        })
+        PllModel::builder(design).loop_delay(tau, order).build()
     }
 
-    /// Builds the model with a **time-varying** VCO described by its
-    /// centered ISF Fourier coefficients `[v_{−K}, …, v₀, …, v_{+K}]`.
-    /// The scalar λ-based closed form still applies (the PFD HTM stays
-    /// rank one); only the column `Ṽ(s)` changes.
+    /// Builds the model with a time-varying VCO ISF.
     ///
     /// # Errors
     ///
-    /// Rejects even-length ISF lists via a panic in the VCO block;
-    /// propagates effective-gain failures. The `λ` evaluator is built
-    /// from the `v₀` (time-invariant) part, which is exact for λ because
-    /// `𝟙ᵀ H̃_VCO H̃_LF 𝟙` sums every row: off-center ISF terms
-    /// contribute through the same lattice sums with shifted arguments,
-    /// handled in [`lambda_tv`](PllModel::lambda_tv).
+    /// Rejects even-length ISF lists; propagates effective-gain
+    /// failures.
+    #[deprecated(note = "use PllModel::builder(design).vco_isf(isf).build()")]
     pub fn with_vco_isf(design: PllDesign, vco_isf: Vec<Complex>) -> Result<PllModel, CoreError> {
-        let lambda = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())?;
-        Ok(PllModel {
-            design,
-            vco_isf,
-            lambda,
-            extra_lti: None,
-        })
+        PllModel::builder(design).vco_isf(vco_isf).build()
     }
 
     /// The underlying design.
@@ -126,11 +219,13 @@ impl PllModel {
     }
 
     /// Time-varying effective gain `λ(s) = 𝟙ᵀṼ(s)` including all ISF
-    /// harmonics, evaluated by truncated summation over `trunc`.
+    /// harmonics, evaluated by truncated summation over `trunc` (a fixed
+    /// [`Truncation`] or an `Auto` tolerance, resolved via
+    /// [`resolve_truncation`](PllModel::resolve_truncation)).
     ///
     /// Falls back to the exact lattice-sum value for time-invariant
     /// VCOs regardless of `trunc`.
-    pub fn lambda_tv(&self, s: Complex, trunc: Truncation) -> Complex {
+    pub fn lambda_tv(&self, s: Complex, trunc: impl Into<TruncationSpec>) -> Complex {
         if self.is_time_invariant() {
             return self.lambda.eval(s);
         }
@@ -139,7 +234,8 @@ impl PllModel {
 
     /// The rank-one column `Ṽ(s) = (ω₀/2π)·H̃_VCO·H̃_LF·𝟙` (paper
     /// eq. 29), in harmonic order `−K..K`.
-    pub fn v_column(&self, s: Complex, trunc: Truncation) -> Vec<Complex> {
+    pub fn v_column(&self, s: Complex, trunc: impl Into<TruncationSpec>) -> Vec<Complex> {
+        let trunc = self.resolve_truncation(trunc);
         let w0 = self.design.omega_ref();
         let weight = w0 / (2.0 * std::f64::consts::PI);
         let hlf = self.design.loop_filter_tf();
@@ -206,11 +302,28 @@ impl PllModel {
 
     /// Full closed-loop HTM at Laplace point `s` via the rank-one
     /// Sherman–Morrison closed form (works for time-varying VCOs too).
-    pub fn closed_loop_htm(&self, s: Complex, trunc: Truncation) -> Htm {
+    pub fn closed_loop_htm(&self, s: Complex, trunc: impl Into<TruncationSpec>) -> Htm {
+        let trunc = self.resolve_truncation(trunc);
         let v = self.v_column(s, trunc);
         let ones = vec![Complex::ONE; trunc.dim()];
         let (mat, _) = closed_loop_rank_one(&v, &ones);
         Htm::from_matrix(trunc, self.design.omega_ref(), mat)
+    }
+
+    /// Assembles the **open-loop** HTM `G̃(s) = H̃_VCO·H̃_LF·H̃_PFD` by
+    /// dense block multiplication — the input to the reference
+    /// closed-loop solve, exposed so sweep caches can factor it once per
+    /// Laplace point.
+    pub fn open_loop_htm(&self, s: Complex, trunc: Truncation) -> Htm {
+        let w0 = self.design.omega_ref();
+        let pfd = SamplerHtm::new(w0);
+        let mut fwd_tf = self.design.loop_filter_tf();
+        if let Some(extra) = &self.extra_lti {
+            fwd_tf = &fwd_tf * extra;
+        }
+        let lf = LtiHtm::new(fwd_tf, w0);
+        let vco = VcoHtm::new(self.vco_isf.clone(), w0);
+        &(&vco.htm(s, trunc) * &lf.htm(s, trunc)) * &pfd.htm(s, trunc)
     }
 
     /// Full closed-loop HTM via dense block assembly and LU solve — the
@@ -221,20 +334,16 @@ impl PllModel {
     ///
     /// Propagates the solve error when evaluated exactly on a closed-loop
     /// pole.
-    pub fn closed_loop_htm_dense(&self, s: Complex, trunc: Truncation) -> Result<Htm, CoreError> {
+    pub fn closed_loop_htm_dense(
+        &self,
+        s: Complex,
+        trunc: impl Into<TruncationSpec>,
+    ) -> Result<Htm, CoreError> {
+        let trunc = self.resolve_truncation(trunc);
         let _span = htmpll_obs::span_labeled("core", "closed_loop_htm_dense", || {
             format!("dim={}", trunc.dim())
         });
-        let w0 = self.design.omega_ref();
-        let pfd = SamplerHtm::new(w0);
-        let mut fwd_tf = self.design.loop_filter_tf();
-        if let Some(extra) = &self.extra_lti {
-            fwd_tf = &fwd_tf * extra;
-        }
-        let lf = LtiHtm::new(fwd_tf, w0);
-        let vco = VcoHtm::new(self.vco_isf.clone(), w0);
-        let g = &(&vco.htm(s, trunc) * &lf.htm(s, trunc)) * &pfd.htm(s, trunc);
-        Ok(g.closed_loop()?)
+        Ok(self.open_loop_htm(s, trunc).closed_loop()?)
     }
 }
 
@@ -243,7 +352,9 @@ mod tests {
     use super::*;
 
     fn model(ratio: f64) -> PllModel {
-        PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap()
+        PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -329,17 +440,16 @@ mod tests {
     #[test]
     fn time_varying_vco_changes_response() {
         let d = PllDesign::reference_design(0.2).unwrap();
-        let ti = PllModel::new(d.clone()).unwrap();
+        let ti = PllModel::builder(d.clone()).build().unwrap();
         let v0 = d.v0();
-        let tv = PllModel::with_vco_isf(
-            d,
-            vec![
+        let tv = PllModel::builder(d)
+            .vco_isf(vec![
                 Complex::from_re(0.4 * v0),
                 Complex::from_re(v0),
                 Complex::from_re(0.4 * v0),
-            ],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         assert!(ti.is_time_invariant());
         assert!(!tv.is_time_invariant());
         let t = Truncation::new(8);
@@ -358,10 +468,21 @@ mod tests {
         use crate::analysis::analyze;
         let design = PllDesign::reference_design(0.1).unwrap();
         let t_ref = 1.0 / design.f_ref();
-        let plain = analyze(&PllModel::new(design.clone()).unwrap()).unwrap();
-        let quarter =
-            analyze(&PllModel::with_loop_delay(design.clone(), 0.25 * t_ref, 6).unwrap()).unwrap();
-        let half = analyze(&PllModel::with_loop_delay(design, 0.5 * t_ref, 6).unwrap()).unwrap();
+        let plain = analyze(&PllModel::builder(design.clone()).build().unwrap()).unwrap();
+        let quarter = analyze(
+            &PllModel::builder(design.clone())
+                .loop_delay(0.25 * t_ref, 6)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let half = analyze(
+            &PllModel::builder(design)
+                .loop_delay(0.5 * t_ref, 6)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         // Delay always costs effective margin, monotonically in τ. (The
         // loss is smaller than the naive ω·τ because the delay also
         // reshapes the alias interference and moves the crossover down —
@@ -380,7 +501,10 @@ mod tests {
         let tau = 0.25 * t_ref;
         let w0 = design.omega_ref();
         let a = design.open_loop_gain();
-        let model = PllModel::with_loop_delay(design, tau, 6).unwrap();
+        let model = PllModel::builder(design)
+            .loop_delay(tau, 6)
+            .build()
+            .unwrap();
         for w in [0.2, 0.7, 1.3, 0.45 * w0] {
             let s = Complex::from_im(w);
             let mut exact = Complex::ZERO;
@@ -399,8 +523,11 @@ mod tests {
     #[test]
     fn zero_delay_matches_plain_model() {
         let design = PllDesign::reference_design(0.15).unwrap();
-        let plain = PllModel::new(design.clone()).unwrap();
-        let delayed = PllModel::with_loop_delay(design, 0.0, 4).unwrap();
+        let plain = PllModel::builder(design.clone()).build().unwrap();
+        let delayed = PllModel::builder(design)
+            .loop_delay(0.0, 4)
+            .build()
+            .unwrap();
         for w in [0.2, 1.0, 2.5] {
             assert!((plain.h00(w) - delayed.h00(w)).abs() < 1e-9);
         }

@@ -137,7 +137,9 @@ mod tests {
     fn slow_loop_limit_matches_lti_and_impulse() {
         // ω ≪ ω₀: the hold is transparent and λ_sh → A.
         let m = sh(0.01);
-        let imp = PllModel::new(PllDesign::reference_design(0.01).unwrap()).unwrap();
+        let imp = PllModel::builder(PllDesign::reference_design(0.01).unwrap())
+            .build()
+            .unwrap();
         for w in [0.05, 0.3, 1.0] {
             let a = imp.open_loop().eval_jw(w);
             let l = m.lambda_jw(w);
@@ -152,7 +154,9 @@ mod tests {
         // the phase of λ_sh against λ_impulse + the delay term.
         let ratio = 0.1;
         let m = sh(ratio);
-        let imp = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+        let imp = PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap();
         let w = 1.0;
         let t = m.t_ref();
         let extra = m.lambda_jw(w).arg() - imp.lambda().eval_jw(w).arg();
@@ -169,8 +173,12 @@ mod tests {
     fn sample_hold_degrades_margin_more_than_impulse() {
         for ratio in [0.1, 0.2] {
             let m = sh(ratio);
-            let imp = analyze(&PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap())
-                .unwrap();
+            let imp = analyze(
+                &PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
             let sh_margin = m.margins().unwrap();
             assert!(
                 sh_margin.phase_margin_deg < imp.phase_margin_eff_deg,

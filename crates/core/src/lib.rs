@@ -30,7 +30,7 @@
 //!
 //! // A fast loop: crossover at 30 % of the reference frequency.
 //! let design = PllDesign::reference_design(0.3).unwrap();
-//! let model = PllModel::new(design).unwrap();
+//! let model = PllModel::builder(design).build().unwrap();
 //! let report = analyze(&model).unwrap();
 //! // LTI analysis is oblivious to the ratio; the true margin is not.
 //! assert!(report.phase_margin_degradation_deg() > 5.0);
@@ -48,10 +48,11 @@ pub mod noise;
 pub mod optimize;
 pub mod poles;
 pub mod spurs;
+pub mod sweep;
 pub mod transient;
 
-pub use analysis::{analyze, AnalysisReport};
-pub use closed_loop::PllModel;
+pub use analysis::{analyze, analyze_with, AnalysisReport};
+pub use closed_loop::{PllModel, PllModelBuilder};
 pub use design::{LoopFilter, PllDesign, PllDesignBuilder};
 pub use error::CoreError;
 pub use hold::SampleHoldModel;
@@ -60,3 +61,4 @@ pub use noise::{NoiseModel, NoiseShape};
 pub use optimize::{optimize_loop, Candidate, NoiseSpec, OptimizeSpec};
 pub use poles::{damping_ratio, dominant_poles};
 pub use spurs::LeakageSpurs;
+pub use sweep::{bode_grid, DenseSolve, SpurLine, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION};

@@ -17,7 +17,7 @@
 //! ```
 //! use htmpll_core::{NoiseModel, PllDesign, PllModel};
 //!
-//! let m = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let m = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let noise = NoiseModel::new(&m, 8);
 //! // Flat reference noise: in-band output follows it (|H00|² ≈ 1).
 //! let s_out = noise.output_psd(0.05, &|_| 1e-12, &|_| 0.0);
@@ -231,7 +231,9 @@ mod shape_tests {
 
     #[test]
     fn shapes_drive_noise_model() {
-        let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+        let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+            .build()
+            .unwrap();
         let noise = NoiseModel::new(&model, 4);
         let ref_shape = NoiseShape::White { level: 1e-12 };
         let vco_shape = NoiseShape::PowerLaw {
@@ -250,7 +252,9 @@ mod tests {
     use crate::design::PllDesign;
 
     fn noise_fixture(ratio: f64) -> PllModel {
-        PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap()
+        PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub fn optimize_loop(spec: &OptimizeSpec, noise: &NoiseSpec) -> Result<Candidate
         let ratio = lo + (hi - lo) * i as f64 / (n.max(2) - 1) as f64;
         for &spread in &spec.spreads {
             let design = PllDesign::reference_design_shaped(ratio, spread)?;
-            let model = PllModel::new(design.clone())?;
+            let model = PllModel::builder(design.clone()).build()?;
             let report = analyze(&model)?;
             if report.beyond_sampling_limit
                 || !report.nyquist_stable

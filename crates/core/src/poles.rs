@@ -15,7 +15,7 @@
 //! ```
 //! use htmpll_core::{poles::dominant_poles, PllDesign, PllModel};
 //!
-//! let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let poles = dominant_poles(&model).unwrap();
 //! // A stable loop: every strip pole in the left half plane.
 //! assert!(poles.iter().all(|p| p.re < 0.0));
@@ -144,7 +144,9 @@ mod tests {
     use crate::design::PllDesign;
 
     fn model(ratio: f64) -> PllModel {
-        PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap()
+        PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! ```
 //! use htmpll_core::{spurs::LeakageSpurs, PllDesign, PllModel};
 //!
-//! let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let spurs = LeakageSpurs::new(&model, 1e-3 * model.design().icp());
 //! // The first reference spur dominates the higher harmonics.
 //! assert!(spurs.sideband(1).abs() > spurs.sideband(2).abs());
@@ -95,7 +95,7 @@ mod tests {
     fn spur_fixture(ratio: f64, frac: f64) -> (PllModel, f64) {
         let d = PllDesign::reference_design(ratio).unwrap();
         let i_leak = frac * d.icp();
-        (PllModel::new(d).unwrap(), i_leak)
+        (PllModel::builder(d).build().unwrap(), i_leak)
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Parallel frequency-sweep engine: one spec, one cache, every grid.
+//!
+//! Every frequency-grid computation in the workspace — Bode responses,
+//! margin scans, noise folding, spur tables, dense closed-loop solves —
+//! is a map of an expensive pure function over an ordered set of
+//! frequencies. This module provides the shared vocabulary for those
+//! maps:
+//!
+//! * [`SweepSpec`] — *what* to evaluate: the [`FrequencyGrid`], the
+//!   harmonic-truncation policy ([`TruncationSpec`], fixed or
+//!   tail-tolerance-driven) and the thread budget
+//!   ([`ThreadBudget`](htmpll_par::ThreadBudget)).
+//! * [`SweepCache`] — *what to reuse*: λ(s) values and dense closed-loop
+//!   factorizations memoized by the bit patterns of `s` (and the
+//!   truncation order), so repeated evaluations at the same Laplace
+//!   point — across overlapping grids, spur lines on reference
+//!   harmonics, or refinement passes — skip the HTM assembly and LU
+//!   refactorization entirely.
+//! * Grid entry points on the model types:
+//!   [`EffectiveGain::eval_grid`], [`PllModel::h00_grid`],
+//!   [`PllModel::closed_loop_htm_grid`],
+//!   [`NoiseModel::output_psd_grid`], [`LeakageSpurs::scan`] and the
+//!   generic [`bode_grid`].
+//!
+//! All of them run on the `htmpll-par` deterministic pool: results are
+//! **bitwise-identical for any thread count**, because each grid point
+//! is evaluated by a pure function and placed by index.
+//!
+//! ```
+//! use htmpll_core::{PllDesign, PllModel, SweepSpec};
+//!
+//! let m = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+//!     .build()
+//!     .unwrap();
+//! let spec = SweepSpec::log(1e-2, 2.0, 64).unwrap();
+//! let h = m.h00_grid(&spec);
+//! assert_eq!(h.len(), 64);
+//! assert!(h[0].abs() > 0.9); // in-band: the loop tracks the reference
+//! ```
+
+use crate::closed_loop::PllModel;
+use crate::error::CoreError;
+use crate::lambda::EffectiveGain;
+use crate::noise::NoiseModel;
+use crate::spurs::LeakageSpurs;
+use htmpll_htm::{Htm, Truncation, TruncationSpec};
+use htmpll_lti::{bode_from_values, BodePoint, FrequencyGrid, GridError};
+use htmpll_num::{Complex, Lu};
+use htmpll_par::{par_map, ThreadBudget};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Hard ceiling on automatically chosen truncation orders for **matrix**
+/// paths. The tail-tolerance heuristic
+/// ([`EffectiveGain::suggest_truncation`]) can suggest orders in the
+/// tens of thousands for scalar truncated sums; a dense HTM at that
+/// order would be absurd (dimension `2K+1`), and in practice the matrix
+/// paths converge far earlier because the closed form carries the exact
+/// λ. Auto resolution clamps to this bound.
+pub const MAX_AUTO_TRUNCATION: usize = 64;
+
+/// A frequency sweep specification: grid + truncation policy + thread
+/// budget. One `SweepSpec` drives every grid entry point in the crate,
+/// replacing per-call-site `(start, stop, n, k, threads)` tuples.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Frequencies to evaluate, in sweep order.
+    pub grid: FrequencyGrid,
+    /// Harmonic truncation policy for HTM-valued sweeps; ignored by
+    /// scalar closed-form sweeps. Defaults to `Auto { tol: 1e-3 }`.
+    pub trunc: TruncationSpec,
+    /// Worker-thread budget; defaults to `Auto` (the `HTMPLL_THREADS`
+    /// environment variable, then the machine's parallelism).
+    pub threads: ThreadBudget,
+}
+
+impl SweepSpec {
+    /// Wraps an existing grid with default truncation and thread policy.
+    pub fn new(grid: impl Into<FrequencyGrid>) -> SweepSpec {
+        SweepSpec {
+            grid: grid.into(),
+            trunc: TruncationSpec::default(),
+            threads: ThreadBudget::Auto,
+        }
+    }
+
+    /// Log-spaced sweep over `[start, stop]` with `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError`] for bad endpoints or point counts.
+    pub fn log(start: f64, stop: f64, n: usize) -> Result<SweepSpec, GridError> {
+        Ok(SweepSpec::new(FrequencyGrid::log(start, stop, n)?))
+    }
+
+    /// Linearly spaced sweep over `[start, stop]` with `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError`] for bad endpoints or point counts.
+    pub fn linear(start: f64, stop: f64, n: usize) -> Result<SweepSpec, GridError> {
+        Ok(SweepSpec::new(FrequencyGrid::linear(start, stop, n)?))
+    }
+
+    /// Sets the truncation policy (a fixed [`Truncation`] coerces).
+    #[must_use]
+    pub fn with_truncation(mut self, trunc: impl Into<TruncationSpec>) -> SweepSpec {
+        self.trunc = trunc.into();
+        self
+    }
+
+    /// Requests automatic truncation with harmonic-sum tail below `tol`.
+    #[must_use]
+    pub fn with_tol(mut self, tol: f64) -> SweepSpec {
+        self.trunc = Truncation::auto(tol);
+        self
+    }
+
+    /// Sets the thread budget (`usize` and `Option<usize>` coerce;
+    /// `0`/`None` mean auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: impl Into<ThreadBudget>) -> SweepSpec {
+        self.threads = threads.into();
+        self
+    }
+}
+
+/// One dense closed-loop solve, kept whole so later callers can both
+/// read the closed-loop HTM and re-solve against new right-hand sides.
+#[derive(Debug)]
+pub struct DenseSolve {
+    /// LU factorization of `I + G̃(s)`.
+    pub lu: Lu,
+    /// The closed-loop HTM `(I + G̃)⁻¹G̃`.
+    pub htm: Htm,
+}
+
+type PointKey = (u64, u64);
+type DenseKey = (u64, u64, usize);
+
+fn point_key(s: Complex) -> PointKey {
+    (s.re.to_bits(), s.im.to_bits())
+}
+
+/// Memoization shared across sweeps: λ(s) values and dense closed-loop
+/// factorizations, keyed by the **bit patterns** of the Laplace point
+/// (and the truncation order for matrix entries). Bitwise keys make the
+/// cache exact — no tolerance tuning — and deterministic: a hit returns
+/// the identical value the first evaluation produced.
+///
+/// The cache is internally synchronized and is shared by reference
+/// across pool workers; values are computed outside the lock, so a race
+/// costs at most one duplicate evaluation of the same point (both
+/// producing the same bits).
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    lambda: Mutex<HashMap<PointKey, Complex>>,
+    dense: Mutex<HashMap<DenseKey, Arc<DenseSolve>>>,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> SweepCache {
+        SweepCache::default()
+    }
+
+    /// λ(s) through the cache.
+    pub fn lambda(&self, lam: &EffectiveGain, s: Complex) -> Complex {
+        let key = point_key(s);
+        if let Some(&v) = self.lambda.lock().unwrap().get(&key) {
+            htmpll_obs::counter!("core", "sweep.lambda_cache.hit").inc();
+            return v;
+        }
+        htmpll_obs::counter!("core", "sweep.lambda_cache.miss").inc();
+        let v = lam.eval(s);
+        self.lambda.lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// Dense closed-loop solve at `(s, trunc)` through the cache: HTM
+    /// assembly + LU factorization happen at most once per key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solve error when `s` sits on a closed-loop pole.
+    pub fn dense(
+        &self,
+        model: &PllModel,
+        s: Complex,
+        trunc: Truncation,
+    ) -> Result<Arc<DenseSolve>, CoreError> {
+        let (re, im) = point_key(s);
+        let key = (re, im, trunc.order());
+        if let Some(v) = self.dense.lock().unwrap().get(&key) {
+            htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
+            return Ok(Arc::clone(v));
+        }
+        htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
+        let (lu, htm) = model.open_loop_htm(s, trunc).closed_loop_factored()?;
+        let solve = Arc::new(DenseSolve { lu, htm });
+        self.dense.lock().unwrap().insert(key, Arc::clone(&solve));
+        Ok(solve)
+    }
+
+    /// Number of memoized λ points.
+    pub fn lambda_entries(&self) -> usize {
+        self.lambda.lock().unwrap().len()
+    }
+
+    /// Number of memoized dense solves.
+    pub fn dense_entries(&self) -> usize {
+        self.dense.lock().unwrap().len()
+    }
+}
+
+/// Sweeps an arbitrary frequency response over `spec.grid` on the
+/// parallel pool and assembles Bode points (magnitude + sequentially
+/// unwrapped phase). Bitwise-identical to the sequential
+/// [`bode_sweep`](htmpll_lti::bode_sweep) for any thread count.
+pub fn bode_grid<F: Fn(f64) -> Complex + Sync>(f: F, spec: &SweepSpec) -> Vec<BodePoint> {
+    let values = par_map(spec.threads, spec.grid.points(), |_, &w| f(w));
+    bode_from_values(spec.grid.points(), &values)
+}
+
+impl EffectiveGain {
+    /// Exact λ(jω) over `spec.grid`, evaluated on the parallel pool.
+    pub fn eval_grid(&self, spec: &SweepSpec) -> Vec<Complex> {
+        let _span =
+            htmpll_obs::span_labeled("core", "sweep.lambda", || format!("n={}", spec.grid.len()));
+        par_map(spec.threads, spec.grid.points(), |_, &w| self.eval_jw(w))
+    }
+}
+
+impl PllModel {
+    /// Resolves a truncation policy against this model: fixed orders
+    /// pass through; `Auto { tol }` asks the effective gain for the
+    /// order whose harmonic-sum tail stays below `tol`, clamped to
+    /// [`MAX_AUTO_TRUNCATION`] (matrix dimensions must stay sane).
+    pub fn resolve_truncation(&self, spec: impl Into<TruncationSpec>) -> Truncation {
+        spec.into().resolve_with(|tol| {
+            self.lambda()
+                .suggest_truncation(tol)
+                .min(MAX_AUTO_TRUNCATION)
+        })
+    }
+
+    /// Closed-loop baseband transfer `H₀,₀(jω)` over `spec.grid`, on the
+    /// parallel pool.
+    pub fn h00_grid(&self, spec: &SweepSpec) -> Vec<Complex> {
+        let _span =
+            htmpll_obs::span_labeled("core", "sweep.h00", || format!("n={}", spec.grid.len()));
+        par_map(spec.threads, spec.grid.points(), |_, &w| self.h00(w))
+    }
+
+    /// LTI-approximation closed loop `A/(1+A)` over `spec.grid`.
+    pub fn h00_lti_grid(&self, spec: &SweepSpec) -> Vec<Complex> {
+        par_map(spec.threads, spec.grid.points(), |_, &w| self.h00_lti(w))
+    }
+
+    /// Full dense closed-loop HTM at every grid frequency
+    /// (`s = jω`), solved on the parallel pool with the truncation from
+    /// `spec.trunc`. Repeated frequencies (and repeated calls through
+    /// the same `cache`) reuse the assembled HTM and LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solve failure in grid order.
+    pub fn closed_loop_htm_grid_cached(
+        &self,
+        spec: &SweepSpec,
+        cache: &SweepCache,
+    ) -> Result<Vec<Htm>, CoreError> {
+        let trunc = self.resolve_truncation(spec.trunc);
+        let _span = htmpll_obs::span_labeled("core", "sweep.htm_dense", || {
+            format!("n={} dim={}", spec.grid.len(), trunc.dim())
+        });
+        let solves = par_map(spec.threads, spec.grid.points(), |_, &w| {
+            cache.dense(self, Complex::from_im(w), trunc)
+        });
+        solves
+            .into_iter()
+            .map(|r| r.map(|s| s.htm.clone()))
+            .collect()
+    }
+
+    /// [`closed_loop_htm_grid_cached`](PllModel::closed_loop_htm_grid_cached)
+    /// with a fresh single-sweep cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solve failure in grid order.
+    pub fn closed_loop_htm_grid(&self, spec: &SweepSpec) -> Result<Vec<Htm>, CoreError> {
+        self.closed_loop_htm_grid_cached(spec, &SweepCache::new())
+    }
+}
+
+impl NoiseModel<'_> {
+    /// Output phase PSD over `spec.grid`, folding evaluated point-wise
+    /// on the parallel pool. The PSD closures are shared across workers,
+    /// hence the `Sync` bounds.
+    pub fn output_psd_grid<R, V>(&self, spec: &SweepSpec, ref_psd: &R, vco_psd: &V) -> Vec<f64>
+    where
+        R: Fn(f64) -> f64 + Sync,
+        V: Fn(f64) -> f64 + Sync,
+    {
+        let _span =
+            htmpll_obs::span_labeled("core", "sweep.noise", || format!("n={}", spec.grid.len()));
+        par_map(spec.threads, spec.grid.points(), |_, &w| {
+            self.output_psd(w, ref_psd, vco_psd)
+        })
+    }
+
+    /// LTI-approximation output PSD over `spec.grid`.
+    pub fn output_psd_lti_grid<R, V>(&self, spec: &SweepSpec, ref_psd: &R, vco_psd: &V) -> Vec<f64>
+    where
+        R: Fn(f64) -> f64 + Sync,
+        V: Fn(f64) -> f64 + Sync,
+    {
+        par_map(spec.threads, spec.grid.points(), |_, &w| {
+            self.output_psd_lti(w, ref_psd, vco_psd)
+        })
+    }
+}
+
+/// One predicted reference-spur line, as produced by
+/// [`LeakageSpurs::scan`].
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpurLine {
+    /// Reference-harmonic index of the line (at `k·ω₀`).
+    pub k: i64,
+    /// Complex sideband amplitude `θ̃_k` (time units).
+    pub sideband: Complex,
+    /// Spur level at the synthesizer output, dBc.
+    pub level_dbc: f64,
+}
+
+impl LeakageSpurs<'_> {
+    /// Predicts the spur lines at `k·ω₀` for `k = 1..=k_max`, evaluated
+    /// on the parallel pool.
+    pub fn scan(&self, k_max: i64, threads: ThreadBudget) -> Vec<SpurLine> {
+        let ks: Vec<i64> = (1..=k_max.max(0)).collect();
+        let _span = htmpll_obs::span_labeled("core", "sweep.spurs", || format!("n={}", ks.len()));
+        par_map(threads, &ks, |_, &k| SpurLine {
+            k,
+            sideband: self.sideband(k),
+            level_dbc: self.level_dbc(k),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PllDesign;
+    use htmpll_lti::bode_sweep;
+
+    fn model(ratio: f64) -> PllModel {
+        PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = SweepSpec::log(0.1, 10.0, 21)
+            .unwrap()
+            .with_truncation(Truncation::new(5))
+            .with_threads(2);
+        assert_eq!(spec.grid.len(), 21);
+        assert!(matches!(spec.trunc, TruncationSpec::Fixed(t) if t.order() == 5));
+        let auto = SweepSpec::linear(0.0, 1.0, 3).unwrap().with_tol(1e-2);
+        assert!(matches!(auto.trunc, TruncationSpec::Auto { tol } if tol == 1e-2));
+    }
+
+    #[test]
+    fn lambda_grid_matches_pointwise() {
+        let m = model(0.2);
+        let spec = SweepSpec::log(1e-2, 2.0, 33).unwrap().with_threads(3);
+        let grid_vals = m.lambda().eval_grid(&spec);
+        for (&w, v) in spec.grid.points().iter().zip(&grid_vals) {
+            let direct = m.lambda().eval_jw(w);
+            assert_eq!(direct.re.to_bits(), v.re.to_bits());
+            assert_eq!(direct.im.to_bits(), v.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn bode_grid_matches_sequential_sweep() {
+        let m = model(0.15);
+        let spec = SweepSpec::log(1e-2, 3.0, 40).unwrap().with_threads(4);
+        let par = bode_grid(|w| m.h00(w), &spec);
+        let seq = bode_sweep(|w| m.h00(w), spec.grid.points());
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.mag_db.to_bits(), s.mag_db.to_bits());
+            assert_eq!(p.phase_deg.to_bits(), s.phase_deg.to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_cache_reuses_factorizations() {
+        let m = model(0.25);
+        let cache = SweepCache::new();
+        let spec = SweepSpec::log(0.1, 2.0, 12)
+            .unwrap()
+            .with_truncation(Truncation::new(4))
+            .with_threads(2);
+        let a = m.closed_loop_htm_grid_cached(&spec, &cache).unwrap();
+        assert_eq!(cache.dense_entries(), 12);
+        // Second pass over the same grid: every point is a hit.
+        let b = m.closed_loop_htm_grid_cached(&spec, &cache).unwrap();
+        assert_eq!(cache.dense_entries(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_matrix().max_diff(y.as_matrix()), 0.0);
+        }
+        // And the cached result matches the uncached dense reference.
+        let reference = m
+            .closed_loop_htm_dense(Complex::from_im(spec.grid.points()[3]), Truncation::new(4))
+            .unwrap();
+        assert_eq!(a[3].as_matrix().max_diff(reference.as_matrix()), 0.0);
+    }
+
+    #[test]
+    fn lambda_cache_hits_are_identical() {
+        let m = model(0.2);
+        let cache = SweepCache::new();
+        let s = Complex::from_im(0.7);
+        let first = cache.lambda(m.lambda(), s);
+        let second = cache.lambda(m.lambda(), s);
+        assert_eq!(first.re.to_bits(), second.re.to_bits());
+        assert_eq!(cache.lambda_entries(), 1);
+    }
+
+    #[test]
+    fn auto_truncation_is_clamped() {
+        let m = model(0.2);
+        let t = m.resolve_truncation(Truncation::auto(1e-12));
+        assert!(t.order() <= MAX_AUTO_TRUNCATION);
+        let fixed = m.resolve_truncation(Truncation::new(7));
+        assert_eq!(fixed.order(), 7);
+    }
+
+    #[test]
+    fn noise_grid_matches_pointwise() {
+        let m = model(0.1);
+        let n = NoiseModel::new(&m, 4);
+        let spec = SweepSpec::log(1e-2, 2.0, 17).unwrap().with_threads(2);
+        let flat = |_: f64| 1e-12;
+        let vco = |f: f64| 1e-12 / (1.0 + f * f);
+        let grid_vals = n.output_psd_grid(&spec, &flat, &vco);
+        for (&w, v) in spec.grid.points().iter().zip(&grid_vals) {
+            assert_eq!(n.output_psd(w, &flat, &vco).to_bits(), v.to_bits());
+        }
+        let lti_vals = n.output_psd_lti_grid(&spec, &flat, &vco);
+        assert!(lti_vals.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spur_scan_matches_pointwise() {
+        let m = model(0.1);
+        let s = LeakageSpurs::new(&m, 1e-3 * m.design().icp());
+        let lines = s.scan(5, ThreadBudget::Fixed(2));
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert_eq!(line.sideband, s.sideband(line.k));
+            assert_eq!(line.level_dbc.to_bits(), s.level_dbc(line.k).to_bits());
+        }
+        assert!(s.scan(0, ThreadBudget::Auto).is_empty());
+    }
+}

@@ -24,7 +24,7 @@
 //! ```no_run
 //! use htmpll_core::{transient::step_response, PllDesign, PllModel};
 //!
-//! let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+//! let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap()).build().unwrap();
 //! let y = step_response(&model, &[1.0, 5.0, 30.0]);
 //! assert!((y[2] - 1.0).abs() < 0.05); // settles to unity (type-2 loop)
 //! ```
@@ -170,7 +170,7 @@ mod tests {
         // For a very slow loop, H00 ≈ A/(1+A) and the inversion must
         // match the exact PFE-based step response of the LTI closed loop.
         let design = PllDesign::reference_design(0.02).unwrap();
-        let model = PllModel::new(design.clone()).unwrap();
+        let model = PllModel::builder(design.clone()).build().unwrap();
         let cl: Tf = design.open_loop_gain().feedback_unity().unwrap();
         let ts = [0.5, 2.0, 5.0, 12.0];
         let exact = response::step_response(&cl, &ts).unwrap();
@@ -182,14 +182,18 @@ mod tests {
 
     #[test]
     fn settles_to_unity() {
-        let model = PllModel::new(PllDesign::reference_design(0.15).unwrap()).unwrap();
+        let model = PllModel::builder(PllDesign::reference_design(0.15).unwrap())
+            .build()
+            .unwrap();
         let y = step_response(&model, &[40.0]);
         assert!((y[0] - 1.0).abs() < 0.02, "{}", y[0]);
     }
 
     #[test]
     fn starts_near_zero_and_is_causal() {
-        let model = PllModel::new(PllDesign::reference_design(0.15).unwrap()).unwrap();
+        let model = PllModel::builder(PllDesign::reference_design(0.15).unwrap())
+            .build()
+            .unwrap();
         let y = step_response(&model, &[-1.0, 0.05]);
         assert_eq!(y[0], 0.0);
         assert!(y[1].abs() < 0.2, "{}", y[1]);
@@ -197,7 +201,9 @@ mod tests {
 
     #[test]
     fn ramp_error_settles_to_zero_for_type2() {
-        let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+        let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+            .build()
+            .unwrap();
         let ts = [5.0, 15.0, 40.0];
         let errs = frequency_step_error(&model, &ts);
         // Transient at first, then zero velocity error (type-2 loop).
@@ -211,7 +217,7 @@ mod tests {
         // response (step response of H/s).
         let design = PllDesign::reference_design(0.02).unwrap();
         let cl = design.open_loop_gain().feedback_unity().unwrap();
-        let model = PllModel::new(design).unwrap();
+        let model = PllModel::builder(design).build().unwrap();
         let ts = [2.0, 6.0, 12.0];
         let inverted = ramp_response_of(|w| model.h00_lti(w), model.design().omega_ref(), &ts);
         // Exact ramp response = inverse Laplace of H/s² = step response
@@ -231,7 +237,7 @@ mod tests {
         // Approaching the sampling limit the time-varying loop's damping
         // collapses: the step overshoot exceeds the LTI prediction.
         let design = PllDesign::reference_design(0.25).unwrap();
-        let model = PllModel::new(design.clone()).unwrap();
+        let model = PllModel::builder(design.clone()).build().unwrap();
         let cl = design.open_loop_gain().feedback_unity().unwrap();
         let ts: Vec<f64> = (1..60).map(|k| 0.25 * k as f64).collect();
         let tv = step_response(&model, &ts);

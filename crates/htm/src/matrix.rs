@@ -176,6 +176,18 @@ impl Htm {
     /// Returns the LU error when `I + G` is singular at this `s` — the
     /// loop is on a closed-loop pole.
     pub fn closed_loop(&self) -> Result<Htm, LuError> {
+        self.closed_loop_factored().map(|(_, h)| h)
+    }
+
+    /// [`closed_loop`](Htm::closed_loop), additionally returning the LU
+    /// factorization of `I + G` so callers that solve against further
+    /// right-hand sides at the same Laplace point (sweep caches, band
+    /// extractions) can reuse it instead of refactoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LU error when `I + G` is singular at this `s`.
+    pub fn closed_loop_factored(&self) -> Result<(Lu, Htm), LuError> {
         let n = self.trunc.dim();
         let _span = htmpll_obs::span_labeled("htm", "closed_loop", || format!("dim={n}"));
         let i_plus_g = &CMat::identity(n) + &self.mat;
@@ -188,11 +200,14 @@ impl Htm {
             let diff = &(&i_plus_g * &solved) - &self.mat;
             residual.record(diff.norm_max());
         }
-        Ok(Htm {
-            trunc: self.trunc,
-            omega0: self.omega0,
-            mat: solved,
-        })
+        Ok((
+            lu,
+            Htm {
+                trunc: self.trunc,
+                omega0: self.omega0,
+                mat: solved,
+            },
+        ))
     }
 
     /// Eigenvalues of the truncated HTM — the sample points of the

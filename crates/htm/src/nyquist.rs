@@ -102,15 +102,39 @@ pub fn strip_zero_count<F: FnMut(Complex) -> Complex>(
     eps: f64,
     n: usize,
 ) -> isize {
+    let contour = strip_contour(omega0, eps, n);
+    let values: Vec<Complex> = contour.into_iter().map(&mut f).collect();
+    strip_zero_count_from_values(&values)
+}
+
+/// The Laplace points of the [`strip_zero_count`] contour: `n + 1`
+/// samples of `eps + jω` with `ω` traversed **downward** from `+ω₀/2`
+/// to `−ω₀/2` (the counter-clockwise strip-boundary orientation).
+/// Evaluate the loop gain on these points — in any order, e.g. in
+/// parallel — and hand the ordered values to
+/// [`strip_zero_count_from_values`].
+///
+/// # Panics
+///
+/// Panics when `omega0 <= 0`, `eps <= 0`, or `n < 8`.
+pub fn strip_contour(omega0: f64, eps: f64, n: usize) -> Vec<Complex> {
     assert!(omega0 > 0.0, "omega0 must be positive");
     assert!(eps > 0.0, "contour offset must be positive");
     assert!(n >= 8, "need at least 8 contour samples");
+    (0..=n)
+        .map(|k| Complex::new(eps, omega0 * (0.5 - k as f64 / n as f64)))
+        .collect()
+}
+
+/// Winding-number count of [`strip_zero_count`] over precomputed loop
+/// gains `values[k] = f(contour[k])` on the [`strip_contour`] points.
+/// The winding depends only on the value *sequence*, so the result is
+/// bitwise-identical however `values` was produced.
+pub fn strip_zero_count_from_values(values: &[Complex]) -> isize {
     let mut total = 0.0f64;
     let mut prev: Option<Complex> = None;
-    // Downward traversal: ω from +ω₀/2 to −ω₀/2.
-    for k in 0..=n {
-        let w = omega0 * (0.5 - k as f64 / n as f64);
-        let z = Complex::ONE + f(Complex::new(eps, w));
+    for &v in values {
+        let z = Complex::ONE + v;
         if let Some(p) = prev {
             let cross = p.re * z.im - p.im * z.re;
             let dot = p.re * z.re + p.im * z.im;

@@ -28,6 +28,14 @@ impl Truncation {
         Truncation { k }
     }
 
+    /// A [`TruncationSpec`] asking the consumer to pick the smallest
+    /// order whose harmonic-sum tail stays below `tol` (resolved from
+    /// the open-loop gain's roll-off, e.g. via
+    /// `EffectiveGain::suggest_truncation` in `htmpll-core`).
+    pub const fn auto(tol: f64) -> TruncationSpec {
+        TruncationSpec::Auto { tol }
+    }
+
     /// The truncation order `K`.
     pub const fn order(self) -> usize {
         self.k
@@ -74,6 +82,49 @@ impl Default for Truncation {
     }
 }
 
+/// How a caller asks for a truncation order: either a fixed `K` or a
+/// tolerance to be resolved against the model at hand. This is the one
+/// defaulting story shared by every truncated evaluation path
+/// (`lambda_tv`, `v_column`, `closed_loop_htm`, grid sweeps): APIs take
+/// `impl Into<TruncationSpec>` so a plain [`Truncation`] still works,
+/// and [`TruncationSpec::default`] (= `Truncation::auto(1e-3)`) is used
+/// when the caller passes nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TruncationSpec {
+    /// Use exactly this truncation.
+    Fixed(Truncation),
+    /// Pick the smallest order whose truncation error stays below `tol`.
+    Auto {
+        /// Tolerance on the neglected harmonic-sum tail.
+        tol: f64,
+    },
+}
+
+impl Default for TruncationSpec {
+    /// `Auto { tol: 1e-3 }`: three-digit truncation accuracy.
+    fn default() -> Self {
+        TruncationSpec::Auto { tol: 1e-3 }
+    }
+}
+
+impl From<Truncation> for TruncationSpec {
+    fn from(t: Truncation) -> Self {
+        TruncationSpec::Fixed(t)
+    }
+}
+
+impl TruncationSpec {
+    /// Resolves to a concrete truncation, calling `suggest(tol)` for the
+    /// `Auto` variant. `suggest` returns the order `K` (not the matrix
+    /// dimension).
+    pub fn resolve_with<F: FnOnce(f64) -> usize>(self, suggest: F) -> Truncation {
+        match self {
+            TruncationSpec::Fixed(t) => t,
+            TruncationSpec::Auto { tol } => Truncation::new(suggest(tol)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +165,21 @@ mod tests {
     #[test]
     fn default_order() {
         assert_eq!(Truncation::default().order(), 8);
+    }
+
+    #[test]
+    fn spec_resolution() {
+        let fixed: TruncationSpec = Truncation::new(5).into();
+        assert_eq!(fixed.resolve_with(|_| panic!("not consulted")).order(), 5);
+        let auto = Truncation::auto(1e-4);
+        assert_eq!(auto, TruncationSpec::Auto { tol: 1e-4 });
+        assert_eq!(
+            auto.resolve_with(|tol| (1.0 / tol) as usize).order(),
+            10_000
+        );
+        assert_eq!(
+            TruncationSpec::default(),
+            TruncationSpec::Auto { tol: 1e-3 }
+        );
     }
 }

@@ -9,6 +9,8 @@
 //!   the exact lattice-sum evaluation of the effective open-loop gain.
 //! * [`bode`] — frequency sweeps with phase unwrapping, over arbitrary
 //!   (not necessarily rational) frequency responses.
+//! * [`grid`] — the shared [`FrequencyGrid`] vocabulary type
+//!   (log / linear / per-decade) consumed by every sweep entry point.
 //! * [`margins`] — unity-gain crossover, phase margin, gain margin,
 //!   −3 dB bandwidth and peaking, again over arbitrary responses so the
 //!   same extractor serves `A(jω)` and the time-varying `λ(jω)`.
@@ -33,17 +35,21 @@
 pub mod bode;
 pub mod delay;
 pub mod filters;
+pub mod grid;
 pub mod margins;
 pub mod pfe;
 pub mod response;
 pub mod stability;
 pub mod tf;
 
-pub use bode::{bode_sweep, bode_tf, BodePoint};
+pub use bode::{bode_from_values, bode_sweep, bode_tf, BodePoint};
 pub use delay::pade_delay;
 pub use filters::{ChargePumpFilter2, ChargePumpFilter3, FilterError};
+pub use grid::{FrequencyGrid, GridError};
 pub use margins::{
-    bandwidth_3db, peaking_db, stability_margins, unity_gain_crossings, MarginError, Margins,
+    bandwidth_3db, bandwidth_3db_precomputed, margin_scan_grid, peaking_db, peaking_db_precomputed,
+    stability_margins, stability_margins_precomputed, unity_gain_crossings,
+    unity_gain_crossings_precomputed, MarginError, Margins,
 };
 pub use pfe::{Pfe, PfeTerm};
 pub use stability::{is_hurwitz, routh, RouthResult};

@@ -66,13 +66,53 @@ pub struct Margins {
 /// Number of grid points used by the margin scans.
 const SCAN_POINTS: usize = 2048;
 
+/// The exact log-spaced grid every margin scan in this module evaluates
+/// on. Callers that want to evaluate the response in parallel (or reuse
+/// one evaluation across several extractors) build this grid, compute
+/// `f` at each point, and hand both to the `*_precomputed` variants —
+/// which then return **bitwise-identical** results to the closure-only
+/// entry points.
+pub fn margin_scan_grid(wmin: f64, wmax: f64) -> Vec<f64> {
+    log_grid(wmin, wmax, SCAN_POINTS)
+}
+
+/// Replays `values[i]` for the `i`-th evaluation request; the scans
+/// below visit grid points exactly once, in order.
+fn replay<'a>(
+    values: &'a [Complex],
+    map: impl Fn(Complex) -> f64 + 'a,
+) -> impl FnMut(f64) -> f64 + 'a {
+    let mut idx = 0;
+    move |_| {
+        let v = map(values[idx]);
+        idx += 1;
+        v
+    }
+}
+
 /// Finds all unity-gain crossover frequencies of `f` on `[wmin, wmax]`
 /// (log-spaced scan + Brent refinement), in ascending order.
 pub fn unity_gain_crossings<F: FnMut(f64) -> Complex>(mut f: F, wmin: f64, wmax: f64) -> Vec<f64> {
-    let grid = log_grid(wmin, wmax, SCAN_POINTS);
+    let grid = margin_scan_grid(wmin, wmax);
+    let values: Vec<Complex> = grid.iter().map(|&w| f(w)).collect();
+    unity_gain_crossings_precomputed(f, &grid, &values)
+}
+
+/// [`unity_gain_crossings`] over precomputed `values = f(grid)`; `f` is
+/// only called during root refinement.
+///
+/// # Panics
+///
+/// Panics when `grid` and `values` lengths differ.
+pub fn unity_gain_crossings_precomputed<F: FnMut(f64) -> Complex>(
+    mut f: F,
+    grid: &[f64],
+    values: &[Complex],
+) -> Vec<f64> {
+    assert_eq!(grid.len(), values.len(), "grid/values length mismatch");
     // Work in log-magnitude so the function is well-scaled across decades.
+    let brackets = find_brackets(replay(values, |v| v.abs().ln()), grid);
     let mut g = |w: f64| f(w).abs().ln();
-    let brackets = find_brackets(&mut g, &grid);
     brackets
         .into_iter()
         .filter_map(|(a, b)| brent(&mut g, a, b, 1e-12 * b, 200).ok())
@@ -94,13 +134,34 @@ pub fn stability_margins<F: FnMut(f64) -> Complex>(
     wmin: f64,
     wmax: f64,
 ) -> Result<Margins, MarginError> {
-    let crossings = unity_gain_crossings(&mut f, wmin, wmax);
+    let grid = margin_scan_grid(wmin, wmax);
+    let values: Vec<Complex> = grid.iter().map(|&w| f(w)).collect();
+    stability_margins_precomputed(f, &grid, &values)
+}
+
+/// [`stability_margins`] over precomputed `values = f(grid)`; `f` is
+/// only called during root refinement (a handful of evaluations near
+/// each crossing).
+///
+/// # Errors
+///
+/// [`MarginError::NoUnityCrossing`] when `|f|` never crosses 1 on the
+/// grid.
+///
+/// # Panics
+///
+/// Panics when `grid` and `values` lengths differ.
+pub fn stability_margins_precomputed<F: FnMut(f64) -> Complex>(
+    mut f: F,
+    grid: &[f64],
+    values: &[Complex],
+) -> Result<Margins, MarginError> {
+    let crossings = unity_gain_crossings_precomputed(&mut f, grid, values);
     let omega_ug = *crossings.last().ok_or(MarginError::NoUnityCrossing)?;
     let phase_margin_deg = 180.0 + f(omega_ug).arg().to_degrees();
 
     // Phase crossover: Im f = 0 with Re f < 0.
-    let grid = log_grid(wmin, wmax, SCAN_POINTS);
-    let brackets = find_brackets(|w| f(w).im, &grid);
+    let brackets = find_brackets(replay(values, |v| v.im), grid);
     let mut omega_pc = None;
     for (a, b) in brackets {
         if let Ok(w) = brent(|w| f(w).im, a, b, 1e-12 * b, 200) {
@@ -133,13 +194,30 @@ pub fn bandwidth_3db<F: FnMut(f64) -> Complex>(
     wmin: f64,
     wmax: f64,
 ) -> Option<f64> {
+    let grid = margin_scan_grid(wmin, wmax);
+    let values: Vec<Complex> = grid.iter().map(|&w| f(w)).collect();
+    bandwidth_3db_precomputed(f, w_ref, &grid, &values)
+}
+
+/// [`bandwidth_3db`] over precomputed `values = f(grid)`; `f` is called
+/// once at `w_ref` and during root refinement.
+///
+/// # Panics
+///
+/// Panics when `grid` and `values` lengths differ.
+pub fn bandwidth_3db_precomputed<F: FnMut(f64) -> Complex>(
+    mut f: F,
+    w_ref: f64,
+    grid: &[f64],
+    values: &[Complex],
+) -> Option<f64> {
+    assert_eq!(grid.len(), values.len(), "grid/values length mismatch");
     let target = f(w_ref).abs() / std::f64::consts::SQRT_2;
     if target == 0.0 || !target.is_finite() {
         return None;
     }
-    let grid = log_grid(wmin, wmax, SCAN_POINTS);
+    let brackets = find_brackets(replay(values, |v| (v.abs() / target).ln()), grid);
     let mut g = |w: f64| (f(w).abs() / target).ln();
-    let brackets = find_brackets(&mut g, &grid);
     brackets
         .into_iter()
         .filter_map(|(a, b)| brent(&mut g, a, b, 1e-12 * b, 200).ok())
@@ -151,9 +229,20 @@ pub fn bandwidth_3db<F: FnMut(f64) -> Complex>(
 /// local golden-section refinement is unnecessary here: the grid is dense
 /// enough for the smooth responses this crate targets.
 pub fn peaking_db<F: FnMut(f64) -> Complex>(mut f: F, w_ref: f64, wmin: f64, wmax: f64) -> f64 {
+    let grid = margin_scan_grid(wmin, wmax);
+    let values: Vec<Complex> = grid.iter().map(|&w| f(w)).collect();
+    peaking_db_precomputed(f, w_ref, &values)
+}
+
+/// [`peaking_db`] over precomputed `values = f(grid)`; `f` is called
+/// once, at `w_ref`.
+pub fn peaking_db_precomputed<F: FnMut(f64) -> Complex>(
+    mut f: F,
+    w_ref: f64,
+    values: &[Complex],
+) -> f64 {
     let base = f(w_ref).abs();
-    let grid = log_grid(wmin, wmax, SCAN_POINTS);
-    let peak = grid.iter().map(|&w| f(w).abs()).fold(0.0, f64::max);
+    let peak = values.iter().map(|v| v.abs()).fold(0.0, f64::max);
     20.0 * (peak / base).log10()
 }
 

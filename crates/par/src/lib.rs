@@ -1,0 +1,276 @@
+//! # htmpll-par — std-only parallel sweep engine
+//!
+//! Every headline quantity of the paper — the effective open-loop gain
+//! `λ(s)`, closed-loop peaking via `(1 + λ(s))⁻¹`, noise folding through
+//! the HTM — is evaluated on dense frequency grids, one independent point
+//! at a time. This crate turns those embarrassingly parallel loops into
+//! multi-core sweeps **without leaving `std`** (the workspace builds
+//! offline, so `rayon`/`crossbeam` are not options):
+//!
+//! * [`par_map`] — map a pure function over a slice using scoped worker
+//!   threads that pull **chunks of work from a shared atomic cursor**
+//!   (self-balancing: a worker that finishes its chunk steals the next
+//!   one, so uneven per-point cost does not serialize the sweep),
+//! * [`ThreadBudget`] — where the thread count comes from: an explicit
+//!   request, the `HTMPLL_THREADS` environment variable, or the
+//!   machine's available parallelism,
+//! * `htmpll-obs` telemetry — tasks executed, chunks grabbed, steal
+//!   counts and per-worker busy time under the `par` target, so
+//!   `plltool metrics` can report parallel efficiency.
+//!
+//! ## Determinism contract
+//!
+//! `par_map` calls `f` exactly once per item and writes each result into
+//! the output slot of its item's index. For a pure `f`, the output is
+//! therefore **bitwise identical** for every thread count, including 1 —
+//! scheduling only decides *who* computes a point, never *what* is
+//! computed. The workspace's `parallel_determinism` integration test
+//! asserts this end to end.
+//!
+//! ```
+//! use htmpll_par::{par_map, ThreadBudget};
+//!
+//! let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+//! let seq = par_map(ThreadBudget::Fixed(1), &xs, |_, &x| x.sqrt());
+//! let par = par_map(ThreadBudget::Fixed(4), &xs, |_, &x| x.sqrt());
+//! assert_eq!(seq, par); // bitwise: same ops, same order per item
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable consulted by [`ThreadBudget::Auto`].
+pub const THREADS_ENV: &str = "HTMPLL_THREADS";
+
+/// Where a sweep's worker-thread count comes from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ThreadBudget {
+    /// `HTMPLL_THREADS` if set to a positive integer, otherwise the
+    /// machine's available parallelism.
+    #[default]
+    Auto,
+    /// An explicit thread count (clamped to ≥ 1 at resolution).
+    Fixed(usize),
+}
+
+impl From<usize> for ThreadBudget {
+    /// `0` means [`ThreadBudget::Auto`]; any positive value is
+    /// [`ThreadBudget::Fixed`].
+    fn from(n: usize) -> Self {
+        if n == 0 {
+            ThreadBudget::Auto
+        } else {
+            ThreadBudget::Fixed(n)
+        }
+    }
+}
+
+impl From<Option<usize>> for ThreadBudget {
+    fn from(n: Option<usize>) -> Self {
+        match n {
+            None => ThreadBudget::Auto,
+            Some(n) => ThreadBudget::from(n),
+        }
+    }
+}
+
+impl ThreadBudget {
+    /// Resolves to a concrete thread count ≥ 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            ThreadBudget::Fixed(n) => n.max(1),
+            ThreadBudget::Auto => match std::env::var(THREADS_ENV) {
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => available_threads(),
+                },
+                Err(_) => available_threads(),
+            },
+        }
+    }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Chunk size for `n` items across `threads` workers: ~4 chunks per
+/// worker so a fast worker can steal from a slow one, but never so small
+/// that the cursor contention dominates point cost.
+fn chunk_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * 4).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving item order in the
+/// output. `f` receives `(index, &item)` and must be pure for the
+/// determinism contract to hold (it is called exactly once per item
+/// regardless of thread count).
+///
+/// With a resolved budget of 1 (or ≤ 1 items) the map runs inline on the
+/// calling thread — no spawn, no synchronization, and `htmpll-obs` span
+/// nesting stays attached to the caller.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope unwinds after all workers
+/// stop).
+pub fn par_map<T, R, F>(budget: ThreadBudget, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = budget.resolve().min(n.max(1));
+    htmpll_obs::counter!("par", "tasks").add(n as u64);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads={threads}"));
+    let telemetry = htmpll_obs::record!("par", "worker_busy_ns").is_enabled();
+    let chunk = chunk_size(n, threads);
+    let cursor = AtomicUsize::new(0);
+    // Workers publish (start_index, results) per chunk; the merge below
+    // reorders by start index, so placement is deterministic no matter
+    // which worker computed which chunk.
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n / chunk + threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let started = telemetry.then(Instant::now);
+                let mut grabbed = 0usize;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let out: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(start + i, t))
+                        .collect();
+                    parts.lock().unwrap().push((start, out));
+                    grabbed += 1;
+                }
+                if grabbed > 0 {
+                    htmpll_obs::counter!("par", "chunks").add(grabbed as u64);
+                    // Everything beyond a worker's first grab came off the
+                    // shared cursor while other workers were busy: steals.
+                    htmpll_obs::counter!("par", "steals").add((grabbed - 1) as u64);
+                }
+                if let Some(t0) = started {
+                    htmpll_obs::record!("par", "worker_busy_ns")
+                        .record(t0.elapsed().as_secs_f64() * 1e9);
+                }
+            });
+        }
+    });
+
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut p) in parts {
+        out.append(&mut p);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let out = par_map(ThreadBudget::Fixed(7), &xs, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(ThreadBudget::Fixed(4), &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(ThreadBudget::Fixed(4), &[9u8], |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let xs: Vec<f64> = (1..500).map(|i| i as f64 * 0.37).collect();
+        let f = |_: usize, &x: &f64| (x.sin() * x.sqrt()).exp();
+        let one = par_map(ThreadBudget::Fixed(1), &xs, f);
+        for t in [2, 3, 4, 9] {
+            let many = par_map(ThreadBudget::Fixed(t), &xs, f);
+            assert!(one
+                .iter()
+                .zip(&many)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different cost must all complete and land in
+        // their slots.
+        let xs: Vec<usize> = (0..97).collect();
+        let out = par_map(ThreadBudget::Fixed(5), &xs, |_, &x| {
+            let iters = if x % 10 == 0 { 20_000 } else { 10 };
+            (0..iters).fold(x as f64, |a, _| a + (a * 1e-9).sin())
+        });
+        assert_eq!(out.len(), 97);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(ThreadBudget::Fixed(0).resolve(), 1);
+        assert_eq!(ThreadBudget::Fixed(3).resolve(), 3);
+        assert_eq!(ThreadBudget::from(0usize), ThreadBudget::Auto);
+        assert_eq!(ThreadBudget::from(2usize), ThreadBudget::Fixed(2));
+        assert_eq!(ThreadBudget::from(None), ThreadBudget::Auto);
+        assert_eq!(ThreadBudget::from(Some(5)), ThreadBudget::Fixed(5));
+        assert!(ThreadBudget::Auto.resolve() >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        for n in [1usize, 2, 5, 16, 33, 1024] {
+            for t in [1usize, 2, 4, 8] {
+                let c = chunk_size(n, t);
+                assert!(c >= 1);
+                // Enough chunks to cover all items.
+                assert!(c * n.div_ceil(c) >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_steals() {
+        htmpll_obs::override_filter("par=debug");
+        htmpll_obs::reset();
+        let xs: Vec<usize> = (0..256).collect();
+        let _ = par_map(ThreadBudget::Fixed(4), &xs, |_, &x| x + 1);
+        let snap = htmpll_obs::snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|m| m.key == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert!(get("par.tasks").count >= 256);
+        assert!(get("par.chunks").count >= 1);
+        let _ = get("par.worker_busy_ns");
+        htmpll_obs::override_filter("off");
+    }
+}

@@ -256,7 +256,7 @@ mod tests {
         // the HTM baseband transfer at the same frequency.
         let ratio = 0.1;
         let design = PllDesign::reference_design(ratio).unwrap();
-        let model = PllModel::new(design.clone()).unwrap();
+        let model = PllModel::builder(design.clone()).build().unwrap();
         let p = SimParams::from_design(&design);
         let mut map = PeriodMap::new(&p, PulseLaw::Linear);
         let t = p.t_ref;
@@ -356,7 +356,7 @@ mod tests {
         assert!(err < 0.05, "map {h} vs S&H model {predict} (err {err:.4})");
         // And it must differ measurably from the impulse model at this
         // frequency (the hold's phase lag).
-        let imp = PllModel::new(design).unwrap().h00(w);
+        let imp = PllModel::builder(design).build().unwrap().h00(w);
         assert!((h - imp).abs() / imp.abs() > 2.0 * err);
     }
 

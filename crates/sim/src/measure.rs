@@ -317,7 +317,7 @@ mod tests {
     fn matches_htm_prediction_in_band() {
         // The paper's Fig.-6 agreement claim (within a few percent).
         let d = PllDesign::reference_design(0.1).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let params = SimParams::from_design(&d);
         let cfg = SimConfig::default();
         for w in [0.3, 1.0] {
@@ -337,7 +337,7 @@ mod tests {
         // At a fast ratio the LTI prediction misses the simulated
         // response while the HTM one tracks it — the paper's headline.
         let d = PllDesign::reference_design(0.25).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let params = SimParams::from_design(&d);
         let cfg = SimConfig::default();
         let w = 1.4; // near the passband edge where peaking appears
@@ -371,7 +371,7 @@ mod tests {
         // The off-diagonal validation the paper did not run: sidebands
         // at ω ± ω₀ of the modulation, amplitude AND phase, vs H_{±1,0}.
         let d = PllDesign::reference_design(0.2).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let params = SimParams::from_design(&d);
         let cfg = SimConfig::default();
         let opts = MeasureOptions {
@@ -395,7 +395,7 @@ mod tests {
     #[test]
     fn band_zero_reduces_to_h00_measurement() {
         let d = PllDesign::reference_design(0.1).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let params = SimParams::from_design(&d);
         let m = measure_band_transfer(
             &params,
@@ -415,7 +415,7 @@ mod tests {
     #[test]
     fn multitone_matches_single_tone_sweep() {
         let d = PllDesign::reference_design(0.1).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let params = SimParams::from_design(&d);
         let cfg = SimConfig::default();
         let opts = MeasureOptions {

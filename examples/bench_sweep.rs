@@ -1,0 +1,110 @@
+//! Wall-clock benchmark for the parallel sweep engine, used by
+//! `scripts/bench_parallel.sh` to produce `BENCH_parallel_sweep.json`.
+//!
+//! Three legs, each timed at every requested thread count:
+//!
+//! 1. `lambda` — λ(jω) over a dense log grid (exact lattice sums;
+//!    scalar work per point).
+//! 2. `dense_cold` — closed-loop HTM grid at truncation K, fresh
+//!    [`SweepCache`]: every point assembles `I + G̃` and runs an LU
+//!    factorization of a `(2K+1)²` complex matrix.
+//! 3. `dense_warm` — the same grid through the already-populated cache:
+//!    all hits, no factorizations.
+//!
+//! Prints one JSON object to stdout. Usage:
+//!
+//! ```sh
+//! cargo run --release --example bench_sweep -- [threads...] [--points N] [--trunc K] [--reps R]
+//! ```
+
+use std::time::Instant;
+
+use htmpll::core::{PllDesign, PllModel, SweepCache, SweepSpec};
+use htmpll::htm::Truncation;
+
+fn main() {
+    let mut threads: Vec<usize> = Vec::new();
+    let mut points = 192usize;
+    let mut trunc = 24usize;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{what} needs an integer"))
+        };
+        match a.as_str() {
+            "--points" => points = grab("--points"),
+            "--trunc" => trunc = grab("--trunc"),
+            "--reps" => reps = grab("--reps"),
+            other => threads.push(
+                other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad thread count {other:?}")),
+            ),
+        }
+    }
+    if threads.is_empty() {
+        threads = vec![1, 4];
+    }
+
+    let design = PllDesign::reference_design(0.1).expect("reference design");
+    let w0 = design.omega_ref();
+    let model = PllModel::builder(design).build().expect("model");
+
+    // Best-of-R wall time for one closure, milliseconds.
+    let best_ms = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+
+    let mut legs = String::new();
+    for (i, &n) in threads.iter().enumerate() {
+        let lam_spec = SweepSpec::log(1e-3 * w0, 0.49 * w0, 16 * points)
+            .expect("grid")
+            .with_threads(n);
+        let lambda_ms = best_ms(&mut || {
+            model.lambda().eval_grid(&lam_spec);
+        });
+
+        let dense_spec = SweepSpec::log(1e-2 * w0, 0.49 * w0, points)
+            .expect("grid")
+            .with_truncation(Truncation::new(trunc))
+            .with_threads(n);
+        let mut cache = SweepCache::new();
+        let dense_cold_ms = best_ms(&mut || {
+            cache = SweepCache::new();
+            model
+                .closed_loop_htm_grid_cached(&dense_spec, &cache)
+                .expect("dense sweep");
+        });
+        let dense_warm_ms = best_ms(&mut || {
+            model
+                .closed_loop_htm_grid_cached(&dense_spec, &cache)
+                .expect("dense sweep");
+        });
+
+        if i > 0 {
+            legs.push_str(",\n");
+        }
+        legs.push_str(&format!(
+            "    {{\"threads\": {n}, \"lambda_ms\": {lambda_ms:.3}, \
+             \"dense_cold_ms\": {dense_cold_ms:.3}, \"dense_warm_ms\": {dense_warm_ms:.3}}}"
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{{");
+    println!("  \"workload\": {{\"lambda_points\": {}, \"dense_points\": {points}, \"truncation\": {trunc}, \"reps\": {reps}, \"timing\": \"best-of-reps, ms\"}},", 16 * points);
+    println!("  \"host_cores\": {cores},");
+    println!("  \"runs\": [\n{legs}\n  ]");
+    println!("}}");
+}

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ratio   |1−H00| wander-err   PM_eff     verdict");
     for &ratio in &[0.02, 0.05, 0.1, 0.2, 0.3] {
         let design = PllDesign::reference_design(ratio)?;
-        let model = PllModel::new(design)?;
+        let model = PllModel::builder(design).build()?;
         let report = analyze(&model)?;
         // Tracking error for slow reference wander: |1 − H00| at low ω.
         let err = model.error_transfer(0.05).abs();
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTime-varying VCO (ISF harmonics v₁/v₀ = 0.5, v₂/v₀ = 0.2), ratio = 0.15:");
     let design = PllDesign::reference_design(0.15)?;
     let v0 = design.v0();
-    let ti = PllModel::new(design.clone())?;
+    let ti = PllModel::builder(design.clone()).build()?;
     let isf = vec![
         Complex::from_re(0.2 * v0),
         Complex::from_re(0.5 * v0),
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Complex::from_re(0.5 * v0),
         Complex::from_re(0.2 * v0),
     ];
-    let tv = PllModel::with_vco_isf(design, isf)?;
+    let tv = PllModel::builder(design).vco_isf(isf).build()?;
     let trunc = Truncation::new(12);
     println!("  ω      |H00| TI-VCO   |H00| TV-VCO   |H(+1←0)| TV");
     for &w in &[0.1, 0.5, 1.0, 2.0] {

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &ratio in &[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4] {
         let design = PllDesign::reference_design(ratio)?;
         let a = design.open_loop_gain();
-        let model = PllModel::new(design.clone())?;
+        let model = PllModel::builder(design.clone()).build()?;
         let report = analyze(&model)?;
         let zmodel = CpPllZModel::from_design(&design)?;
         println!(

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .divider(n_int)
         .filter(base.filter().clone())
         .build()?;
-    let model = PllModel::new(design.clone())?;
+    let model = PllModel::builder(design.clone()).build()?;
 
     let mut mash = Mash111::new(frac, 1 << 20, 0x9e37)?;
     let mut params = SimParams::from_design(&design);

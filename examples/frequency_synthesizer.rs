@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("charge pump: Icp = {:.1} µA", design.icp() * 1e6);
-    let model = PllModel::new(design.clone())?;
+    let model = PllModel::builder(design.clone()).build()?;
     let report = analyze(&model)?;
 
     println!(

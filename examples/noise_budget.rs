@@ -13,7 +13,7 @@ use htmpll::spectral::{welch, Window};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = PllDesign::reference_design(0.2)?;
-    let model = PllModel::new(design.clone())?;
+    let model = PllModel::builder(design.clone()).build()?;
     let noise = NoiseModel::new(&model, 8);
     let w0 = design.omega_ref();
 

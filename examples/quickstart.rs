@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.omega_ref()
     );
 
-    let model = PllModel::new(design)?;
+    let model = PllModel::builder(design).build()?;
     let report = analyze(&model)?;
 
     println!("\n--- classical LTI analysis (textbook) ---");

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. LTI step response.
     let cl = design.open_loop_gain().feedback_unity()?;
     // 2. HTM step response.
-    let model = PllModel::new(design.clone())?;
+    let model = PllModel::builder(design.clone()).build()?;
     // 3. z-domain step response (per sampling instant).
     let zm = CpPllZModel::from_design(&design)?;
     let z_step = zm.closed_loop()?.step_response(64);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_parallel_sweep.json: wall-clock numbers for the
+# parallel sweep engine (examples/bench_sweep.rs) at 1/2/4 threads.
+#
+#   scripts/bench_parallel.sh [threads...]     # default: 1 2 4
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threads=("$@")
+[ ${#threads[@]} -eq 0 ] && threads=(1 2 4)
+
+cargo build --release -q --example bench_sweep
+bench=$(./target/release/examples/bench_sweep "${threads[@]}" --reps 5)
+cores=$(echo "$bench" | sed -n 's/.*"host_cores": \([0-9]*\).*/\1/p')
+
+cat > BENCH_parallel_sweep.json <<EOF
+{
+  "note": "Measured on a ${cores}-core host. Thread-count scaling of wall time requires >1 core; on a single core the pool adds only scheduling overhead and the win comes from the SweepCache (dense_warm vs dense_cold: repeated sweeps skip the (2K+1)^2 LU factorization per point). Results are bitwise identical across all thread counts (tests/parallel_determinism.rs).",
+  "generated_by": "scripts/bench_parallel.sh",
+  "bench": $bench
+}
+EOF
+echo "wrote BENCH_parallel_sweep.json:"
+cat BENCH_parallel_sweep.json

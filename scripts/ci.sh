@@ -11,8 +11,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (workspace)"
-cargo test --workspace -q
+echo "==> cargo test -q (workspace, HTMPLL_THREADS=1)"
+HTMPLL_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test -q (workspace, HTMPLL_THREADS=4)"
+HTMPLL_THREADS=4 cargo test --workspace -q
 
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -32,5 +35,17 @@ if [ "$sites" -lt 10 ]; then
     exit 1
 fi
 echo "metrics smoke ok ($sites instrumented sites)"
+
+echo "==> parallel sweep pool smoke"
+tmpjson=$(mktemp)
+trap 'rm -f "$tmpjson"' EXIT
+./target/release/plltool metrics --ratio 0.1 --threads 2 --json "$tmpjson" > /dev/null
+for key in par.tasks par.chunks par.worker_busy_ns core.sweep.dense_cache.hit; do
+    grep -q "\"$key" "$tmpjson" || {
+        echo "pool smoke failed: $key missing from metrics JSON" >&2
+        exit 1
+    }
+done
+echo "pool smoke ok (par.* counters + sweep cache hits present)"
 
 echo "==> all green"

@@ -13,13 +13,15 @@
 //! workspace dependency-free.
 
 use htmpll::core::{
-    analyze, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs, NoiseShape,
-    NoiseSpec, OptimizeSpec, PllDesign, PllModel, SampleHoldModel,
+    analyze_with, bode_grid, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs,
+    NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel, SampleHoldModel,
+    SweepCache, SweepSpec,
 };
 use htmpll::htm::Truncation;
-use htmpll::lti::bode_sweep;
-use htmpll::num::optim::{lin_grid, log_grid};
+use htmpll::lti::FrequencyGrid;
+use htmpll::num::optim::lin_grid;
 use htmpll::num::Complex;
+use htmpll::par::ThreadBudget;
 use htmpll::sim::{acquire_lock, LockOptions, PllSim, SimConfig, SimParams};
 use htmpll::spectral::{periodogram, Window};
 use std::collections::HashMap;
@@ -75,6 +77,11 @@ impl Args {
     fn has(&self, key: &str) -> bool {
         self.values.contains_key(key)
     }
+
+    /// Worker-thread budget from `--threads N` (`0` = auto-detect).
+    fn threads(&self) -> Result<ThreadBudget, String> {
+        Ok(ThreadBudget::from(self.usize_or("threads", 0)?))
+    }
 }
 
 /// Builds a design from either `--ratio` (normalized reference family)
@@ -105,8 +112,10 @@ fn design_from(args: &Args) -> Result<PllDesign, String> {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let design = design_from(args)?;
-    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
-    let r = analyze(&model).map_err(|e| e.to_string())?;
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let r = analyze_with(&model, args.threads()?).map_err(|e| e.to_string())?;
     println!("design             : {design}");
     println!("ω₀ (reference)     : {:.6e} rad/s", design.omega_ref());
     println!(
@@ -174,14 +183,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let from = args.f64_or("from", 0.02)?;
     let to = args.f64_or("to", 0.3)?;
     let points = args.usize_or("points", 15)?;
+    let threads = args.threads()?;
     println!(
         "{:>8} {:>14} {:>12} {:>12} {:>8}",
         "ratio", "wUG_eff/wUG", "PM_eff", "PM_LTI", "limit?"
     );
     for ratio in lin_grid(from, to, points.max(2)) {
-        let model = PllModel::new(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
-        let r = analyze(&model).map_err(|e| e.to_string())?;
+        let model =
+            PllModel::builder(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
+                .build()
+                .map_err(|e| e.to_string())?;
+        let r = analyze_with(&model, threads).map_err(|e| e.to_string())?;
         println!(
             "{:8.3} {:14.4} {:12.2} {:12.2} {:>8}",
             ratio,
@@ -196,26 +208,30 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 
 fn cmd_bode(args: &Args) -> Result<(), String> {
     let design = design_from(args)?;
-    let wug = analyze(&PllModel::new(design.clone()).map_err(|e| e.to_string())?)
+    let threads = args.threads()?;
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let wug = analyze_with(&model, threads)
         .map_err(|e| e.to_string())?
         .omega_ug_lti;
     let points = args.usize_or("points", 31)?;
-    let grid = log_grid(1e-2 * wug, 1e2 * wug, points.max(2));
+    let grid =
+        FrequencyGrid::log(1e-2 * wug, 1e2 * wug, points.max(2)).map_err(|e| e.to_string())?;
     println!("{:>14} {:>12} {:>12}", "omega", "mag_dB", "phase_deg");
     if args.has("lambda") {
         let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
             .map_err(|e| e.to_string())?;
         // λ is only meaningful inside the first band.
-        let grid: Vec<f64> = grid
-            .into_iter()
-            .filter(|w| *w < 0.4999 * design.omega_ref())
-            .collect();
-        for p in bode_sweep(|w| lam.eval_jw(w), &grid) {
+        let spec =
+            SweepSpec::new(grid.retain(|w| w < 0.4999 * design.omega_ref())).with_threads(threads);
+        for p in bode_grid(|w| lam.eval_jw(w), &spec) {
             println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
         }
     } else {
         let a = design.open_loop_gain();
-        for p in bode_sweep(|w| a.eval_jw(w), &grid) {
+        let spec = SweepSpec::new(grid).with_threads(threads);
+        for p in bode_grid(|w| a.eval_jw(w), &spec) {
             println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
         }
     }
@@ -224,7 +240,9 @@ fn cmd_bode(args: &Args) -> Result<(), String> {
 
 fn cmd_step(args: &Args) -> Result<(), String> {
     let design = design_from(args)?;
-    let model = PllModel::new(design).map_err(|e| e.to_string())?;
+    let model = PllModel::builder(design)
+        .build()
+        .map_err(|e| e.to_string())?;
     let until = args.f64_or("until", 40.0)?;
     let points = args.usize_or("points", 20)?;
     let ts = lin_grid(until / points as f64, until, points.max(2));
@@ -238,7 +256,9 @@ fn cmd_step(args: &Args) -> Result<(), String> {
 
 fn cmd_hop(args: &Args) -> Result<(), String> {
     let design = design_from(args)?;
-    let model = PllModel::new(design).map_err(|e| e.to_string())?;
+    let model = PllModel::builder(design)
+        .build()
+        .map_err(|e| e.to_string())?;
     let until = args.f64_or("until", 40.0)?;
     let points = args.usize_or("points", 20)?;
     let ts = lin_grid(until / points as f64, until, points.max(2));
@@ -253,7 +273,10 @@ fn cmd_hop(args: &Args) -> Result<(), String> {
 fn cmd_spur(args: &Args) -> Result<(), String> {
     let design = design_from(args)?;
     let frac = args.f64_or("leakage-frac", 1e-3)?;
-    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
+    let k_max = args.usize_or("kmax", 4)? as i64;
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
     let spurs = LeakageSpurs::new(&model, frac * design.icp());
     println!("leakage            : {:.3e} × I_cp", frac);
     println!(
@@ -262,11 +285,12 @@ fn cmd_spur(args: &Args) -> Result<(), String> {
         spurs.static_offset() * design.f_ref()
     );
     println!("{:>6} {:>16} {:>12}", "k", "|sideband| (s)", "dBc");
-    for k in 1..=4 {
+    for line in spurs.scan(k_max, args.threads()?) {
         println!(
-            "{k:>6} {:16.4e} {:12.2}",
-            spurs.sideband(k).abs(),
-            spurs.level_dbc(k)
+            "{:>6} {:16.4e} {:12.2}",
+            line.k,
+            line.sideband.abs(),
+            line.level_dbc
         );
     }
     Ok(())
@@ -307,9 +331,10 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
 }
 
 /// Runs a representative slice of the whole pipeline — analysis, strip
-/// poles, truncated/dense HTM closed loop, eigenvalues, behavioral
-/// simulation, lock acquisition, spectral estimation — under the obs
-/// filter, then reports every metric the run produced.
+/// poles, truncated/dense HTM closed loop, eigenvalues, parallel
+/// frequency sweeps, behavioral simulation, lock acquisition, spectral
+/// estimation — under the obs filter, then reports every metric the run
+/// produced.
 fn cmd_metrics(args: &Args) -> Result<(), String> {
     let spec = args
         .values
@@ -318,16 +343,20 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         .unwrap_or_else(|| "debug".to_string());
     htmpll::obs::override_filter(&spec);
     htmpll::obs::reset();
+    let threads = args.threads()?;
 
     let design = if args.has("ratio") || args.has("fref") {
         design_from(args)?
     } else {
         PllDesign::reference_design(0.1).map_err(|e| e.to_string())?
     };
-    let model = PllModel::new(design.clone()).map_err(|e| e.to_string())?;
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
 
-    // Frequency-domain leg: margins, strip poles, λ truncation.
-    analyze(&model).map_err(|e| e.to_string())?;
+    // Frequency-domain leg: margins, strip poles, λ truncation — all
+    // scan grids run on the parallel pool.
+    analyze_with(&model, threads).map_err(|e| e.to_string())?;
     let _ = dominant_poles(&model);
     let lam = model.lambda();
     let k = lam.suggest_truncation(1e-6);
@@ -341,6 +370,29 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     cl.eigenvalues()
         .map_err(|e| format!("eigensolver: {e:?}"))?;
+
+    // Parallel-sweep leg: λ grid, dense HTM grid (twice through one
+    // cache, so the second pass is all hits), folded noise PSDs and a
+    // spur table — exercises the pool and the sweep cache end to end.
+    let w0 = design.omega_ref();
+    let sweep_spec = SweepSpec::log(1e-3 * w0, 0.49 * w0, 512)
+        .map_err(|e| e.to_string())?
+        .with_threads(threads);
+    let _ = lam.eval_grid(&sweep_spec);
+    let htm_spec = SweepSpec::log(1e-2 * w0, 0.49 * w0, 96)
+        .map_err(|e| e.to_string())?
+        .with_truncation(trunc)
+        .with_threads(threads);
+    let cache = SweepCache::new();
+    model
+        .closed_loop_htm_grid_cached(&htm_spec, &cache)
+        .map_err(|e| e.to_string())?;
+    model
+        .closed_loop_htm_grid_cached(&htm_spec, &cache)
+        .map_err(|e| e.to_string())?;
+    let noise = NoiseModel::new(&model, 8);
+    let _ = noise.output_psd_grid(&sweep_spec, &|_| 1e-12, &|f| 1e-12 / (1.0 + f * f));
+    let _ = LeakageSpurs::new(&model, 1e-3 * design.icp()).scan(16, threads);
 
     // Time-domain leg: settle run, lock acquisition, PSD of the trace.
     let params = SimParams::from_design(&design);
@@ -373,17 +425,30 @@ const USAGE: &str =
   sweep   [--from A] [--to B] [--points N]
   bode    --ratio R [--lambda x] [--points N]
   step    --ratio R [--until T] [--points N]
-  spur    --ratio R [--leakage-frac F]
+  spur    --ratio R [--leakage-frac F] [--kmax K]
   optimize [--min-pm DEG] [--from A] [--to B] [--points N]
            [--ref-noise PSD] [--vco-noise PSD]
   hop     --ratio R [--until T] [--points N]
   metrics [--ratio R] [--obs SPEC] [--json PATH]
-  any command also accepts --metrics-json PATH to dump instrumentation
-  (enables info-level collection if HTMPLL_OBS is unset)";
+  every command accepts --threads N for the sweep worker pool
+  (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
+  PATH to dump instrumentation (enables info-level collection if
+  HTMPLL_OBS is unset)";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let cmd = argv.first().map(String::as_str).ok_or(USAGE)?;
     let args = Args::parse(&argv[1..])?;
+    // Bridge --threads into the process-wide budget so code paths that
+    // use ThreadBudget::Auto internally (optimizer, library defaults)
+    // honor the flag too.
+    if let Some(n) = args.values.get("threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--threads: `{n}` is not an integer"))?;
+        if n > 0 {
+            std::env::set_var(htmpll::par::THREADS_ENV, n.to_string());
+        }
+    }
     if cmd == "metrics" {
         return cmd_metrics(&args);
     }

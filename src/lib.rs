@@ -29,7 +29,7 @@
 //! // Build the paper's reference loop with crossover at 20 % of the
 //! // reference frequency and compare LTI vs time-varying phase margin.
 //! let design = PllDesign::reference_design(0.2)?;
-//! let model = PllModel::new(design)?;
+//! let model = PllModel::builder(design).build()?;
 //! let report = analyze(&model)?;
 //! assert!(report.phase_margin_eff_deg < report.phase_margin_lti_deg);
 //! # Ok::<(), htmpll::core::CoreError>(())
@@ -60,6 +60,9 @@ pub use htmpll_zdomain as zdomain;
 
 /// Instrumentation: counters, histograms, spans (re-export of `htmpll-obs`).
 pub use htmpll_obs as obs;
+
+/// Parallel sweep engine (re-export of `htmpll-par`).
+pub use htmpll_par as par;
 
 /// The most commonly used items in one import.
 pub mod prelude {

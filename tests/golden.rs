@@ -8,7 +8,12 @@ use htmpll::core::{analyze, PllDesign, PllModel};
 use htmpll::zdomain::reference_design_stability_limit;
 
 fn report(ratio: f64) -> htmpll::core::AnalysisReport {
-    analyze(&PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap()).unwrap()
+    analyze(
+        &PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -52,7 +57,9 @@ fn golden_sampling_stability_limit() {
 fn golden_subharmonic_pole() {
     // At ratio 0.25 the dominant subharmonic pole: −0.2043 + j·(ω₀/2).
     use htmpll::core::dominant_poles;
-    let model = PllModel::new(PllDesign::reference_design(0.25).unwrap()).unwrap();
+    let model = PllModel::builder(PllDesign::reference_design(0.25).unwrap())
+        .build()
+        .unwrap();
     let w0 = model.design().omega_ref();
     let poles = dominant_poles(&model).unwrap();
     let edge = poles
@@ -65,7 +72,9 @@ fn golden_subharmonic_pole() {
 #[test]
 fn golden_h00_values() {
     // Spot values of the Fig.-6 curves (dB).
-    let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+    let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+        .build()
+        .unwrap();
     let db = |w: f64| 20.0 * model.h00(w).abs().log10();
     assert!((db(0.5016) - 1.460).abs() < 0.01, "{}", db(0.5016));
     assert!((db(1.9876) + 3.990).abs() < 0.01, "{}", db(1.9876));
@@ -75,7 +84,9 @@ fn golden_h00_values() {
 fn golden_spur_closed_form() {
     // |A(jω₀)| at ratio 0.1: the leakage-spur transfer factor.
     use htmpll::core::LeakageSpurs;
-    let model = PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap();
+    let model = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+        .build()
+        .unwrap();
     let i_leak = 1e-3 * model.design().icp();
     let s = LeakageSpurs::new(&model, i_leak);
     let t_ref = 1.0 / model.design().f_ref();

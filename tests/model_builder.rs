@@ -1,0 +1,144 @@
+//! `PllModelBuilder` contract: every construction path (bare, delayed,
+//! time-varying VCO, and their combination), every validation error,
+//! and exact equivalence with the deprecated one-shot constructors.
+
+use htmpll::core::{CoreError, PllDesign, PllModel, MAX_AUTO_TRUNCATION};
+use htmpll::htm::Truncation;
+use htmpll::num::Complex;
+
+fn design() -> PllDesign {
+    PllDesign::reference_design(0.1).unwrap()
+}
+
+fn isf(design: &PllDesign) -> Vec<Complex> {
+    let v0 = design.v0();
+    vec![
+        Complex::from_re(0.25 * v0),
+        Complex::from_re(v0),
+        Complex::from_re(0.25 * v0),
+    ]
+}
+
+#[test]
+fn bare_builder_is_time_invariant() {
+    let m = PllModel::builder(design()).build().unwrap();
+    assert!(m.is_time_invariant());
+}
+
+#[test]
+fn builder_combines_delay_and_isf() {
+    // The legacy constructors could express a delayed loop OR a
+    // time-varying VCO, never both; the builder chains them.
+    let d = design();
+    let tau = 0.02 / d.omega_ref();
+    let m = PllModel::builder(d.clone())
+        .loop_delay(tau, 3)
+        .vco_isf(isf(&d))
+        .build()
+        .unwrap();
+    assert!(!m.is_time_invariant());
+    // The delay must actually be folded into λ: extra phase lag at the
+    // top of the band compared to the undelayed time-varying model.
+    let plain = PllModel::builder(d.clone())
+        .vco_isf(isf(&d))
+        .build()
+        .unwrap();
+    let w = 0.4 * d.omega_ref();
+    let s = Complex::from_im(w);
+    let lag = m.lambda().eval(s).arg() - plain.lambda().eval(s).arg();
+    assert!(lag.abs() > 1e-6, "delay left λ unchanged");
+}
+
+#[test]
+fn builder_rejects_bad_isf() {
+    for bad in [0usize, 2, 4] {
+        let err = PllModel::builder(design())
+            .vco_isf(vec![Complex::ONE; bad])
+            .build()
+            .unwrap_err();
+        match err {
+            CoreError::InvalidParameter { name, value } => {
+                assert_eq!(name, "vco_isf length");
+                assert_eq!(value, bad as f64);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_bad_delay() {
+    for bad in [-1e-9, f64::NAN, f64::INFINITY] {
+        let err = PllModel::builder(design())
+            .loop_delay(bad, 3)
+            .build()
+            .unwrap_err();
+        match err {
+            CoreError::InvalidParameter { name, .. } => assert_eq!(name, "loop delay tau"),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn zero_delay_is_accepted() {
+    let m = PllModel::builder(design())
+        .loop_delay(0.0, 2)
+        .build()
+        .unwrap();
+    assert!(m.is_time_invariant());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_match_builder_bitwise() {
+    let d = design();
+    let pairs: [(PllModel, PllModel); 3] = [
+        (
+            PllModel::new(d.clone()).unwrap(),
+            PllModel::builder(d.clone()).build().unwrap(),
+        ),
+        (
+            PllModel::with_loop_delay(d.clone(), 0.01 / d.omega_ref(), 4).unwrap(),
+            PllModel::builder(d.clone())
+                .loop_delay(0.01 / d.omega_ref(), 4)
+                .build()
+                .unwrap(),
+        ),
+        (
+            PllModel::with_vco_isf(d.clone(), isf(&d)).unwrap(),
+            PllModel::builder(d.clone())
+                .vco_isf(isf(&d))
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (legacy, built) in &pairs {
+        for i in 1..=16 {
+            let w = 0.03 * i as f64 * legacy.design().omega_ref();
+            let a = legacy.h00(w);
+            let b = built.h00(w);
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "h00 re at {w}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "h00 im at {w}");
+        }
+    }
+}
+
+#[test]
+fn auto_truncation_resolves_and_clamps() {
+    let m = PllModel::builder(design()).build().unwrap();
+    // A loose tolerance resolves to a usable small order…
+    let loose = m.resolve_truncation(Truncation::auto(1e-2));
+    assert!(loose.order() >= 1);
+    assert!(loose.order() <= MAX_AUTO_TRUNCATION);
+    // …an absurdly tight one hits the matrix-dimension clamp instead of
+    // requesting a 100k-harmonic matrix.
+    let tight = m.resolve_truncation(Truncation::auto(1e-300));
+    assert_eq!(tight.order(), MAX_AUTO_TRUNCATION);
+    // A fixed Truncation passes through untouched.
+    let fixed = m.resolve_truncation(Truncation::new(9));
+    assert_eq!(fixed.order(), 9);
+    // And the spec-typed entry points still accept a bare Truncation.
+    let h = m.closed_loop_htm(Complex::from_im(0.5), Truncation::new(3));
+    assert_eq!(h.as_matrix().rows(), 7);
+}

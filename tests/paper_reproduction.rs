@@ -15,7 +15,7 @@ use htmpll::zdomain::{reference_design_stability_limit, CpPllZModel};
 fn htm_vs_simulation_agreement() {
     for &ratio in &[0.1, 0.2] {
         let design = PllDesign::reference_design(ratio).unwrap();
-        let model = PllModel::new(design.clone()).unwrap();
+        let model = PllModel::builder(design.clone()).build().unwrap();
         let params = SimParams::from_design(&design);
         let cfg = SimConfig::default();
         for &w in &[0.4, 1.0, 2.0] {
@@ -42,7 +42,9 @@ fn fig6_shape_bandwidth_and_peaking() {
     let reports: Vec<_> = ratios
         .iter()
         .map(|&r| {
-            let m = PllModel::new(PllDesign::reference_design(r).unwrap()).unwrap();
+            let m = PllModel::builder(PllDesign::reference_design(r).unwrap())
+                .build()
+                .unwrap();
             analyze(&m).unwrap()
         })
         .collect();
@@ -51,7 +53,9 @@ fn fig6_shape_bandwidth_and_peaking() {
     // ratio-independent for this fixed shape). The crossing itself is
     // not monotone point-to-point because the band-edge notch moves;
     // the monotone quantity is ω_UG,eff, asserted in the Fig.-7 test.
-    let lti_model = PllModel::new(PllDesign::reference_design(0.01).unwrap()).unwrap();
+    let lti_model = PllModel::builder(PllDesign::reference_design(0.01).unwrap())
+        .build()
+        .unwrap();
     let bw_lti = htmpll::lti::bandwidth_3db(|w| lti_model.h00_lti(w), 1e-4, 1e-4, 100.0)
         .expect("LTI bandwidth");
     for (r, rep) in ratios.iter().zip(&reports) {
@@ -80,7 +84,9 @@ fn fig7_shape_effective_margins() {
     let reports: Vec<_> = ratios
         .iter()
         .map(|&r| {
-            let m = PllModel::new(PllDesign::reference_design(r).unwrap()).unwrap();
+            let m = PllModel::builder(PllDesign::reference_design(r).unwrap())
+                .build()
+                .unwrap();
             analyze(&m).unwrap()
         })
         .collect();
@@ -115,12 +121,18 @@ fn fig7_shape_effective_margins() {
 fn htm_and_zdomain_stability_boundaries_agree() {
     let z_limit = reference_design_stability_limit(0.05, 0.6, 1e-3);
     // HTM verdicts straddle the z-domain boundary.
-    let below =
-        analyze(&PllModel::new(PllDesign::reference_design(z_limit - 0.01).unwrap()).unwrap())
-            .unwrap();
-    let above =
-        analyze(&PllModel::new(PllDesign::reference_design(z_limit + 0.01).unwrap()).unwrap())
-            .unwrap();
+    let below = analyze(
+        &PllModel::builder(PllDesign::reference_design(z_limit - 0.01).unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let above = analyze(
+        &PllModel::builder(PllDesign::reference_design(z_limit + 0.01).unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     assert!(
         below.nyquist_stable,
         "HTM should agree stable below {z_limit}"
@@ -137,7 +149,7 @@ fn htm_and_zdomain_stability_boundaries_agree() {
 #[test]
 fn zdomain_and_htm_responses_agree_in_band() {
     let design = PllDesign::reference_design(0.1).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let zm = CpPllZModel::from_design(&design).unwrap();
     for &w in &[0.01, 0.05, 0.2] {
         let h_htm = model.h00(w);
@@ -154,7 +166,7 @@ fn zdomain_and_htm_responses_agree_in_band() {
 #[test]
 fn all_models_collapse_in_the_slow_loop_limit() {
     let design = PllDesign::reference_design(0.01).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let zm = CpPllZModel::from_design(&design).unwrap();
     for &w in &[0.1, 0.5, 1.0] {
         let lti = model.h00_lti(w);
@@ -176,16 +188,15 @@ fn closed_forms_match_dense_inversion() {
     let design = PllDesign::reference_design(0.2).unwrap();
     let v0 = design.v0();
     let models = [
-        PllModel::new(design.clone()).unwrap(),
-        PllModel::with_vco_isf(
-            design,
-            vec![
+        PllModel::builder(design.clone()).build().unwrap(),
+        PllModel::builder(design)
+            .vco_isf(vec![
                 Complex::new(0.3 * v0, 0.1 * v0),
                 Complex::from_re(v0),
                 Complex::new(0.3 * v0, -0.1 * v0),
-            ],
-        )
-        .unwrap(),
+            ])
+            .build()
+            .unwrap(),
     ];
     let t = Truncation::new(7);
     for model in &models {
@@ -202,7 +213,9 @@ fn closed_forms_match_dense_inversion() {
 /// the exact lattice-sum value as the truncation order grows.
 #[test]
 fn truncation_convergence_to_exact_lambda() {
-    let model = PllModel::new(PllDesign::reference_design(0.15).unwrap()).unwrap();
+    let model = PllModel::builder(PllDesign::reference_design(0.15).unwrap())
+        .build()
+        .unwrap();
     let w = 0.7;
     let exact = model.h00(w);
     let mut last_err = f64::INFINITY;
@@ -243,7 +256,7 @@ fn third_order_filter_htm_vs_simulation() {
         .filter(LoopFilter::ThirdOrder(filt))
         .build()
         .unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let params = SimParams::from_design(&design);
     for &w in &[0.4, 1.1] {
         let m = measure_h00(
@@ -272,7 +285,10 @@ fn delay_block_dense_path_matches_pade_rank_one() {
     let design = PllDesign::reference_design(0.15).unwrap();
     let w0 = design.omega_ref();
     let tau = 0.2 / design.f_ref(); // 0.2·T of loop latency
-    let pade_model = PllModel::with_loop_delay(design.clone(), tau, 6).unwrap();
+    let pade_model = PllModel::builder(design.clone())
+        .loop_delay(tau, 6)
+        .build()
+        .unwrap();
 
     let pfd = SamplerHtm::new(w0);
     let lf = LtiHtm::new(design.loop_filter_tf(), w0);
@@ -306,7 +322,7 @@ fn jitter_psd_matches_htm_shaping() {
     use htmpll::spectral::{welch, Window};
 
     let design = PllDesign::reference_design(0.15).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let t_ref = 1.0 / design.f_ref();
     let jitter_rms = 1e-4 * t_ref;
     let cfg = SimConfig {
@@ -414,7 +430,7 @@ fn leakage_spur_prediction_matches_sim() {
 
     for &ratio in &[0.1, 0.2] {
         let d = PllDesign::reference_design(ratio).unwrap();
-        let model = PllModel::new(d.clone()).unwrap();
+        let model = PllModel::builder(d.clone()).build().unwrap();
         let mut params = SimParams::from_design(&d);
         params.leakage = 1e-3 * params.i_cp;
         let t_ref = params.t_ref;
@@ -444,7 +460,7 @@ fn open_loop_htm_eigenvalues_reduce_to_lambda() {
     use htmpll::htm::{HtmBlock, LtiHtm, SamplerHtm, VcoHtm};
 
     let design = PllDesign::reference_design(0.2).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let w0 = design.omega_ref();
     let t = Truncation::new(8);
     let pfd = SamplerHtm::new(w0);
@@ -479,7 +495,7 @@ fn vco_noise_psd_matches_htm_shaping() {
     use htmpll::spectral::{welch, Window};
 
     let design = PllDesign::reference_design(0.1).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let t_ref = 1.0 / design.f_ref();
     let s_ff = 1e-7; // one-sided white-FM PSD, Hz²/Hz
     let cfg = SimConfig {
@@ -531,7 +547,7 @@ fn broadband_tf_estimate_matches_htm() {
     use htmpll::spectral::tf_estimate;
 
     let design = PllDesign::reference_design(0.1).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let params = SimParams::from_design(&design);
     let cfg = SimConfig::default();
     let t_ref = params.t_ref;

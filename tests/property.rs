@@ -447,7 +447,7 @@ proptest! {
         ratio in finite_f64(0.05..0.25), w in finite_f64(0.05..2.0), k in 2usize..6
     ) {
         use htmpll::core::{PllDesign, PllModel};
-        let m = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+        let m = PllModel::builder(PllDesign::reference_design(ratio).unwrap()).build().unwrap();
         let t = Truncation::new(k);
         let s = Complex::from_im(w);
         let fast = m.closed_loop_htm(s, t);

@@ -34,15 +34,19 @@ fn design_roundtrip_preserves_analysis() {
     let back: PllDesign = serde_json::from_str(&json).unwrap();
     assert_eq!(design, back);
     // The restored design analyzes identically.
-    let a = analyze(&PllModel::new(design).unwrap()).unwrap();
-    let b = analyze(&PllModel::new(back).unwrap()).unwrap();
+    let a = analyze(&PllModel::builder(design).build().unwrap()).unwrap();
+    let b = analyze(&PllModel::builder(back).build().unwrap()).unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn report_and_config_roundtrip() {
-    let report: AnalysisReport =
-        analyze(&PllModel::new(PllDesign::reference_design(0.1).unwrap()).unwrap()).unwrap();
+    let report: AnalysisReport = analyze(
+        &PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     let back: AnalysisReport =
         serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
     assert_eq!(report, back);

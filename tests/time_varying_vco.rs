@@ -15,15 +15,14 @@ use htmpll::sim::{measure_band_transfer, measure_h00, MeasureOptions, SimConfig,
 fn tv_setup(ratio: f64, a1: f64) -> (PllModel, SimParams) {
     let design = PllDesign::reference_design(ratio).unwrap();
     let v0 = design.v0();
-    let model = PllModel::with_vco_isf(
-        design.clone(),
-        vec![
+    let model = PllModel::builder(design.clone())
+        .vco_isf(vec![
             Complex::from_re(0.5 * a1 * v0),
             Complex::from_re(v0),
             Complex::from_re(0.5 * a1 * v0),
-        ],
-    )
-    .unwrap();
+        ])
+        .build()
+        .unwrap();
     let mut params = SimParams::from_design(&design);
     params.isf_cosine = vec![a1];
     (model, params)
@@ -63,7 +62,9 @@ fn tv_vco_band_conversion_matches_model() {
     let ratio = 0.15;
     let a1 = 0.6;
     let (model, params) = tv_setup(ratio, a1);
-    let ti_model = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+    let ti_model = PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+        .build()
+        .unwrap();
     let cfg = SimConfig::default();
     let opts = MeasureOptions {
         amplitude_frac: 2e-4,
@@ -109,7 +110,7 @@ fn zero_isf_modulation_is_time_invariant() {
         0.8,
         &MeasureOptions::default(),
     );
-    let model = PllModel::new(design).unwrap();
+    let model = PllModel::builder(design).build().unwrap();
     let predict = model.h00(m.omega);
     assert!((m.h - predict).abs() < 0.02 * predict.abs());
 }

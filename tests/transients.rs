@@ -42,7 +42,9 @@ fn htm_step_response_matches_simulation() {
         .map(|w| 0.5 * (w[0] + w[spr - 1]))
         .collect();
 
-    let model = PllModel::new(PllDesign::reference_design(ratio).unwrap()).unwrap();
+    let model = PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+        .build()
+        .unwrap();
     // Compare past the first few periods: at earlier times the true
     // response depends on where within the sampling cycle the step
     // landed (genuinely time-varying behavior), while H₀,₀ predicts the
@@ -128,7 +130,7 @@ fn frequency_step_error_matches_simulation() {
 
     let ratio = 0.15;
     let design = PllDesign::reference_design(ratio).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let params = SimParams::from_design(&design);
     let cfg = SimConfig::default();
     let t_ref = params.t_ref;

@@ -12,7 +12,7 @@ use htmpll::sim::{PllSim, SimConfig, SimParams};
 fn htm_synthesized_waveform_matches_simulator_trace() {
     let ratio = 0.2;
     let design = PllDesign::reference_design(ratio).unwrap();
-    let model = PllModel::new(design.clone()).unwrap();
+    let model = PllModel::builder(design.clone()).build().unwrap();
     let params = SimParams::from_design(&design);
     let cfg = SimConfig::default();
     let t_ref = params.t_ref;
