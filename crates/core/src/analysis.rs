@@ -21,11 +21,14 @@
 
 use crate::closed_loop::PllModel;
 use crate::error::CoreError;
+use crate::quality::{PointQuality, QualitySummary};
+use crate::sweep::SweepCache;
 use htmpll_htm::nyquist::{strip_contour, strip_zero_count_from_values};
 use htmpll_lti::{
     bandwidth_3db_precomputed, margin_scan_grid, peaking_db_precomputed,
     stability_margins_precomputed, MarginError, Margins,
 };
+use htmpll_num::Complex;
 use htmpll_par::{par_map, ThreadBudget};
 
 /// Analysis products for one PLL model.
@@ -58,6 +61,12 @@ pub struct AnalysisReport {
     /// limit and the reported effective margins are the band-edge
     /// values (`ω_UG,eff = ω₀/2`, phase margin from `arg λ(jω₀/2)`).
     pub beyond_sampling_limit: bool,
+    /// Numerical-quality roll-up of every scan point behind this report
+    /// (λ margin scan, closed-loop scans, Nyquist contour — non-finite
+    /// values count as failed) plus a dense closed-loop probe at
+    /// `s = jω_UG,eff`, whose condition estimate and verdict gauge how
+    /// trustworthy the truncated `I + G̃` solves are at crossover.
+    pub quality: QualitySummary,
 }
 
 impl AnalysisReport {
@@ -164,6 +173,26 @@ pub fn analyze_with(model: &PllModel, threads: ThreadBudget) -> Result<AnalysisR
     let contour_vals = par_map(threads, &contour, |_, &s| lam.eval(s));
     let stable = strip_zero_count_from_values(&contour_vals) == 0;
 
+    // Quality roll-up: every scalar scan point (non-finite → failed),
+    // plus one dense closed-loop probe at the effective crossover for a
+    // representative condition estimate of the truncated I+G̃ solves.
+    let mut quality = QualitySummary::default();
+    for v in lam_vals.iter().chain(&h_vals).chain(&contour_vals) {
+        let q = if v.re.is_finite() && v.im.is_finite() {
+            PointQuality::Exact
+        } else {
+            PointQuality::Failed {
+                reason: "non-finite scan value".into(),
+            }
+        };
+        quality.absorb(&q, 0.0, 0.0);
+    }
+    let probe_trunc = model.resolve_truncation(htmpll_htm::TruncationSpec::default());
+    match SweepCache::new().dense_robust(model, Complex::from_im(eff.omega_ug), probe_trunc) {
+        Ok(d) => quality.absorb(&d.quality, d.report.cond_estimate, d.report.residual),
+        Err(reason) => quality.absorb(&PointQuality::Failed { reason }, 0.0, 0.0),
+    }
+
     Ok(AnalysisReport {
         omega_ug_ratio: lti.omega_ug / w0,
         omega_ug_lti: lti.omega_ug,
@@ -175,6 +204,7 @@ pub fn analyze_with(model: &PllModel, threads: ThreadBudget) -> Result<AnalysisR
         peaking_lti_db: pk_lti,
         nyquist_stable: stable,
         beyond_sampling_limit: beyond_limit,
+        quality,
     })
 }
 

@@ -25,6 +25,13 @@ pub enum CoreError {
     Margin(MarginError),
     /// A dense linear solve failed (closed loop evaluated on a pole).
     Solve(LuError),
+    /// A strict sweep collapse hit a grid point with no usable value
+    /// (see `GridOutcome::into_strict`); robust callers get the partial
+    /// grid with per-point verdicts instead.
+    SweepFailed {
+        /// The first failed point, in grid order, with its verdict.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +53,7 @@ impl fmt::Display for CoreError {
             CoreError::Filter(e) => write!(f, "loop filter error: {e}"),
             CoreError::Margin(e) => write!(f, "margin extraction error: {e}"),
             CoreError::Solve(e) => write!(f, "linear solve error: {e}"),
+            CoreError::SweepFailed { reason } => write!(f, "sweep point failed: {reason}"),
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod lambda;
 pub mod noise;
 pub mod optimize;
 pub mod poles;
+pub mod quality;
 pub mod spurs;
 pub mod sweep;
 pub mod transient;
@@ -60,5 +61,6 @@ pub use lambda::EffectiveGain;
 pub use noise::{NoiseModel, NoiseShape};
 pub use optimize::{optimize_loop, Candidate, NoiseSpec, OptimizeSpec};
 pub use poles::{damping_ratio, dominant_poles};
+pub use quality::{GridOutcome, PointOutcome, PointQuality, QualitySummary};
 pub use spurs::LeakageSpurs;
 pub use sweep::{bode_grid, DenseSolve, SpurLine, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION};

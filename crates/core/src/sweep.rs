@@ -19,6 +19,8 @@
 //! * Grid entry points on the model types:
 //!   [`EffectiveGain::eval_grid`], [`PllModel::h00_grid`],
 //!   [`PllModel::closed_loop_htm_grid`],
+//!   [`PllModel::closed_loop_htm_grid_robust`] (per-point
+//!   [`PointQuality`] verdicts instead of first-failure aborts),
 //!   [`NoiseModel::output_psd_grid`], [`LeakageSpurs::scan`] and the
 //!   generic [`bode_grid`].
 //!
@@ -42,13 +44,22 @@ use crate::closed_loop::PllModel;
 use crate::error::CoreError;
 use crate::lambda::EffectiveGain;
 use crate::noise::NoiseModel;
+use crate::quality::{GridOutcome, PointOutcome, PointQuality};
 use crate::spurs::LeakageSpurs;
 use htmpll_htm::{Htm, Truncation, TruncationSpec};
 use htmpll_lti::{bode_from_values, BodePoint, FrequencyGrid, GridError};
-use htmpll_num::{Complex, Lu};
+use htmpll_num::{Complex, RobustLu, SolveReport};
 use htmpll_par::{par_map, ThreadBudget};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a cache mutex, recovering from poisoning: the protected maps
+/// are memoization tables whose entries are written atomically (insert
+/// of a fully computed value), so a panicked writer cannot leave them
+/// torn — the worst case is a missing entry, i.e. a recomputation.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Hard ceiling on automatically chosen truncation orders for **matrix**
 /// paths. The tail-tolerance heuristic
@@ -127,12 +138,20 @@ impl SweepSpec {
 
 /// One dense closed-loop solve, kept whole so later callers can both
 /// read the closed-loop HTM and re-solve against new right-hand sides.
+/// Solved through the escalating [`RobustLu`] ladder, so the solve
+/// carries its own verdict: check [`DenseSolve::quality`] before
+/// trusting fine structure near a closed-loop pole.
 #[derive(Debug)]
 pub struct DenseSolve {
-    /// LU factorization of `I + G̃(s)`.
-    pub lu: Lu,
+    /// Robust factorization of `I + G̃(s)` (of the Tikhonov-perturbed
+    /// matrix when `quality` is [`PointQuality::Perturbed`]).
+    pub lu: RobustLu,
     /// The closed-loop HTM `(I + G̃)⁻¹G̃`.
     pub htm: Htm,
+    /// Solver evidence: stages tried, residual, condition estimate.
+    pub report: SolveReport,
+    /// The graded verdict derived from `report`.
+    pub quality: PointQuality,
 }
 
 type PointKey = (u64, u64);
@@ -155,7 +174,7 @@ fn point_key(s: Complex) -> PointKey {
 #[derive(Debug, Default)]
 pub struct SweepCache {
     lambda: Mutex<HashMap<PointKey, Complex>>,
-    dense: Mutex<HashMap<DenseKey, Arc<DenseSolve>>>,
+    dense: Mutex<HashMap<DenseKey, Result<Arc<DenseSolve>, String>>>,
 }
 
 impl SweepCache {
@@ -167,49 +186,113 @@ impl SweepCache {
     /// λ(s) through the cache.
     pub fn lambda(&self, lam: &EffectiveGain, s: Complex) -> Complex {
         let key = point_key(s);
-        if let Some(&v) = self.lambda.lock().unwrap().get(&key) {
+        if let Some(&v) = lock(&self.lambda).get(&key) {
             htmpll_obs::counter!("core", "sweep.lambda_cache.hit").inc();
             return v;
         }
         htmpll_obs::counter!("core", "sweep.lambda_cache.miss").inc();
         let v = lam.eval(s);
-        self.lambda.lock().unwrap().insert(key, v);
+        lock(&self.lambda).insert(key, v);
         v
     }
 
-    /// Dense closed-loop solve at `(s, trunc)` through the cache: HTM
-    /// assembly + LU factorization happen at most once per key.
+    /// Dense closed-loop solve at `(s, trunc)` through the cache and
+    /// the escalating solver: HTM assembly + factorization happen at
+    /// most once per key, **including failures** (a failed point is
+    /// memoized by its reason and not retried).
     ///
     /// # Errors
     ///
-    /// Propagates the solve error when `s` sits on a closed-loop pole.
+    /// The failure reason when no usable value exists at this point —
+    /// non-finite `s`, non-finite open-loop entries, or a non-finite
+    /// solve result. A merely singular `I + G̃` does **not** error: the
+    /// Tikhonov rung produces a value graded
+    /// [`PointQuality::Perturbed`].
+    pub fn dense_robust(
+        &self,
+        model: &PllModel,
+        s: Complex,
+        trunc: Truncation,
+    ) -> Result<Arc<DenseSolve>, String> {
+        let (re, im) = point_key(s);
+        let key = (re, im, trunc.order());
+        if let Some(v) = lock(&self.dense).get(&key) {
+            htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
+            return v.clone();
+        }
+        htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
+        let entry = compute_dense(model, s, trunc);
+        lock(&self.dense).insert(key, entry.clone());
+        entry
+    }
+
+    /// Strict variant of [`SweepCache::dense_robust`]: identical cache
+    /// and solver behavior, failure mapped into [`CoreError`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SweepFailed`] when the point has no usable value.
     pub fn dense(
         &self,
         model: &PllModel,
         s: Complex,
         trunc: Truncation,
     ) -> Result<Arc<DenseSolve>, CoreError> {
-        let (re, im) = point_key(s);
-        let key = (re, im, trunc.order());
-        if let Some(v) = self.dense.lock().unwrap().get(&key) {
-            htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
-            return Ok(Arc::clone(v));
-        }
-        htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
-        let (lu, htm) = model.open_loop_htm(s, trunc).closed_loop_factored()?;
-        let solve = Arc::new(DenseSolve { lu, htm });
-        self.dense.lock().unwrap().insert(key, Arc::clone(&solve));
-        Ok(solve)
+        self.dense_robust(model, s, trunc)
+            .map_err(|reason| CoreError::SweepFailed { reason })
     }
 
     /// Number of memoized λ points.
     pub fn lambda_entries(&self) -> usize {
-        self.lambda.lock().unwrap().len()
+        lock(&self.lambda).len()
     }
 
-    /// Number of memoized dense solves.
+    /// Number of memoized dense solves (including memoized failures).
     pub fn dense_entries(&self) -> usize {
-        self.dense.lock().unwrap().len()
+        lock(&self.dense).len()
+    }
+}
+
+/// The uncached dense-point computation behind
+/// [`SweepCache::dense_robust`], with the NaN/∞ boundary guards and the
+/// `robust.*` verdict counters.
+fn compute_dense(
+    model: &PllModel,
+    s: Complex,
+    trunc: Truncation,
+) -> Result<Arc<DenseSolve>, String> {
+    if !(s.re.is_finite() && s.im.is_finite()) {
+        htmpll_obs::counter!("core", "robust.failed").inc();
+        return Err(format!("non-finite Laplace point {s}"));
+    }
+    let open = model.open_loop_htm(s, trunc);
+    match open.closed_loop_factored_robust() {
+        Ok((lu, htm, report)) => {
+            if !htm.as_matrix().is_finite() {
+                htmpll_obs::counter!("core", "robust.failed").inc();
+                return Err(format!("non-finite closed-loop HTM at s = {s}"));
+            }
+            let quality = PointQuality::from_report(&report);
+            match quality {
+                PointQuality::Exact => htmpll_obs::counter!("core", "robust.exact").inc(),
+                PointQuality::Refined => htmpll_obs::counter!("core", "robust.refined").inc(),
+                PointQuality::Perturbed => htmpll_obs::counter!("core", "robust.perturbed").inc(),
+                PointQuality::Failed { .. } => htmpll_obs::counter!("core", "robust.failed").inc(),
+            }
+            if report.escalated() {
+                htmpll_obs::counter!("core", "robust.escalated").inc();
+            }
+            Ok(Arc::new(DenseSolve {
+                lu,
+                htm,
+                report,
+                quality,
+            }))
+        }
+        Err(e) => {
+            htmpll_obs::counter!("core", "robust.failed").inc();
+            Err(format!("closed-loop solve at s = {s}: {e}"))
+        }
     }
 }
 
@@ -257,30 +340,103 @@ impl PllModel {
         par_map(spec.threads, spec.grid.points(), |_, &w| self.h00_lti(w))
     }
 
-    /// Full dense closed-loop HTM at every grid frequency
-    /// (`s = jω`), solved on the parallel pool with the truncation from
-    /// `spec.trunc`. Repeated frequencies (and repeated calls through
-    /// the same `cache`) reuse the assembled HTM and LU factorization.
+    /// The truncation-escalation ladder for one starting order: the
+    /// order itself, then double, then [`MAX_AUTO_TRUNCATION`] (deduped,
+    /// ascending). Higher orders push the truncation tail — and with it
+    /// the conditioning of `I + G̃` — down when the starting order's
+    /// solve degrades.
+    fn truncation_ladder(start: usize) -> Vec<usize> {
+        let mut orders = vec![start];
+        let doubled = (start.max(1) * 2).min(MAX_AUTO_TRUNCATION);
+        if doubled > start {
+            orders.push(doubled);
+        }
+        if MAX_AUTO_TRUNCATION > *orders.last().unwrap_or(&start) {
+            orders.push(MAX_AUTO_TRUNCATION);
+        }
+        orders
+    }
+
+    /// One dense grid point through the cache, escalating the
+    /// truncation order when the solve degrades. Pure per point (cache
+    /// hits return the identical bits the first evaluation produced),
+    /// so grid results are bitwise-identical for any thread count.
+    fn dense_point_escalating(
+        &self,
+        s: Complex,
+        trunc: Truncation,
+        cache: &SweepCache,
+    ) -> PointOutcome<Htm> {
+        let mut best: Option<PointOutcome<Htm>> = None;
+        for (attempt, &k) in Self::truncation_ladder(trunc.order()).iter().enumerate() {
+            let outcome = match cache.dense_robust(self, s, Truncation::new(k)) {
+                Ok(d) => PointOutcome {
+                    value: Some(d.htm.clone()),
+                    quality: d.quality.clone(),
+                    cond: d.report.cond_estimate,
+                    residual: d.report.residual,
+                },
+                Err(reason) => PointOutcome::failed(reason),
+            };
+            if !outcome.quality.is_degraded() {
+                if attempt > 0 {
+                    htmpll_obs::counter!("core", "robust.trunc_escalated").inc();
+                }
+                return outcome;
+            }
+            // Keep the least-bad attempt: a Perturbed value beats Failed;
+            // the first Perturbed (lowest order) wins ties.
+            let keep = match &best {
+                None => true,
+                Some(b) => b.value.is_none() && outcome.value.is_some(),
+            };
+            if keep {
+                best = Some(outcome);
+            }
+        }
+        best.unwrap_or_else(|| PointOutcome::failed("empty truncation ladder"))
+    }
+
+    /// Full dense closed-loop HTM at every grid frequency (`s = jω`),
+    /// solved on the parallel pool with the truncation from
+    /// `spec.trunc` — **graceful**: no point aborts the sweep. Each
+    /// point carries a [`PointQuality`] verdict; a degraded solve
+    /// automatically retries at higher truncation orders (up to
+    /// [`MAX_AUTO_TRUNCATION`]) before settling for a `Perturbed` or
+    /// `Failed` verdict. Repeated frequencies (and repeated calls
+    /// through the same `cache`) reuse assembled HTMs and
+    /// factorizations, including memoized failures.
+    pub fn closed_loop_htm_grid_robust(
+        &self,
+        spec: &SweepSpec,
+        cache: &SweepCache,
+    ) -> GridOutcome<Htm> {
+        let trunc = self.resolve_truncation(spec.trunc);
+        let _span = htmpll_obs::span_labeled("core", "sweep.htm_dense", || {
+            format!("n={} dim={}", spec.grid.len(), trunc.dim())
+        });
+        let points = par_map(spec.threads, spec.grid.points(), |_, &w| {
+            self.dense_point_escalating(Complex::from_im(w), trunc, cache)
+        });
+        GridOutcome { points }
+    }
+
+    /// Strict collapse of
+    /// [`closed_loop_htm_grid_robust`](PllModel::closed_loop_htm_grid_robust):
+    /// plain HTM values, erroring on the first point with no usable
+    /// value. Points the escalating solver rescued (`Refined`,
+    /// `Perturbed`) pass through; use the robust variant to see the
+    /// verdicts.
     ///
     /// # Errors
     ///
-    /// Propagates the first solve failure in grid order.
+    /// [`CoreError::SweepFailed`] naming the first failed grid point.
     pub fn closed_loop_htm_grid_cached(
         &self,
         spec: &SweepSpec,
         cache: &SweepCache,
     ) -> Result<Vec<Htm>, CoreError> {
-        let trunc = self.resolve_truncation(spec.trunc);
-        let _span = htmpll_obs::span_labeled("core", "sweep.htm_dense", || {
-            format!("n={} dim={}", spec.grid.len(), trunc.dim())
-        });
-        let solves = par_map(spec.threads, spec.grid.points(), |_, &w| {
-            cache.dense(self, Complex::from_im(w), trunc)
-        });
-        solves
-            .into_iter()
-            .map(|r| r.map(|s| s.htm.clone()))
-            .collect()
+        self.closed_loop_htm_grid_robust(spec, cache).into_strict()
     }
 
     /// [`closed_loop_htm_grid_cached`](PllModel::closed_loop_htm_grid_cached)
@@ -288,7 +444,7 @@ impl PllModel {
     ///
     /// # Errors
     ///
-    /// Propagates the first solve failure in grid order.
+    /// [`CoreError::SweepFailed`] naming the first failed grid point.
     pub fn closed_loop_htm_grid(&self, spec: &SweepSpec) -> Result<Vec<Htm>, CoreError> {
         self.closed_loop_htm_grid_cached(spec, &SweepCache::new())
     }
@@ -419,6 +575,101 @@ mod tests {
             .closed_loop_htm_dense(Complex::from_im(spec.grid.points()[3]), Truncation::new(4))
             .unwrap();
         assert_eq!(a[3].as_matrix().max_diff(reference.as_matrix()), 0.0);
+    }
+
+    #[test]
+    fn robust_grid_survives_on_pole_points() {
+        // ω = ω₀ sits exactly on an aliased-integrator pole of the
+        // open-loop HTM: the entries are non-finite there. The robust
+        // grid must finish, fail that point with a verdict, and keep
+        // full-precision values everywhere else.
+        let m = model(0.2);
+        let w0 = m.design().omega_ref();
+        let grid = vec![0.1 * w0, w0, 0.45 * w0];
+        let spec = SweepSpec::new(grid)
+            .with_truncation(Truncation::new(4))
+            .with_threads(2);
+        let cache = SweepCache::new();
+        let out = m.closed_loop_htm_grid_robust(&spec, &cache);
+        assert_eq!(out.len(), 3);
+        assert!(out.points[0].value.is_some());
+        assert!(!out.points[0].quality.is_degraded());
+        assert!(
+            matches!(out.points[1].quality, PointQuality::Failed { .. }),
+            "{:?}",
+            out.points[1].quality
+        );
+        assert!(out.points[1].value.is_none());
+        assert!(out.points[2].value.is_some());
+        let s = out.summary();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.total(), 3);
+        // The strict collapse names the failed point instead of
+        // propagating a bare LuError.
+        let err = m
+            .closed_loop_htm_grid_robust(&spec, &cache)
+            .into_strict()
+            .unwrap_err();
+        assert!(err.to_string().contains("grid point 1"), "{err}");
+    }
+
+    #[test]
+    fn robust_grid_verdicts_thread_deterministic() {
+        let m = model(0.3);
+        let w0 = m.design().omega_ref();
+        let grid = vec![0.05 * w0, w0, 0.3 * w0, 0.49 * w0];
+        let spec = SweepSpec::new(grid).with_truncation(Truncation::new(3));
+        let a = m.closed_loop_htm_grid_robust(&spec.clone().with_threads(1), &SweepCache::new());
+        let b = m.closed_loop_htm_grid_robust(&spec.with_threads(4), &SweepCache::new());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.quality, y.quality);
+            assert_eq!(x.cond.to_bits(), y.cond.to_bits());
+            assert_eq!(x.residual.to_bits(), y.residual.to_bits());
+            match (&x.value, &y.value) {
+                (Some(hx), Some(hy)) => {
+                    assert_eq!(hx.as_matrix().max_diff(hy.as_matrix()), 0.0);
+                }
+                (None, None) => {}
+                _ => panic!("value presence differs between thread counts"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_ladder_shapes() {
+        assert_eq!(
+            PllModel::truncation_ladder(4),
+            vec![4, 8, MAX_AUTO_TRUNCATION]
+        );
+        assert_eq!(
+            PllModel::truncation_ladder(40),
+            vec![40, MAX_AUTO_TRUNCATION]
+        );
+        assert_eq!(
+            PllModel::truncation_ladder(MAX_AUTO_TRUNCATION),
+            vec![MAX_AUTO_TRUNCATION]
+        );
+        assert_eq!(
+            PllModel::truncation_ladder(0),
+            vec![0, 2, MAX_AUTO_TRUNCATION]
+        );
+    }
+
+    #[test]
+    fn failed_points_are_memoized() {
+        let m = model(0.2);
+        let w0 = m.design().omega_ref();
+        let cache = SweepCache::new();
+        let t = Truncation::new(2);
+        let first = cache.dense_robust(&m, Complex::from_im(w0), t);
+        let second = cache.dense_robust(&m, Complex::from_im(w0), t);
+        assert!(first.is_err());
+        assert_eq!(first.unwrap_err(), second.unwrap_err());
+        assert_eq!(cache.dense_entries(), 1);
+        // Strict wrapper maps the memoized reason into CoreError.
+        let strict = cache.dense(&m, Complex::from_im(w0), t);
+        assert!(matches!(strict, Err(CoreError::SweepFailed { .. })));
     }
 
     #[test]

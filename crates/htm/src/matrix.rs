@@ -18,7 +18,7 @@
 //! ```
 
 use crate::trunc::Truncation;
-use htmpll_num::{CMat, Complex, Lu, LuError};
+use htmpll_num::{CMat, Complex, Lu, LuError, RobustLu, SolveReport};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
@@ -210,6 +210,39 @@ impl Htm {
         ))
     }
 
+    /// [`closed_loop_factored`](Htm::closed_loop_factored) on the
+    /// escalating solver: `I + G` is factored through [`RobustLu`]
+    /// (refined partial pivot → complete pivoting → Tikhonov
+    /// perturbation), so an ill-conditioned or even exactly singular
+    /// `I + G` still yields a closed-loop HTM — graded by the returned
+    /// [`SolveReport`] (residual of the solve filled in) instead of
+    /// aborting. Callers decide from `report.perturbed` /
+    /// `report.residual` whether the point is trustworthy.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::NonFinite`] when the open-loop matrix contains NaN/∞
+    /// entries — the only failure the ladder cannot absorb.
+    pub fn closed_loop_factored_robust(&self) -> Result<(RobustLu, Htm, SolveReport), LuError> {
+        let n = self.trunc.dim();
+        let _span = htmpll_obs::span_labeled("htm", "closed_loop_robust", || format!("dim={n}"));
+        let i_plus_g = &CMat::identity(n) + &self.mat;
+        let lu = RobustLu::factor(&i_plus_g)?;
+        let solved = lu.solve_mat(&self.mat)?;
+        let mut report = lu.report().clone();
+        report.residual = solved.residual;
+        report.refinement_kept = solved.refined;
+        Ok((
+            lu,
+            Htm {
+                trunc: self.trunc,
+                omega0: self.omega0,
+                mat: solved.value,
+            },
+            report,
+        ))
+    }
+
     /// Eigenvalues of the truncated HTM — the sample points of the
     /// **generalized Nyquist loci**. For a rank-one loop (sampling PFD)
     /// exactly one eigenvalue is nonzero and equals the truncated
@@ -383,6 +416,31 @@ mod tests {
         let t = Truncation::new(1);
         let g = Htm::identity(t, 1.0).scale(-Complex::ONE);
         assert!(g.closed_loop().is_err());
+    }
+
+    #[test]
+    fn closed_loop_robust_survives_singular() {
+        // G = −I: plain closed_loop errors; the robust path perturbs and
+        // reports it.
+        let t = Truncation::new(1);
+        let g = Htm::identity(t, 1.0).scale(-Complex::ONE);
+        assert!(g.closed_loop().is_err());
+        let (_, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert!(report.perturbed);
+        assert!(cl.as_matrix().is_finite());
+    }
+
+    #[test]
+    fn closed_loop_robust_matches_plain_when_regular() {
+        let t = Truncation::new(2);
+        let g = Htm::from_fn(t, 1.0, |n, m| {
+            Complex::new(0.1 * (n + m) as f64, 0.05 * (n - m) as f64)
+        });
+        let plain = g.closed_loop().unwrap();
+        let (_, robust, report) = g.closed_loop_factored_robust().unwrap();
+        assert!(!report.perturbed);
+        assert!(report.residual < 1e-12);
+        assert!(plain.as_matrix().max_diff(robust.as_matrix()) < 1e-12);
     }
 
     #[test]

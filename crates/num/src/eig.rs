@@ -46,11 +46,13 @@ impl std::error::Error for EigError {}
 /// similarity transforms (same eigenvalues, zero below the first
 /// subdiagonal).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the input is not square.
-pub fn hessenberg(a: &CMat) -> CMat {
-    assert!(a.is_square(), "hessenberg requires a square matrix");
+/// [`EigError::NotSquare`] for rectangular inputs.
+pub fn hessenberg(a: &CMat) -> Result<CMat, EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare);
+    }
     let n = a.rows();
     let mut h = a.clone();
     for k in 0..n.saturating_sub(2) {
@@ -117,7 +119,7 @@ pub fn hessenberg(a: &CMat) -> CMat {
             h[(i, k)] = Complex::ZERO;
         }
     }
-    h
+    Ok(h)
 }
 
 /// Computes all eigenvalues of a square complex matrix.
@@ -139,7 +141,7 @@ pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex>, EigError> {
         return Ok(vec![a[(0, 0)]]);
     }
     htmpll_obs::counter!("num", "eig.calls").inc();
-    let mut h = hessenberg(a);
+    let mut h = hessenberg(a)?;
     let mut eigs = Vec::with_capacity(n);
     let mut hi = n; // active block is rows/cols [lo, hi)
     let scale = h.norm_max().max(f64::MIN_POSITIVE);
@@ -344,7 +346,7 @@ mod tests {
         let a = CMat::from_fn(5, 5, |i, j| {
             Complex::new((i as f64 - j as f64) * 0.3, (i * j) as f64 * 0.1)
         });
-        let h = hessenberg(&a);
+        let h = hessenberg(&a).unwrap();
         // Zero below the first subdiagonal.
         for i in 2..5 {
             for j in 0..i - 1 {
@@ -422,6 +424,10 @@ mod tests {
     fn rejects_rectangular() {
         assert_eq!(
             eigenvalues(&CMat::zeros(2, 3)).unwrap_err(),
+            EigError::NotSquare
+        );
+        assert_eq!(
+            hessenberg(&CMat::zeros(3, 2)).unwrap_err(),
             EigError::NotSquare
         );
     }

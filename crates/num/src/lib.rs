@@ -8,6 +8,9 @@
 //!   truncated harmonic transfer matrices.
 //! * [`Lu`] — LU factorization with partial pivoting: solve / inverse /
 //!   determinant for the dense closed-loop HTM path.
+//! * [`solve`] — escalating panic-free solves ([`RobustLu`]): refined
+//!   partial pivoting → complete pivoting → Tikhonov perturbation, with
+//!   a [`SolveReport`] grading every factorization.
 //! * [`eig`] — complex eigenvalues (Hessenberg + shifted QR) for the
 //!   generalized-Nyquist analysis of non-rank-one LPTV loops.
 //! * [`Poly`] — real-coefficient polynomials (transfer-function
@@ -46,6 +49,7 @@ pub mod poly;
 pub mod quad;
 pub mod rng;
 pub mod roots;
+pub mod solve;
 pub mod special;
 
 pub use complex::Complex;
@@ -53,3 +57,4 @@ pub use eig::{eigenvalues, EigError};
 pub use lu::{Lu, LuError};
 pub use mat::{expm, CMat};
 pub use poly::Poly;
+pub use solve::{solve_robust, FullPivLu, Refined, RobustLu, SolveReport, SolveStage};

@@ -34,6 +34,9 @@ pub enum LuError {
     },
     /// Right-hand-side length does not match the factored dimension.
     DimensionMismatch,
+    /// The matrix (or right-hand side) contains NaN or ±∞ entries; no
+    /// factorization, refinement or perturbation can recover from those.
+    NonFinite,
 }
 
 impl fmt::Display for LuError {
@@ -44,6 +47,7 @@ impl fmt::Display for LuError {
                 write!(f, "matrix is singular to working precision at step {step}")
             }
             LuError::DimensionMismatch => write!(f, "right-hand side has the wrong dimension"),
+            LuError::NonFinite => write!(f, "matrix contains non-finite (NaN/∞) entries"),
         }
     }
 }
@@ -59,6 +63,8 @@ pub struct Lu {
     perm: Vec<usize>,
     /// Sign of the permutation (+1 or −1), used by the determinant.
     perm_sign: f64,
+    /// Pivot growth `‖U‖_max/‖A‖_max`, recorded at factor time.
+    growth: f64,
 }
 
 impl Lu {
@@ -116,15 +122,28 @@ impl Lu {
         }
         // Pivot growth ‖U‖_max/‖A‖_max ≫ 1 flags an ill-conditioned HTM
         // truncation long before the solve visibly misbehaves.
-        let growth = htmpll_obs::record!("num", "lu.pivot_growth", htmpll_obs::Level::Debug);
-        if growth.is_enabled() && norm_a > 0.0 {
-            growth.record(lu.norm_max() / norm_a);
+        let growth = if norm_a > 0.0 {
+            lu.norm_max() / norm_a
+        } else {
+            1.0
+        };
+        let growth_rec = htmpll_obs::record!("num", "lu.pivot_growth", htmpll_obs::Level::Debug);
+        if growth_rec.is_enabled() {
+            growth_rec.record(growth);
         }
         Ok(Lu {
             lu,
             perm,
             perm_sign,
+            growth,
         })
+    }
+
+    /// Pivot growth `‖U‖_max/‖A‖_max` of this factorization. Values far
+    /// above 1 flag element growth during elimination — the classic early
+    /// warning that partial pivoting is losing accuracy on this matrix.
+    pub fn pivot_growth(&self) -> f64 {
+        self.growth
     }
 
     /// Dimension of the factored matrix.

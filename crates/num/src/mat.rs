@@ -255,6 +255,24 @@ impl CMat {
             self.data.swap(a * self.cols + j, b * self.cols + j);
         }
     }
+
+    /// Swaps columns `a` and `b` in place.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for i in 0..self.rows {
+            self.data.swap(i * self.cols + a, i * self.cols + b);
+        }
+    }
+
+    /// True when every entry is finite (no NaN/±∞ real or imaginary
+    /// part) — the boundary guard for the robust solve paths.
+    pub fn is_finite(&self) -> bool {
+        self.data
+            .iter()
+            .all(|z| z.re.is_finite() && z.im.is_finite())
+    }
 }
 
 impl Index<(usize, usize)> for CMat {
@@ -374,14 +392,21 @@ impl Mul for &CMat {
 /// Padé(6,6) approximant — the workhorse behind exact piecewise-LTI
 /// state propagation (the fast PLL period-map simulator).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the matrix is not square.
-pub fn expm(a: &CMat) -> CMat {
-    assert!(a.is_square(), "expm requires a square matrix");
+/// [`LuError::NotSquare`] for rectangular inputs and
+/// [`LuError::NonFinite`] when the matrix contains NaN/∞ entries (the
+/// Padé denominator solve would silently produce garbage otherwise).
+pub fn expm(a: &CMat) -> Result<CMat, crate::lu::LuError> {
+    if !a.is_square() {
+        return Err(crate::lu::LuError::NotSquare);
+    }
+    if !a.is_finite() {
+        return Err(crate::lu::LuError::NonFinite);
+    }
     let n = a.rows();
     if n == 0 {
-        return CMat::zeros(0, 0);
+        return Ok(CMat::zeros(0, 0));
     }
     // Scale so ‖A/2^s‖ is comfortably inside the Padé(6,6) radius.
     let norm = a.norm_one();
@@ -412,14 +437,14 @@ pub fn expm(a: &CMat) -> CMat {
             den = &den - &term;
         }
     }
-    let mut e = crate::lu::Lu::factor(&den)
-        .expect("Padé denominator is nonsingular inside the scaling radius")
-        .solve_mat(&num)
-        .expect("dimensions match");
+    // The denominator is nonsingular inside the scaling radius for any
+    // finite input, but propagate rather than assert: a Result here keeps
+    // the whole library path panic-free.
+    let mut e = crate::lu::Lu::factor(&den)?.solve_mat(&num)?;
     for _ in 0..s {
         e = &e * &e;
     }
-    e
+    Ok(e)
 }
 
 #[cfg(test)]
@@ -558,7 +583,7 @@ mod tests {
     #[test]
     fn expm_diagonal() {
         let a = CMat::from_diag(&[c(1.0, 0.0), c(0.0, std::f64::consts::PI), c(-2.0, 1.0)]);
-        let e = expm(&a);
+        let e = expm(&a).unwrap();
         assert!((e[(0, 0)] - Complex::from_re(1f64.exp())).abs() < 1e-12);
         // e^{jπ} = −1.
         assert!((e[(1, 1)] + Complex::ONE).abs() < 1e-12);
@@ -571,7 +596,7 @@ mod tests {
         // exp(t·[[0,−1],[1,0]]) is the rotation by t.
         let t = 0.7f64;
         let a = CMat::from_rows(2, 2, &[Complex::ZERO, c(-t, 0.0), c(t, 0.0), Complex::ZERO]);
-        let e = expm(&a);
+        let e = expm(&a).unwrap();
         assert!((e[(0, 0)] - Complex::from_re(t.cos())).abs() < 1e-12);
         assert!((e[(0, 1)] + Complex::from_re(t.sin())).abs() < 1e-12);
         assert!((e[(1, 0)] - Complex::from_re(t.sin())).abs() < 1e-12);
@@ -587,7 +612,7 @@ mod tests {
                 Complex::ZERO
             }
         });
-        let e = expm(&a);
+        let e = expm(&a).unwrap();
         assert!((e[(0, 1)] - c(2.0, 0.0)).abs() < 1e-12);
         assert!((e[(0, 2)] - c(2.0, 0.0)).abs() < 1e-12); // 2·2/2
         assert!((e[(0, 0)] - Complex::ONE).abs() < 1e-12);
@@ -599,8 +624,8 @@ mod tests {
         let a = CMat::from_fn(4, 4, |i, j| {
             c(0.2 * (i as f64 - j as f64), 0.1 * (i + j) as f64)
         });
-        let e1 = expm(&a);
-        let e2 = expm(&a.scale(c(2.0, 0.0)));
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(c(2.0, 0.0))).unwrap();
         assert!((&e1 * &e1).max_diff(&e2) < 1e-10);
     }
 
@@ -608,7 +633,7 @@ mod tests {
     fn expm_large_norm_scaling() {
         // Forces several squaring steps.
         let a = CMat::from_diag(&[c(8.0, 3.0), c(-10.0, 0.0)]);
-        let e = expm(&a);
+        let e = expm(&a).unwrap();
         assert!(
             (e[(0, 0)] - Complex::new(8.0, 3.0).exp()).abs()
                 < 1e-6 * Complex::new(8.0, 3.0).exp().abs()

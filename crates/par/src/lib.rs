@@ -157,7 +157,10 @@ where
                         .enumerate()
                         .map(|(i, t)| f(start + i, t))
                         .collect();
-                    parts.lock().unwrap().push((start, out));
+                    parts
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((start, out));
                     grabbed += 1;
                 }
                 if grabbed > 0 {
@@ -174,7 +177,7 @@ where
         }
     });
 
-    let mut parts = parts.into_inner().unwrap();
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
     parts.sort_unstable_by_key(|&(start, _)| start);
     let mut out = Vec::with_capacity(n);
     for (_, mut p) in parts {

@@ -153,7 +153,10 @@ impl PeriodMap {
         for (i, &pi) in p.iter().enumerate() {
             m[(i, n)] = Complex::from_re(pi);
         }
-        let aug = expm(&m.scale(Complex::from_re(params.t_ref)));
+        // Infallible here: m is square by construction and every entry
+        // comes from finite state-space coefficients.
+        let aug = expm(&m.scale(Complex::from_re(params.t_ref)))
+            .expect("augmented generator is square and finite");
         let propagator = CMat::from_fn(n, n, |i, j| aug[(i, j)]);
         let leak_response: Vec<f64> = (0..n).map(|i| aug[(i, n)].re).collect();
 

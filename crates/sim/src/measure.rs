@@ -265,7 +265,7 @@ pub fn measure_h00_multitone(
             .max(1.0)
     };
     let mut bins: Vec<f64> = omegas.iter().map(|&w| bin(w)).collect();
-    bins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bins.sort_by(f64::total_cmp);
     bins.dedup();
     let tones: Vec<f64> = bins
         .iter()

@@ -36,6 +36,46 @@ if [ "$sites" -lt 10 ]; then
 fi
 echo "metrics smoke ok ($sites instrumented sites)"
 
+echo "==> panic audit (library paths)"
+audit_fail=0
+while IFS= read -r hit; do
+    [ -z "$hit" ] && continue
+    if ! grep -qF "$hit" scripts/panic_allowlist.txt; then
+        echo "panic audit: site not in scripts/panic_allowlist.txt:" >&2
+        echo "  $hit" >&2
+        audit_fail=1
+    fi
+done < <(
+    find crates/*/src src/bin src/lib.rs -name '*.rs' 2>/dev/null \
+        | grep -v '^crates/bench/' | sort | while IFS= read -r f; do
+        awk -v fn="$f" '/#\[cfg\(test\)\]/{exit}
+            /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+                line=$0; sub(/^[ \t]+/, "", line);
+                if (line !~ /^\/\//) print fn "\t" line
+            }' "$f"
+    done
+)
+if [ "$audit_fail" -ne 0 ]; then
+    echo "panic audit failed: convert the site to a Result or add it to the allow-list with justification" >&2
+    exit 1
+fi
+echo "panic audit ok (all library-path sites allow-listed)"
+
+echo "==> plltool doctor smoke"
+doctorjson=$(mktemp)
+./target/release/plltool doctor --ratio 0.1 --metrics-json "$doctorjson" || {
+    echo "doctor smoke failed: non-zero exit on a healthy design" >&2
+    exit 1
+}
+for key in robust. num.robust.factor; do
+    grep -q "$key" "$doctorjson" || {
+        echo "doctor smoke failed: $key missing from doctor metrics JSON" >&2
+        exit 1
+    }
+done
+rm -f "$doctorjson"
+echo "doctor smoke ok"
+
 echo "==> parallel sweep pool smoke"
 tmpjson=$(mktemp)
 trap 'rm -f "$tmpjson"' EXIT

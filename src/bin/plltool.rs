@@ -14,10 +14,10 @@
 
 use htmpll::core::{
     analyze_with, bode_grid, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs,
-    NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel, SampleHoldModel,
-    SweepCache, SweepSpec,
+    NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel, PointQuality,
+    SampleHoldModel, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION,
 };
-use htmpll::htm::Truncation;
+use htmpll::htm::{Htm, Truncation};
 use htmpll::lti::FrequencyGrid;
 use htmpll::num::optim::lin_grid;
 use htmpll::num::Complex;
@@ -330,6 +330,209 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One row of the doctor health table.
+struct DoctorRow {
+    check: &'static str,
+    verdict: String,
+    cond: Option<f64>,
+    residual: Option<f64>,
+    ok: bool,
+    note: String,
+}
+
+/// Short verdict label for the health table.
+fn verdict_label(q: &PointQuality) -> &'static str {
+    match q {
+        PointQuality::Exact => "exact",
+        PointQuality::Refined => "refined",
+        PointQuality::Perturbed => "perturbed",
+        PointQuality::Failed { .. } => "failed",
+    }
+}
+
+/// Stress-evaluates a model at adversarial points — on-pole `s`, a loop
+/// driven to `ω_UG ≈ ω₀`, (near-)singular `I + G̃`, extreme truncation
+/// orders, NaN injection — and prints a health table. Every check must
+/// complete without panicking AND land on its expected verdict class;
+/// any surprise fails the command (exit code 2).
+fn cmd_doctor(args: &Args) -> Result<(), String> {
+    let design = if args.has("ratio") || args.has("fref") {
+        design_from(args)?
+    } else {
+        PllDesign::reference_design(0.1).map_err(|e| e.to_string())?
+    };
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let w0 = design.omega_ref();
+    let cache = SweepCache::new();
+    let trunc = Truncation::new(4);
+    let mut rows: Vec<DoctorRow> = Vec::new();
+
+    // A dense-solve check: evaluate at `s`, expect one of `allowed`.
+    let mut dense_check = |check: &'static str, s: Complex, k: Truncation, allowed: &[&str]| {
+        let row = match cache.dense_robust(&model, s, k) {
+            Ok(d) => DoctorRow {
+                check,
+                verdict: verdict_label(&d.quality).to_string(),
+                cond: Some(d.report.cond_estimate),
+                residual: Some(d.report.residual),
+                ok: allowed.contains(&verdict_label(&d.quality)),
+                note: format!("stages {}", d.report.stages_tried.len()),
+            },
+            Err(reason) => DoctorRow {
+                check,
+                verdict: "failed".to_string(),
+                cond: None,
+                residual: None,
+                ok: allowed.contains(&"failed"),
+                note: reason.chars().take(48).collect(),
+            },
+        };
+        rows.push(row);
+    };
+
+    // 1-2: exactly on the aliased-integrator poles of the open loop —
+    // the entries are non-finite there; the engine must fail the point
+    // gracefully, never panic or return NaN as a value.
+    dense_check("on-pole s = j*w0", Complex::from_im(w0), trunc, &["failed"]);
+    dense_check("integrator pole s = 0", Complex::ZERO, trunc, &["failed"]);
+    // 3: NaN injection through the public API.
+    dense_check(
+        "NaN Laplace point",
+        Complex::new(f64::NAN, 0.0),
+        trunc,
+        &["failed"],
+    );
+    // 4: a usable point at the band edge, where conditioning is worst.
+    dense_check(
+        "band edge s = j*0.499*w0",
+        Complex::from_im(0.499 * w0),
+        trunc,
+        &["exact", "refined", "perturbed"],
+    );
+    // 5: on a closed-loop strip pole (if one is found): I+G~ is
+    // near-singular; the ladder must still produce a usable value.
+    if let Ok(poles) = dominant_poles(&model) {
+        if let Some(p) = poles.first() {
+            dense_check(
+                "closed-loop pole s = p1",
+                *p,
+                trunc,
+                &["exact", "refined", "perturbed"],
+            );
+        }
+    }
+    // 6-7: extreme truncation orders.
+    dense_check(
+        "truncation K = 1",
+        Complex::from_im(0.3 * w0),
+        Truncation::new(1),
+        &["exact", "refined", "perturbed"],
+    );
+    dense_check(
+        "truncation K = MAX",
+        Complex::from_im(0.3 * w0),
+        Truncation::new(MAX_AUTO_TRUNCATION),
+        &["exact", "refined", "perturbed"],
+    );
+
+    // 8: exactly singular I+G~ (G~ = -I): the Tikhonov rung must kick
+    // in and mark the result perturbed.
+    let singular = Htm::identity(trunc, w0).scale(-Complex::ONE);
+    rows.push(match singular.closed_loop_factored_robust() {
+        Ok((_, cl, report)) => DoctorRow {
+            check: "singular I+G~ (G~ = -I)",
+            verdict: if report.perturbed {
+                "perturbed".into()
+            } else {
+                "unexpected".into()
+            },
+            cond: Some(report.cond_estimate),
+            residual: Some(report.residual),
+            ok: report.perturbed && cl.as_matrix().is_finite(),
+            note: format!("stages {}", report.stages_tried.len()),
+        },
+        Err(e) => DoctorRow {
+            check: "singular I+G~ (G~ = -I)",
+            verdict: "failed".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.to_string(),
+        },
+    });
+
+    // 9: a loop pushed to the sampling limit (ω_UG ≈ ω₀ regime) must
+    // still analyze end to end and report its degraded-point counts.
+    let fast_row = match PllDesign::reference_design(0.45)
+        .map_err(|e| e.to_string())
+        .and_then(|d| PllModel::builder(d).build().map_err(|e| e.to_string()))
+        .and_then(|m| analyze_with(&m, args.threads()?).map_err(|e| e.to_string()))
+    {
+        Ok(r) => DoctorRow {
+            check: "fast loop w_UG ~ w0",
+            verdict: "completed".into(),
+            cond: Some(r.quality.worst_cond),
+            residual: Some(r.quality.worst_residual),
+            ok: true,
+            note: format!(
+                "beyond_limit={} degraded={}",
+                r.beyond_sampling_limit,
+                r.quality.degraded()
+            ),
+        },
+        Err(e) => DoctorRow {
+            check: "fast loop w_UG ~ w0",
+            verdict: "error".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.chars().take(48).collect(),
+        },
+    };
+    rows.push(fast_row);
+
+    println!("plltool doctor — numerical-resilience health check");
+    println!("design : {design}");
+    println!();
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>6}  note",
+        "check", "verdict", "cond", "residual", "ok"
+    );
+    let mut failures = 0usize;
+    for r in &rows {
+        let cond = r.cond.map_or("-".to_string(), |c| format!("{c:.2e}"));
+        let res = r.residual.map_or("-".to_string(), |x| format!("{x:.2e}"));
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>6}  {}",
+            r.check,
+            r.verdict,
+            cond,
+            res,
+            if r.ok { "ok" } else { "FAIL" },
+            r.note
+        );
+        if !r.ok {
+            failures += 1;
+        }
+    }
+    println!();
+    if failures == 0 {
+        println!(
+            "doctor: HEALTHY ({}/{} checks as expected)",
+            rows.len(),
+            rows.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "doctor: {failures}/{} checks did NOT behave as expected",
+            rows.len()
+        ))
+    }
+}
+
 /// Runs a representative slice of the whole pipeline — analysis, strip
 /// poles, truncated/dense HTM closed loop, eigenvalues, parallel
 /// frequency sweeps, behavioral simulation, lock acquisition, spectral
@@ -390,6 +593,14 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     model
         .closed_loop_htm_grid_cached(&htm_spec, &cache)
         .map_err(|e| e.to_string())?;
+    // Robustness leg: a grid with a deliberately on-pole point (ω = ω₀)
+    // exercises the verdict/escalation path — robust.failed alongside
+    // the healthy points' robust.exact.
+    let adversarial = SweepSpec::new(vec![0.2 * w0, w0, 0.45 * w0])
+        .with_truncation(trunc)
+        .with_threads(threads);
+    let robust = model.closed_loop_htm_grid_robust(&adversarial, &cache);
+    let _ = robust.summary();
     let noise = NoiseModel::new(&model, 8);
     let _ = noise.output_psd_grid(&sweep_spec, &|_| 1e-12, &|f| 1e-12 / (1.0 + f * f));
     let _ = LeakageSpurs::new(&model, 1e-3 * design.icp()).scan(16, threads);
@@ -419,7 +630,7 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|metrics> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|metrics> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -429,6 +640,9 @@ const USAGE: &str =
   optimize [--min-pm DEG] [--from A] [--to B] [--points N]
            [--ref-noise PSD] [--vco-noise PSD]
   hop     --ratio R [--until T] [--points N]
+  doctor  [--ratio R]   stress-evaluates adversarial points (on-pole s,
+          singular I+G, extreme truncations, NaN injection) and prints
+          a health table; non-zero exit when a check misbehaves
   metrics [--ratio R] [--obs SPEC] [--json PATH]
   every command accepts --threads N for the sweep worker pool
   (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
@@ -464,6 +678,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "spur" => cmd_spur(&args),
         "optimize" => cmd_optimize(&args),
         "hop" => cmd_hop(&args),
+        "doctor" => cmd_doctor(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     if let Some(path) = &metrics_path {
@@ -555,6 +770,28 @@ mod tests {
             "hop", "--ratio", "0.15", "--points", "5", "--until", "25",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn doctor_reports_healthy_and_dumps_robust_metrics() {
+        let path = std::env::temp_dir().join("plltool_doctor_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&[
+            "doctor",
+            "--ratio",
+            "0.1",
+            "--metrics-json",
+            &path_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            json.contains("robust."),
+            "robust.* counters missing: {json}"
+        );
+        assert!(json.contains("num.robust.factor"), "{json}");
+        htmpll::obs::override_filter("off");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Adversarial robustness suite: the numerical core must never panic
+//! through its public APIs, no matter how hostile the input — on-pole
+//! frequency points, singular and near-singular closed-loop matrices,
+//! NaN/∞ injection, degenerate designs, and 100+ seeds of random
+//! fuzzing through the vendored xoshiro PRNG. Everything here is
+//! deterministic: fixed seeds, no wall-clock, no ambient randomness.
+
+use htmpll::core::{
+    analyze_with, PllDesign, PllModel, PointQuality, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION,
+};
+use htmpll::htm::{Htm, Truncation};
+use htmpll::lti::Tf;
+use htmpll::num::rng::Rng;
+use htmpll::num::{solve_robust, CMat, Complex, FullPivLu, LuError, RobustLu, SolveStage};
+use htmpll::par::ThreadBudget;
+
+fn model(ratio: f64) -> PllModel {
+    PllModel::builder(PllDesign::reference_design(ratio).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn c(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}
+
+/// Random complex matrix with entries spanning many orders of
+/// magnitude — the kind of dynamic range a sweep near a closed-loop
+/// pole actually produces.
+fn random_matrix(rng: &mut Rng, n: usize, log_scale: f64) -> CMat {
+    let scale = 10f64.powf(log_scale);
+    let data: Vec<Complex> = (0..n * n)
+        .map(|_| c(rng.gaussian() * scale, rng.gaussian() * scale))
+        .collect();
+    CMat::from_rows(n, n, &data)
+}
+
+// ---------------------------------------------------------------------
+// On-pole sweeps: the open-loop HTM diverges exactly at s = j·m·ω₀.
+// ---------------------------------------------------------------------
+
+#[test]
+fn on_pole_sweep_completes_with_partial_results() {
+    let m = model(0.2);
+    let w0 = m.design().omega_ref();
+    // Two poisoned points (the aliased-integrator poles at ω₀ and 2ω₀)
+    // surrounded by perfectly ordinary frequencies.
+    let grid = vec![0.05 * w0, 0.3 * w0, w0, 0.44 * w0, 2.0 * w0, 0.1 * w0];
+    let spec = SweepSpec::new(grid.clone()).with_threads(1usize);
+    let out = m.closed_loop_htm_grid_robust(&spec, &SweepCache::new());
+
+    assert_eq!(out.len(), grid.len(), "no point may abort the sweep");
+    for (i, p) in out.points.iter().enumerate() {
+        let on_pole = i == 2 || i == 4;
+        if on_pole {
+            assert!(
+                !p.quality.is_usable(),
+                "point {i} sits on an aliased-integrator pole, got {:?}",
+                p.quality
+            );
+            assert!(p.value.is_none());
+        } else {
+            assert!(
+                p.quality.is_usable(),
+                "ordinary point {i} must stay usable, got {:?}",
+                p.quality
+            );
+            let htm = p.value.as_ref().expect("usable point carries a value");
+            assert!(htm.as_matrix().is_finite());
+        }
+    }
+    let s = out.summary();
+    assert_eq!(s.failed, 2);
+    assert_eq!(s.total(), grid.len());
+}
+
+#[test]
+fn strict_sweep_errors_cleanly_on_pole_instead_of_panicking() {
+    let m = model(0.2);
+    let w0 = m.design().omega_ref();
+    let spec = SweepSpec::new(vec![0.1 * w0, w0]).with_threads(1usize);
+    let err = m
+        .closed_loop_htm_grid_cached(&spec, &SweepCache::new())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("grid point 1"),
+        "error must name the failing point: {msg}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Singular and near-singular I + G̃.
+// ---------------------------------------------------------------------
+
+#[test]
+fn exactly_singular_closed_loop_is_perturbed_not_fatal() {
+    // G̃ = −I makes I + G̃ the zero matrix: singular at every step.
+    let trunc = Truncation::new(3);
+    let g = Htm::identity(trunc, 1.0).scale(-Complex::ONE);
+    let (_, closed, report) = g.closed_loop_factored_robust().unwrap();
+    assert!(report.perturbed);
+    assert_eq!(report.accepted_stage(), SolveStage::Tikhonov);
+    assert!(closed.as_matrix().is_finite());
+}
+
+#[test]
+fn near_singular_matrices_solve_finitely_across_scales() {
+    // A rank-deficient-to-working-precision matrix at many scales: two
+    // identical rows separated by a relative 1e-15 perturbation.
+    for &log_scale in &[-12.0, -6.0, 0.0, 6.0, 12.0] {
+        let scale = 10f64.powf(log_scale);
+        let a = CMat::from_rows(
+            3,
+            3,
+            &[
+                c(scale, 0.0),
+                c(2.0 * scale, 0.0),
+                c(3.0 * scale, 0.0),
+                c(scale * (1.0 + 1e-15), 0.0),
+                c(2.0 * scale, 0.0),
+                c(3.0 * scale, 0.0),
+                c(0.0, scale),
+                c(scale, 0.0),
+                c(0.0, 0.0),
+            ],
+        );
+        let lu = RobustLu::factor(&a).unwrap();
+        let b = vec![c(scale, 0.0), c(scale, 0.0), c(0.0, scale)];
+        let x = lu.solve(&b).unwrap();
+        assert!(
+            x.value.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "scale 1e{log_scale}: non-finite solution"
+        );
+        let report = lu.report();
+        assert!(report.cond_estimate.is_finite());
+        assert!(!report.stages_tried.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// NaN/∞ injection: every public entry point must return an error, not
+// propagate poison or panic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn nan_and_inf_matrices_are_rejected() {
+    let mut a = CMat::identity(3);
+    a[(1, 1)] = c(f64::NAN, 0.0);
+    assert_eq!(RobustLu::factor(&a).unwrap_err(), LuError::NonFinite);
+    assert_eq!(FullPivLu::factor(&a).unwrap_err(), LuError::NonFinite);
+
+    let mut b = CMat::identity(3);
+    b[(0, 2)] = c(0.0, f64::INFINITY);
+    assert_eq!(RobustLu::factor(&b).unwrap_err(), LuError::NonFinite);
+    assert_eq!(
+        solve_robust(&b, &[Complex::ONE; 3]).unwrap_err(),
+        LuError::NonFinite
+    );
+}
+
+#[test]
+fn nan_rhs_is_rejected_after_a_good_factorization() {
+    let a = CMat::identity(3);
+    let lu = RobustLu::factor(&a).unwrap();
+    let bad = vec![Complex::ONE, c(f64::NAN, 0.0), Complex::ONE];
+    assert_eq!(lu.solve(&bad).unwrap_err(), LuError::NonFinite);
+    let short = vec![Complex::ONE; 2];
+    assert_eq!(lu.solve(&short).unwrap_err(), LuError::DimensionMismatch);
+}
+
+#[test]
+fn non_finite_laplace_points_fail_with_a_reason() {
+    let m = model(0.2);
+    let cache = SweepCache::new();
+    let trunc = Truncation::new(2);
+    for s in [
+        c(f64::NAN, 0.0),
+        c(0.0, f64::NAN),
+        c(f64::INFINITY, 1.0),
+        c(1.0, f64::NEG_INFINITY),
+    ] {
+        let err = cache.dense_robust(&m, s, trunc).unwrap_err();
+        assert!(
+            err.contains("non-finite"),
+            "s = {s}: reason must mention non-finiteness, got {err}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate designs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_bandwidth_loop_filter_never_panics() {
+    // Z_LF(s) ≡ 0: the loop is broken open, the closed-loop HTM is the
+    // identity. Every layer must take this in stride.
+    let design = PllDesign::builder()
+        .f_ref(1.0)
+        .icp(1.0)
+        .kvco(1.0)
+        .divider(1.0)
+        .filter(htmpll::core::LoopFilter::Custom(Tf::constant(0.0)))
+        .build();
+    let Ok(design) = design else {
+        // A validating rejection is an equally acceptable non-panic.
+        return;
+    };
+    let Ok(m) = PllModel::builder(design).build() else {
+        return;
+    };
+    let w0 = m.design().omega_ref();
+    let cache = SweepCache::new();
+    for w in [0.01 * w0, 0.25 * w0, 0.45 * w0] {
+        match cache.dense_robust(&m, Complex::from_im(w), Truncation::new(2)) {
+            Ok(d) => assert!(d.htm.as_matrix().is_finite()),
+            Err(reason) => assert!(!reason.is_empty()),
+        }
+        let h = m.h00(w);
+        assert!(h.re.is_finite() || h.re.is_nan()); // defined either way, no panic
+    }
+}
+
+#[test]
+fn extreme_truncation_orders_stay_usable() {
+    let m = model(0.1);
+    let w0 = m.design().omega_ref();
+    let cache = SweepCache::new();
+    for k in [0usize, 1, MAX_AUTO_TRUNCATION] {
+        let d = cache
+            .dense_robust(&m, Complex::from_im(0.3 * w0), Truncation::new(k))
+            .unwrap_or_else(|e| panic!("K = {k} failed: {e}"));
+        assert!(d.quality.is_usable());
+        assert!(d.htm.as_matrix().is_finite());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded fuzzing: ≥100 deterministic seeds through the vendored
+// xoshiro PRNG. The contract under test is "never panic, never return
+// poisoned values without an error".
+// ---------------------------------------------------------------------
+
+#[test]
+fn hundred_seed_matrix_fuzz_never_panics() {
+    for seed in 0..100u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 2 + (rng.next_u64() % 5) as usize; // 2..=6
+        let log_scale = rng.range(-8.0, 8.0);
+        let mut a = random_matrix(&mut rng, n, log_scale);
+
+        // Every fifth seed: exact singularity (duplicate a row).
+        if seed % 5 == 0 {
+            for j in 0..n {
+                let v = a[(0, j)];
+                a[(n - 1, j)] = v;
+            }
+        }
+        // Every seventh seed: poison one entry.
+        let poisoned = seed % 7 == 0;
+        if poisoned {
+            let i = (rng.next_u64() % n as u64) as usize;
+            let j = (rng.next_u64() % n as u64) as usize;
+            a[(i, j)] = c(f64::NAN, 0.0);
+        }
+
+        let b: Vec<Complex> = (0..n).map(|_| c(rng.gaussian(), rng.gaussian())).collect();
+        match RobustLu::factor(&a) {
+            Err(e) => {
+                if poisoned {
+                    assert_eq!(e, LuError::NonFinite, "seed {seed}");
+                }
+            }
+            Ok(lu) => {
+                assert!(!poisoned, "seed {seed}: NaN matrix must not factor");
+                match lu.solve(&b) {
+                    Ok(x) => {
+                        assert!(
+                            x.value.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+                            "seed {seed}: Ok solve returned non-finite entries"
+                        );
+                        assert!(x.residual.is_finite() || x.residual.is_nan());
+                    }
+                    Err(e) => assert_ne!(e, LuError::NotSquare, "seed {seed}"),
+                }
+                let report = lu.report();
+                if report.perturbed {
+                    assert_eq!(report.accepted_stage(), SolveStage::Tikhonov, "seed {seed}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_design_sweeps_never_panic() {
+    // 32 random loop designs × 5 random frequencies each (with a
+    // guaranteed on-pole probe), all through the graceful grid.
+    for seed in 100..132u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let ratio = rng.range(0.02, 0.48);
+        let m = model(ratio);
+        let w0 = m.design().omega_ref();
+        let mut grid: Vec<f64> = (0..4).map(|_| rng.range(1e-3, 4.9) * w0).collect();
+        grid.push(w0); // always probe the pole itself
+        let spec = SweepSpec::new(grid.clone()).with_threads(1usize);
+        let out = m.closed_loop_htm_grid_robust(&spec, &SweepCache::new());
+        assert_eq!(out.len(), grid.len(), "seed {seed}");
+        for (p, &w) in out.points.iter().zip(&grid) {
+            match (&p.quality, &p.value) {
+                (PointQuality::Failed { reason }, None) => {
+                    assert!(!reason.is_empty(), "seed {seed} ω = {w}")
+                }
+                (q, Some(htm)) => {
+                    assert!(q.is_usable(), "seed {seed} ω = {w}: value with {q:?}");
+                    assert!(htm.as_matrix().is_finite(), "seed {seed} ω = {w}");
+                }
+                (q, None) => panic!("seed {seed} ω = {w}: no value but quality {q:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdict determinism: quality grades are part of the thread-count
+// bitwise-identity contract, not just the values.
+// ---------------------------------------------------------------------
+
+#[test]
+fn verdicts_and_values_bitwise_identical_across_thread_counts() {
+    let m = model(0.25);
+    let w0 = m.design().omega_ref();
+    // Ordinary, near-pole, and exactly-on-pole points mixed together.
+    let grid = vec![
+        0.07 * w0,
+        w0 * (1.0 - 1e-9),
+        w0,
+        0.33 * w0,
+        2.0 * w0,
+        0.45 * w0,
+    ];
+    let run = |threads: usize| {
+        let spec = SweepSpec::new(grid.clone()).with_threads(threads);
+        m.closed_loop_htm_grid_robust(&spec, &SweepCache::new())
+    };
+    let one = run(1);
+    for threads in [2, 4] {
+        let many = run(threads);
+        assert_eq!(one.len(), many.len());
+        for (i, (a, b)) in one.points.iter().zip(&many.points).enumerate() {
+            assert_eq!(
+                a.quality, b.quality,
+                "point {i} verdict @ {threads} threads"
+            );
+            assert_eq!(
+                a.cond.to_bits(),
+                b.cond.to_bits(),
+                "point {i} cond @ {threads} threads"
+            );
+            assert_eq!(
+                a.residual.to_bits(),
+                b.residual.to_bits(),
+                "point {i} residual @ {threads} threads"
+            );
+            match (&a.value, &b.value) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    let (mx, my) = (x.as_matrix(), y.as_matrix());
+                    for r in 0..mx.rows() {
+                        for cidx in 0..mx.cols() {
+                            assert_eq!(
+                                mx[(r, cidx)].re.to_bits(),
+                                my[(r, cidx)].re.to_bits(),
+                                "point {i} entry ({r},{cidx}) @ {threads} threads"
+                            );
+                            assert_eq!(
+                                mx[(r, cidx)].im.to_bits(),
+                                my[(r, cidx)].im.to_bits(),
+                                "point {i} entry ({r},{cidx}) @ {threads} threads"
+                            );
+                        }
+                    }
+                }
+                _ => panic!("point {i}: value presence differs across thread counts"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-analysis quality roll-up.
+// ---------------------------------------------------------------------
+
+#[test]
+fn analysis_quality_summary_is_consistent() {
+    for ratio in [0.05, 0.25, 0.45] {
+        let m = model(ratio);
+        let report = analyze_with(&m, ThreadBudget::Fixed(1)).unwrap();
+        let q = &report.quality;
+        assert_eq!(
+            q.exact + q.refined + q.perturbed + q.failed,
+            q.total(),
+            "ratio {ratio}"
+        );
+        assert!(q.total() > 0, "ratio {ratio}: summary must cover points");
+        assert!(
+            q.worst_cond.is_finite() || q.total() == q.failed,
+            "ratio {ratio}"
+        );
+    }
+}
