@@ -488,7 +488,7 @@ pub fn leakage_spur_study(ratio: f64, leakage_fracs: &[f64]) -> Vec<SpurRow> {
         let trace = sim.run(1024.0 * t_ref, &|_| 0.0);
         let mean = trace.theta_vco.iter().sum::<f64>() / trace.theta_vco.len() as f64;
         let centered: Vec<f64> = trace.theta_vco.iter().map(|v| v - mean).collect();
-        let psd = periodogram(&centered, 1.0 / trace.dt, Window::Hann);
+        let psd = periodogram(&centered, 1.0 / trace.dt, Window::Hann).expect("psd");
         let f_ref = 1.0 / t_ref;
         let spur = band_power(&psd, 0.97 * f_ref, 1.03 * f_ref);
         let predicted = LeakageSpurs::new(&model, params.leakage).line_power(1);

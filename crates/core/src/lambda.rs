@@ -46,6 +46,15 @@ pub struct EffectiveGain {
     omega0: f64,
 }
 
+/// Relative distance below which an alias point `s ± jmω₀` counts as
+/// "near" a pole of `A(s)` and is evaluated through the partial-fraction
+/// residue expansion instead of the monomial-basis rational form. Within
+/// this neighborhood the expanded denominator polynomial cancels
+/// catastrophically (down to an exact floating-point zero on the pole
+/// itself), while the residue form divides by `(s − p)` directly and
+/// stays accurate to the residue precision.
+const NEAR_POLE_REL: f64 = 1e-6;
+
 impl EffectiveGain {
     /// Prepares the exact evaluator for the open-loop gain `a`.
     ///
@@ -109,15 +118,42 @@ impl EffectiveGain {
         self.eval(Complex::from_im(omega))
     }
 
+    /// Evaluates `A(z)` for one alias term, routing points that fall
+    /// within [`NEAR_POLE_REL`] of a pole of `A` through the
+    /// partial-fraction residue expansion. The monomial-basis rational
+    /// form loses all significance there — the expanded denominator
+    /// cancels catastrophically and can even evaluate to an exact zero,
+    /// producing `inf`/`NaN` — while the residue form keeps the singular
+    /// `c/(z − p)^r` factor explicit, matching the behavior of the exact
+    /// lattice-sum path at the same point.
+    fn eval_alias_term(&self, z: Complex) -> Complex {
+        let scale = 1.0 + z.abs();
+        if self.pfe.min_pole_distance(z) < NEAR_POLE_REL * scale {
+            htmpll_obs::counter!("core", "lambda.near_pole_pfe").inc();
+            // Floor the singular distance at the rounding scale: a
+            // bitwise-on-pole alias saturates at the same ~1/ε magnitude
+            // the exact coth/csch² kernels reach on that grid point,
+            // instead of overflowing to inf/NaN.
+            self.pfe.eval_floored(z, f64::EPSILON * scale)
+        } else {
+            self.a.eval(z)
+        }
+    }
+
     /// Truncated sum `Σ_{|m| ≤ terms} A(s + jmω₀)` — the numerical
     /// cross-check for [`eval`](EffectiveGain::eval).
+    ///
+    /// Alias terms landing within `~1e-6` (relative) of a pole of `A`
+    /// are evaluated through the PFE residue expansion so the truncated
+    /// path stays finite and agrees with the exact path even when
+    /// `s ± jmω₀` grazes a pole.
     pub fn eval_truncated(&self, s: Complex, terms: usize) -> Complex {
         htmpll_obs::counter!("core", "lambda.eval_truncated").inc();
         htmpll_obs::record!("core", "lambda.eval_truncated.terms").record(terms as f64);
-        let mut acc = self.a.eval(s);
+        let mut acc = self.eval_alias_term(s);
         for m in 1..=terms as i64 {
             let shift = Complex::from_im(m as f64 * self.omega0);
-            acc += self.a.eval(s + shift) + self.a.eval(s - shift);
+            acc += self.eval_alias_term(s + shift) + self.eval_alias_term(s - shift);
         }
         acc
     }
@@ -358,6 +394,54 @@ mod tests {
         assert!(text.contains("ω₀ = 5"), "{text}");
         // One separator line between consecutive terms.
         assert_eq!(text.matches("\n      +").count() + 1, lam.pfe().terms.len());
+    }
+
+    #[test]
+    fn truncated_is_finite_on_pole_grazing_alias_points() {
+        // Doctor-grid adversarial points: each `s` here lands some alias
+        // `s ± jmω₀` bitwise-on a pole of A (double integrator at 0 via
+        // s = jmω₀ / s = 0; filter pole −4 via s = −4 + j·2ω₀). The raw
+        // rational form evaluated num/0 → inf there; the PFE route must
+        // stay finite at the pole-scale magnitude the exact path reports.
+        let lam = reference_lambda(0.2); // ω₀ = 5; A poles: 0 (×2), −4
+        let w0 = lam.omega0();
+        for s in [
+            Complex::from_im(w0),
+            Complex::from_im(3.0 * w0),
+            Complex::ZERO,
+            Complex::new(-4.0, 2.0 * w0),
+        ] {
+            let t = lam.eval_truncated(s, 50);
+            assert!(t.is_finite(), "s={s}: truncated returned {t}");
+            assert!(t.abs() > 1e9, "s={s}: expected pole-scale value, got {t}");
+        }
+    }
+
+    #[test]
+    fn truncated_matches_exact_near_alias_poles() {
+        // Walk toward two alias poles from δ = 1e-3 down to 1e-9. Both
+        // paths lose precision like ~ε/δ (the coth kernel through its
+        // argument reduction, the residue route through the stored δ),
+        // so the agreement bound tracks that conditioning; the old
+        // monomial-basis path diverged from it and went non-finite.
+        let lam = reference_lambda(0.2);
+        let w0 = lam.omega0();
+        for &delta in &[1e-3, 1e-5, 1e-7, 1e-9] {
+            for s in [
+                Complex::new(delta, w0),              // m=−1 alias near pole 0
+                Complex::new(-4.0 + delta, 2.0 * w0), // m=−2 alias near pole −4
+            ] {
+                let exact = lam.eval(s);
+                let trunc = lam.eval_truncated(s, 20_000);
+                assert!(trunc.is_finite(), "δ={delta}, s={s}: {trunc}");
+                let rel = (exact - trunc).abs() / exact.abs();
+                let bound = 1e-5 + 40.0 * f64::EPSILON / delta;
+                assert!(
+                    rel < bound,
+                    "δ={delta}, s={s}: exact {exact} vs truncated {trunc} (rel {rel} > {bound})"
+                );
+            }
+        }
     }
 
     #[test]

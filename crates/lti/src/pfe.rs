@@ -118,9 +118,47 @@ impl Pfe {
         acc
     }
 
+    /// Evaluates the expansion with every singular distance `|s − pᵢ|`
+    /// floored at `floor`: a point bitwise-on (or absurdly close to) a
+    /// pole yields a huge-but-finite value of magnitude
+    /// `~|cᵢ|/floor^{rᵢ}` instead of `inf`/`NaN`. The approach direction
+    /// is preserved when there is one; bitwise-on-pole points are nudged
+    /// along the positive real axis. Evaluation backends use this with a
+    /// rounding-scale floor so the residue route saturates at the same
+    /// magnitude as closed-form kernels (`coth`/`csch²`), whose argument
+    /// never reaches the pole exactly in floating point.
+    pub fn eval_floored(&self, s: Complex, floor: f64) -> Complex {
+        let mut acc = self.direct.eval_complex(s);
+        for t in &self.terms {
+            let mut d = s - t.pole;
+            let dist = d.abs();
+            if dist < floor {
+                d = if dist == 0.0 {
+                    Complex::from_re(floor)
+                } else {
+                    d.scale(floor / dist)
+                };
+            }
+            acc += t.coeff * d.powi(-(t.order as i32));
+        }
+        acc
+    }
+
     /// Maximum pole multiplicity appearing in the expansion.
     pub fn max_order(&self) -> usize {
         self.terms.iter().map(|t| t.order).max().unwrap_or(0)
+    }
+
+    /// Distance from `s` to the nearest pole of the expansion
+    /// (`+∞` when there are no pole terms). Evaluation backends use this
+    /// to decide when direct polynomial evaluation of the underlying
+    /// rational function loses precision and the residue expansion
+    /// should be used instead.
+    pub fn min_pole_distance(&self, s: Complex) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| (s - t.pole).abs())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Returns the residue (coefficient of the order-1 term) at the pole
@@ -300,6 +338,42 @@ mod tests {
             v
         };
         assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn min_pole_distance_tracks_nearest_pole() {
+        let h = Tf::new(Poly::constant(1.0), Poly::from_real_roots(&[-1.0, -3.0])).unwrap();
+        let pfe = Pfe::expand(&h, 1e-6).unwrap();
+        let d = pfe.min_pole_distance(Complex::new(-1.0, 0.5));
+        assert!((d - 0.5).abs() < 1e-9, "{d}");
+        // Exactly on a pole: zero distance.
+        assert!(pfe.min_pole_distance(Complex::from_re(-3.0)) < 1e-12);
+        // No terms ⇒ infinite distance.
+        let empty = Pfe {
+            direct: Poly::constant(1.0),
+            terms: Vec::new(),
+        };
+        assert_eq!(empty.min_pole_distance(Complex::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn eval_floored_saturates_on_poles() {
+        // 1/((s+1)(s+2)): on-pole evaluation is inf/NaN through the raw
+        // form but saturates at ~1/floor through the floored expansion.
+        let h = Tf::new(Poly::constant(1.0), Poly::from_real_roots(&[-1.0, -2.0])).unwrap();
+        let pfe = Pfe::expand(&h, 1e-6).unwrap();
+        let floor = 1e-12;
+        let on_pole = pfe.eval_floored(Complex::from_re(-1.0), floor);
+        assert!(on_pole.is_finite(), "{on_pole}");
+        assert!(on_pole.abs() > 0.1 / floor, "{on_pole}");
+        // Near-pole: the approach direction is preserved, so the floored
+        // value points the same way as the limit from that side.
+        let near = pfe.eval_floored(Complex::new(-1.0, 1e-15), floor);
+        assert!(near.is_finite());
+        assert!(near.im < 0.0, "1/(jδ) has negative imaginary part: {near}");
+        // Far from every pole the floor is inert.
+        let s = Complex::new(0.5, 0.3);
+        assert!((pfe.eval_floored(s, floor) - pfe.eval(s)).abs() < 1e-14);
     }
 
     #[test]

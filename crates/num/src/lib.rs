@@ -26,6 +26,8 @@
 //!   noise integrals.
 //! * [`rng`] — vendored deterministic PRNG (SplitMix64 + xoshiro256++)
 //!   for the behavioral simulator's jitter and noise draws.
+//! * [`hash`] — deterministic FNV-1a content hashing for fingerprinting
+//!   machine-readable reports (thread-count-invariance checks).
 //!
 //! Everything is implemented on `std` alone; no external numerics crates.
 //!
@@ -42,6 +44,7 @@
 
 pub mod complex;
 pub mod eig;
+pub mod hash;
 pub mod lu;
 pub mod mat;
 pub mod optim;

@@ -747,7 +747,7 @@ mod tests {
         // Remove the static offset before the PSD.
         let mean = trace.theta_vco.iter().sum::<f64>() / trace.theta_vco.len() as f64;
         let centered: Vec<f64> = trace.theta_vco.iter().map(|v| v - mean).collect();
-        let psd = periodogram(&centered, fs, Window::Hann);
+        let psd = periodogram(&centered, fs, Window::Hann).expect("psd");
         let f_ref = 1.0 / t_ref;
         let near = |f: f64| {
             psd.iter()

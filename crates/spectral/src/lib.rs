@@ -39,5 +39,5 @@ pub use bluestein::{fft_any, ifft_any};
 pub use cross::{tf_estimate, CrossBin};
 pub use fft::{fft, fft_real, ifft, FftError};
 pub use goertzel::{goertzel, tone_amplitude, tone_transfer};
-pub use psd::{band_power, periodogram, welch};
+pub use psd::{band_power, periodogram, welch, SpectralError};
 pub use window::Window;

@@ -4,9 +4,17 @@
 //! inspect simulated VCO phase records (jitter spectra, reference spurs)
 //! and to cross-check the HTM noise-propagation predictions.
 //!
-//! Convention: **one-sided** PSD in units of `signal²/Hz`, so that
-//! `∫S(f)df` over `[0, fs/2]` recovers the signal variance (up to
-//! windowing loss for finite records).
+//! Convention: **one-sided** PSD in units of `signal²/Hz`. The discrete
+//! Parseval identity holds exactly for every record length and window:
+//! the rectangle-rule integral `Σ_k S_k·Δf` equals the windowed mean
+//! square `Σ(x_n·w_n)²/(N·PG)` (with `PG` the window power gain), which
+//! is the record variance itself for the rectangular window and misses
+//! it only by windowing loss otherwise. The one-sided folding doubles
+//! every bin except DC and — for even `N` only — the Nyquist bin
+//! `k = N/2`, which is its own conjugate image; for odd `N` the grid
+//! `0..=⌊N/2⌋` stops below `fs/2` and every nonzero bin `k` has a
+//! distinct image `N−k`, so all of them double. Both parities are
+//! pinned by the `parseval_*` tests.
 //!
 //! ```
 //! use htmpll_spectral::psd::periodogram;
@@ -15,7 +23,7 @@
 //! let fs = 1000.0;
 //! let x: Vec<f64> = (0..1024).map(|k| (2.0 * std::f64::consts::PI * 100.0
 //!     * k as f64 / fs).sin()).collect();
-//! let psd = periodogram(&x, fs, Window::Hann);
+//! let psd = periodogram(&x, fs, Window::Hann).unwrap();
 //! let peak = psd.iter().cloned().fold((0.0f64, 0.0f64), |acc, p| {
 //!     if p.1 > acc.1 { p } else { acc }
 //! });
@@ -25,16 +33,58 @@
 use crate::bluestein::fft_any;
 use crate::window::Window;
 use htmpll_num::Complex;
+use std::fmt;
+
+/// Errors surfaced by the PSD estimators on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpectralError {
+    /// The input record contains no samples.
+    EmptyRecord,
+    /// The sample rate is not a positive finite number.
+    BadSampleRate(f64),
+    /// The Welch segment length is zero or exceeds the record length.
+    BadSegment {
+        /// Requested segment length.
+        segment_len: usize,
+        /// Available record length.
+        record_len: usize,
+    },
+}
+
+impl fmt::Display for SpectralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectralError::EmptyRecord => write!(f, "spectral estimate needs a non-empty record"),
+            SpectralError::BadSampleRate(fs) => {
+                write!(f, "sample rate must be positive and finite, got {fs}")
+            }
+            SpectralError::BadSegment {
+                segment_len,
+                record_len,
+            } => write!(
+                f,
+                "segment length {segment_len} invalid for record of {record_len} samples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpectralError {}
 
 /// One-sided periodogram: returns `(frequency_hz, psd)` pairs for bins
-/// `0..=N/2`.
+/// `0..=⌊N/2⌋`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `x` is empty or `fs <= 0`.
-pub fn periodogram(x: &[f64], fs: f64, window: Window) -> Vec<(f64, f64)> {
-    assert!(!x.is_empty(), "periodogram needs samples");
-    assert!(fs > 0.0, "sample rate must be positive");
+/// [`SpectralError::EmptyRecord`] when `x` is empty and
+/// [`SpectralError::BadSampleRate`] when `fs` is not positive finite.
+pub fn periodogram(x: &[f64], fs: f64, window: Window) -> Result<Vec<(f64, f64)>, SpectralError> {
+    if x.is_empty() {
+        return Err(SpectralError::EmptyRecord);
+    }
+    if !fs.is_finite() || fs <= 0.0 {
+        return Err(SpectralError::BadSampleRate(fs));
+    }
     let n = x.len();
     let w = window.samples(n);
     let tapered: Vec<Complex> = x
@@ -45,39 +95,48 @@ pub fn periodogram(x: &[f64], fs: f64, window: Window) -> Vec<(f64, f64)> {
     let spec = fft_any(&tapered);
     let norm = fs * n as f64 * window.power_gain(n);
     let half = n / 2;
-    (0..=half)
+    Ok((0..=half)
         .map(|k| {
             let mut p = spec[k].norm_sqr() / norm;
-            // One-sided: double everything except DC and (even-N) Nyquist.
+            // One-sided: double everything except DC and the even-N
+            // Nyquist bin (its own conjugate image). For odd N every
+            // k ≥ 1 has a distinct image N−k above the grid, so all
+            // of them double — see the module-level Parseval note.
             if k != 0 && !(n.is_multiple_of(2) && k == half) {
                 p *= 2.0;
             }
             (k as f64 * fs / n as f64, p)
         })
-        .collect()
+        .collect())
 }
 
 /// Welch PSD: averages windowed periodograms over `segment_len`-sample
 /// segments with 50 % overlap. Longer records trade variance for
 /// resolution.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `segment_len` is 0, exceeds the record, or `fs <= 0`.
-pub fn welch(x: &[f64], fs: f64, segment_len: usize, window: Window) -> Vec<(f64, f64)> {
-    assert!(segment_len > 0, "segment length must be positive");
-    assert!(
-        segment_len <= x.len(),
-        "segment length {segment_len} exceeds record {}",
-        x.len()
-    );
+/// [`SpectralError::BadSegment`] when `segment_len` is zero or exceeds
+/// the record, plus the [`periodogram`] errors on a bad sample rate.
+pub fn welch(
+    x: &[f64],
+    fs: f64,
+    segment_len: usize,
+    window: Window,
+) -> Result<Vec<(f64, f64)>, SpectralError> {
+    if segment_len == 0 || segment_len > x.len() {
+        return Err(SpectralError::BadSegment {
+            segment_len,
+            record_len: x.len(),
+        });
+    }
     let hop = (segment_len / 2).max(1);
     let mut acc: Vec<f64> = vec![0.0; segment_len / 2 + 1];
     let mut freqs: Vec<f64> = Vec::new();
     let mut count = 0usize;
     let mut start = 0usize;
     while start + segment_len <= x.len() {
-        let seg = periodogram(&x[start..start + segment_len], fs, window);
+        let seg = periodogram(&x[start..start + segment_len], fs, window)?;
         if freqs.is_empty() {
             freqs = seg.iter().map(|&(f, _)| f).collect();
         }
@@ -87,15 +146,18 @@ pub fn welch(x: &[f64], fs: f64, segment_len: usize, window: Window) -> Vec<(f64
         count += 1;
         start += hop;
     }
-    freqs
+    Ok(freqs
         .into_iter()
         .zip(acc)
         .map(|(f, p)| (f, p / count as f64))
-        .collect()
+        .collect())
 }
 
 /// Integrates a one-sided PSD over `[f_lo, f_hi]` by trapezoid rule,
-/// returning the band power (variance contribution).
+/// returning the band power (variance contribution). Note the trapezoid
+/// rule slightly smears single-bin tones compared with the exact
+/// rectangle-sum Parseval identity (`Σ S_k·Δf`); use the latter for
+/// full-band totals.
 pub fn band_power(psd: &[(f64, f64)], f_lo: f64, f_hi: f64) -> f64 {
     let mut acc = 0.0;
     for pair in psd.windows(2) {
@@ -143,7 +205,7 @@ mod tests {
             .map(|k| 0.8 * (2.0 * PI * f0 * k as f64 / fs).sin())
             .collect();
         for w in [Window::Rectangular, Window::Hann, Window::BlackmanHarris] {
-            let psd = periodogram(&x, fs, w);
+            let psd = periodogram(&x, fs, w).unwrap();
             let p = band_power(&psd, f0 - 10.0, f0 + 10.0);
             assert!((p - 0.32).abs() < 0.01, "{w:?}: {p}");
         }
@@ -154,7 +216,7 @@ mod tests {
         let fs = 1.0;
         let x = white_noise(1 << 15, 7);
         let var: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
-        let psd = welch(&x, fs, 1024, Window::Hann);
+        let psd = welch(&x, fs, 1024, Window::Hann).unwrap();
         let total = band_power(&psd, 0.0, 0.5);
         assert!(
             (total - var).abs() < 0.1 * var,
@@ -167,11 +229,49 @@ mod tests {
     }
 
     #[test]
+    fn parseval_exact_for_both_parities_and_all_windows() {
+        // The rectangle-rule integral of the one-sided PSD must equal
+        // the windowed mean square Σ(x·w)²/(N·PG) to FFT rounding, for
+        // even and odd N alike — this pins the Nyquist-bin doubling
+        // rule for both parities and the window normalization.
+        for &n in &[256usize, 255, 1024, 1023] {
+            let x = white_noise(n, 11);
+            let fs = 3.0;
+            for w in [Window::Rectangular, Window::Hann, Window::BlackmanHarris] {
+                let psd = periodogram(&x, fs, w).unwrap();
+                assert_eq!(psd.len(), n / 2 + 1);
+                let df = fs / n as f64;
+                let total: f64 = psd.iter().map(|&(_, p)| p).sum::<f64>() * df;
+                let wk = w.samples(n);
+                let windowed_ms = x
+                    .iter()
+                    .zip(&wk)
+                    .map(|(&v, &c)| (v * c) * (v * c))
+                    .sum::<f64>()
+                    / (n as f64 * w.power_gain(n));
+                assert!(
+                    (total - windowed_ms).abs() <= 1e-9 * windowed_ms,
+                    "N={n} {w:?}: ΣS·Δf {total} vs windowed ms {windowed_ms}"
+                );
+                // With no window the identity is Parseval for the raw
+                // record: the integral recovers the full variance.
+                if matches!(w, Window::Rectangular) {
+                    let ms = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
+                    assert!(
+                        (total - ms).abs() <= 1e-9 * ms,
+                        "N={n}: ΣS·Δf {total} vs variance {ms}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn welch_reduces_variance_vs_periodogram() {
         let fs = 1.0;
         let x = white_noise(1 << 14, 3);
-        let single = periodogram(&x, fs, Window::Hann);
-        let avg = welch(&x, fs, 512, Window::Hann);
+        let single = periodogram(&x, fs, Window::Hann).unwrap();
+        let avg = welch(&x, fs, 512, Window::Hann).unwrap();
         let spread = |p: &[(f64, f64)]| {
             let vals: Vec<f64> = p.iter().skip(2).map(|&(_, v)| v).collect();
             let m = vals.iter().sum::<f64>() / vals.len() as f64;
@@ -189,14 +289,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs samples")]
     fn empty_rejected() {
-        let _ = periodogram(&[], 1.0, Window::Hann);
+        assert_eq!(
+            periodogram(&[], 1.0, Window::Hann),
+            Err(SpectralError::EmptyRecord)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "exceeds record")]
+    fn bad_sample_rate_rejected() {
+        for fs in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                periodogram(&[1.0, 2.0], fs, Window::Rectangular),
+                Err(SpectralError::BadSampleRate(_))
+            ));
+        }
+    }
+
+    #[test]
     fn welch_segment_checked() {
-        let _ = welch(&[0.0; 10], 1.0, 20, Window::Hann);
+        assert_eq!(
+            welch(&[0.0; 10], 1.0, 20, Window::Hann),
+            Err(SpectralError::BadSegment {
+                segment_len: 20,
+                record_len: 10
+            })
+        );
+        assert_eq!(
+            welch(&[0.0; 10], 1.0, 0, Window::Hann),
+            Err(SpectralError::BadSegment {
+                segment_len: 0,
+                record_len: 10
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_a_reason() {
+        assert!(SpectralError::EmptyRecord.to_string().contains("non-empty"));
+        assert!(SpectralError::BadSampleRate(-2.0)
+            .to_string()
+            .contains("-2"));
+        let e = SpectralError::BadSegment {
+            segment_len: 9,
+            record_len: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 }

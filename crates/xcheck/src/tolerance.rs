@@ -1,0 +1,71 @@
+//! The tolerance ladder: turning a measured deviation into a verdict.
+//!
+//! Every cross-stack comparison carries two numbers:
+//!
+//! * an **exact tier** below which the two routes are considered
+//!   numerically identical (default [`EXACT_TIER`] = `1e-10`, sized for
+//!   double-precision algebra chained through root finding and partial
+//!   fractions), and
+//! * an **analytic bound** — the deviation the *physics of the
+//!   comparison* predicts: a truncation tail `2c/((d−1)ω₀^d M^{d−1})`,
+//!   a half-sample Poisson correction `p(0⁺)/2`, solver roundoff at the
+//!   grid's conditioning, or the statistical confidence of a
+//!   finite-record measurement.
+//!
+//! A deviation inside the exact tier is [`Verdict::Agree`]; inside the
+//! analytic bound it is a [`Verdict::ToleratedDivergence`] carrying the
+//! bound and its reason (so a future regression that stays "tolerated"
+//! is still visible in the report); beyond the bound it is a
+//! [`Verdict::Mismatch`] and the run fails.
+
+use crate::report::Verdict;
+
+/// Exact-vs-exact agreement tier: double-precision algebra chained
+/// through pole extraction / partial fractions keeps independent exact
+/// routes within ~`1e-12`; `1e-10` leaves headroom without masking
+/// real model errors (which show up at `1e-3`+).
+pub const EXACT_TIER: f64 = 1e-10;
+
+/// Grades a relative deviation on the ladder. `values` are the two
+/// raw observables (used only in the mismatch verdict for diagnosis).
+pub fn ladder(
+    deviation: f64,
+    exact_tier: f64,
+    bound: f64,
+    reason: &'static str,
+    stacks: &'static str,
+    values: (f64, f64),
+) -> Verdict {
+    if deviation.is_finite() && deviation <= exact_tier {
+        Verdict::Agree
+    } else if deviation.is_finite() && deviation <= bound {
+        Verdict::ToleratedDivergence { bound, reason }
+    } else {
+        Verdict::Mismatch { stacks, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_tiers() {
+        let v = ladder(1e-12, EXACT_TIER, 1e-4, "tail", "a vs b", (1.0, 1.0));
+        assert!(matches!(v, Verdict::Agree));
+        let v = ladder(1e-6, EXACT_TIER, 1e-4, "tail", "a vs b", (1.0, 1.0));
+        assert!(matches!(v, Verdict::ToleratedDivergence { .. }));
+        let v = ladder(1e-2, EXACT_TIER, 1e-4, "tail", "a vs b", (1.0, 1.01));
+        assert!(matches!(v, Verdict::Mismatch { .. }));
+        // Non-finite deviations can never agree.
+        let v = ladder(
+            f64::NAN,
+            EXACT_TIER,
+            1e-4,
+            "tail",
+            "a vs b",
+            (1.0, f64::NAN),
+        );
+        assert!(matches!(v, Verdict::Mismatch { .. }));
+    }
+}

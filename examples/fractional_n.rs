@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!((drift - expected_drift).abs() < 0.05 * expected_drift);
 
     let centered = trace.detrended_theta();
-    let psd = welch(&centered, 1.0 / trace.dt, 4096, Window::Hann);
+    let psd = welch(&centered, 1.0 / trace.dt, 4096, Window::Hann).expect("psd");
     let f_ref = 1.0 / t_ref;
     println!("\n  f/f_ref    S_θ (dB rel)   prediction slope");
     let base_level = psd

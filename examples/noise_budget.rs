@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = sim.run(200.0 * t_ref, &|_| 0.0); // settle
     let trace = sim.run(4000.0 * t_ref, &|_| 0.0);
     let fs = 1.0 / trace.dt;
-    let psd = welch(&trace.theta_vco, fs, 2048, Window::Hann);
+    let psd = welch(&trace.theta_vco, fs, 2048, Window::Hann).expect("psd");
 
     // White edge jitter of variance σ² sampled once per T has one-sided
     // PSD 2σ²T in the first Nyquist band; the loop shapes it by |H00|².

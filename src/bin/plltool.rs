@@ -533,6 +533,51 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Cross-stack differential verification: runs the deterministic
+/// scenario corpus through the λ(s), z-domain and time-domain stacks
+/// and reconciles every overlapping observable. Exit 2 on any
+/// `Mismatch` verdict.
+fn cmd_xcheck(args: &Args) -> Result<(), String> {
+    let corpus = args
+        .values
+        .get("corpus")
+        .cloned()
+        .unwrap_or_else(|| "default".to_string());
+    let report = htmpll::xcheck::run_corpus(&corpus, args.threads()?).map_err(|e| e.to_string())?;
+    print!("{}", report.render_table());
+    println!();
+    println!(
+        "xcheck: corpus {} — {} agree, {} tolerated, {} mismatch ({} checks, {} scenarios)",
+        report.corpus,
+        report.agreements(),
+        report.tolerated(),
+        report.mismatches(),
+        report.total_checks(),
+        report.scenarios.len()
+    );
+    println!("digest : {}", report.digest());
+    if let Some(path) = args.values.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.values.get("bench") {
+        let json = report.timings.to_bench_json(
+            &report.corpus,
+            report.scenarios.len(),
+            report.total_checks(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("--bench {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.mismatches() > 0 {
+        return Err(format!(
+            "xcheck: {} cross-stack mismatch(es) — the models disagree beyond every justified bound",
+            report.mismatches()
+        ));
+    }
+    Ok(())
+}
+
 /// Runs a representative slice of the whole pipeline — analysis, strip
 /// poles, truncated/dense HTM closed loop, eigenvalues, parallel
 /// frequency sweeps, behavioral simulation, lock acquisition, spectral
@@ -612,7 +657,7 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     let trace = sim.run(30.0 * params.t_ref, &|_| 0.0);
     let _ = acquire_lock(&params, &config, 5e-3, &LockOptions::default());
     let fs = 1.0 / trace.dt;
-    let _ = periodogram(&trace.v_ctrl, fs, Window::Hann);
+    periodogram(&trace.v_ctrl, fs, Window::Hann).map_err(|e| e.to_string())?;
 
     println!("filter : {}", spec);
     println!(
@@ -630,7 +675,7 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|metrics> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -643,6 +688,9 @@ const USAGE: &str =
   doctor  [--ratio R]   stress-evaluates adversarial points (on-pole s,
           singular I+G, extreme truncations, NaN injection) and prints
           a health table; non-zero exit when a check misbehaves
+  xcheck  [--corpus default|quick] [--json PATH] [--bench PATH]
+          reconciles the λ(s), z-domain and time-domain stacks over a
+          deterministic scenario corpus; exit 2 on any mismatch
   metrics [--ratio R] [--obs SPEC] [--json PATH]
   every command accepts --threads N for the sweep worker pool
   (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
@@ -679,6 +727,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&args),
         "hop" => cmd_hop(&args),
         "doctor" => cmd_doctor(&args),
+        "xcheck" => cmd_xcheck(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     if let Some(path) = &metrics_path {
@@ -792,6 +841,31 @@ mod tests {
         assert!(json.contains("num.robust.factor"), "{json}");
         htmpll::obs::override_filter("off");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn xcheck_quick_corpus_reconciles_and_writes_report() {
+        let path = std::env::temp_dir().join("plltool_xcheck_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&[
+            "xcheck",
+            "--corpus",
+            "quick",
+            "--threads",
+            "1",
+            "--json",
+            &path_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            json.contains("\"mismatch\":0"),
+            "mismatches in quick corpus: {json}"
+        );
+        assert!(json.contains("\"digest\":\""), "digest missing: {json}");
+        std::fs::remove_file(&path).ok();
+
+        assert!(run(&strs(&["xcheck", "--corpus", "nonsense"])).is_err());
     }
 
     #[test]

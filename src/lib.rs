@@ -64,6 +64,9 @@ pub use htmpll_obs as obs;
 /// Parallel sweep engine (re-export of `htmpll-par`).
 pub use htmpll_par as par;
 
+/// Cross-stack differential verification (re-export of `htmpll-xcheck`).
+pub use htmpll_xcheck as xcheck;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
@@ -78,5 +81,6 @@ pub mod prelude {
     pub use crate::sim::{
         measure_band_transfer, measure_h00, MeasureOptions, PllSim, SimConfig, SimParams,
     };
+    pub use crate::xcheck::{run_corpus, Verdict, XcheckReport};
     pub use crate::zdomain::{CpPllZModel, Zf};
 }

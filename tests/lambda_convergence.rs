@@ -1,0 +1,84 @@
+//! Property test pinning the paper's eq.-37 identity: for random
+//! strictly-proper open-loop gains `A(s)`, the truncated alias sum
+//! `Σ_{|m|≤M} A(s + jmω₀)` converges to the exact lattice-sum closed
+//! form at the analytic tail rate `O(1/M^{d−1})` (relative degree `d`),
+//! including at points within `1e-3·ω₀` of the band edges `±ω₀/2` where
+//! the evaluation grid is worst-conditioned.
+
+use htmpll::core::EffectiveGain;
+use htmpll::lti::Tf;
+use htmpll::num::rng::Rng;
+use htmpll::num::{Complex, Poly};
+
+/// A random stable strictly-proper transfer function with relative
+/// degree ≥ 2 (so the symmetric alias sum has an `O(1/M^{d−1})` tail)
+/// and poles separated well beyond the PFE cluster tolerance.
+fn random_strictly_proper(rng: &mut Rng) -> (Tf, f64) {
+    let n_poles = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+    let mut roots = Vec::new();
+    let mut p = -rng.range(0.05, 0.4);
+    for _ in 0..n_poles {
+        roots.push(p);
+        p -= rng.range(0.3, 1.5);
+    }
+    let den = Poly::from_real_roots(&roots);
+    let num_deg = (rng.next_u64() as usize) % (n_poles - 1); // ≤ n_poles − 2
+    let mut coeffs: Vec<f64> = (0..=num_deg).map(|_| rng.range(-2.0, 2.0)).collect();
+    if coeffs.last().unwrap().abs() < 0.1 {
+        *coeffs.last_mut().unwrap() = 0.5;
+    }
+    let a = Tf::new(Poly::new(coeffs), den).expect("strictly proper by construction");
+    let omega0 = rng.range(1.0, 10.0);
+    (a, omega0)
+}
+
+#[test]
+fn eq37_truncated_sum_converges_at_analytic_tail_rate() {
+    let mut rng = Rng::seed_from_u64(0x3741_e937);
+    for case in 0..20 {
+        let (a, omega0) = random_strictly_proper(&mut rng);
+        let lam = EffectiveGain::new(&a, omega0).expect("effective gain");
+        let d = a.relative_degree() as f64;
+        let c = (a.num().leading() / a.den().leading()).abs();
+        // High-frequency asymptote A ≈ c·s^{−d} ⇒ two-sided tail bound
+        // 2c/((d−1)·ω₀^d·M^{d−1}), the same estimate suggest_truncation
+        // inverts.
+        let tail = |m: f64| 2.0 * c / ((d - 1.0) * omega0.powf(d) * m.powf(d - 1.0));
+        let probes = [
+            0.137 * omega0,
+            -0.271 * omega0,
+            omega0 / 2.0 - 1e-3 * omega0,
+            -(omega0 / 2.0) + 1e-3 * omega0,
+            omega0 / 2.0 - 1e-4 * omega0,
+            -(omega0 / 2.0) + 2e-4 * omega0,
+        ];
+        for &w in &probes {
+            let s = Complex::from_im(w);
+            let exact = lam.eval(s);
+            assert!(exact.is_finite(), "case {case} w={w}: exact {exact}");
+            let scale = 1.0 + exact.abs();
+            let m0 = 400usize;
+            let e1 = (lam.eval_truncated(s, m0) - exact).abs();
+            let e2 = (lam.eval_truncated(s, 2 * m0) - exact).abs();
+            let e4 = (lam.eval_truncated(s, 4 * m0) - exact).abs();
+            // The truncation error sits under the analytic tail bound
+            // (headroom for the sub-asymptotic part of A).
+            assert!(
+                e1 <= 10.0 * tail(m0 as f64) + 1e-12 * scale,
+                "case {case} w={w}: e1 {e1} vs tail bound {}",
+                tail(m0 as f64)
+            );
+            // Monotone convergence as M doubles ...
+            assert!(e2 <= e1 + 1e-13 * scale, "case {case} w={w}: {e1} -> {e2}");
+            assert!(e4 <= e2 + 1e-13 * scale, "case {case} w={w}: {e2} -> {e4}");
+            // ... at no slower than the analytic rate: quadrupling M must
+            // at least halve an error that is above rounding noise.
+            if e1 > 1e-9 * scale {
+                assert!(
+                    e1 / e4 > 2.0,
+                    "case {case} w={w}: e1 {e1} / e4 {e4} below O(1/M) rate"
+                );
+            }
+        }
+    }
+}

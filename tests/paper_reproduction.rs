@@ -332,7 +332,7 @@ fn jitter_psd_matches_htm_shaping() {
     let mut sim = PllSim::new(SimParams::from_design(&design), cfg);
     let _ = sim.run(300.0 * t_ref, &|_| 0.0);
     let trace = sim.run(6000.0 * t_ref, &|_| 0.0);
-    let psd = welch(&trace.theta_vco, 1.0 / trace.dt, 4096, Window::Hann);
+    let psd = welch(&trace.theta_vco, 1.0 / trace.dt, 4096, Window::Hann).expect("psd");
 
     // White edge jitter sampled once per T: one-sided input PSD 2σ²T.
     let s_in = 2.0 * jitter_rms * jitter_rms * t_ref;
@@ -400,7 +400,7 @@ fn fractional_n_locks_and_shapes_noise() {
     // Detrended PSD shows the shaped-noise rise: ≥ factor 100 from the
     // 0.02 band to the 0.1 band (ideal third-order shaping: 625).
     let centered = trace.detrended_theta();
-    let psd = welch(&centered, 1.0 / trace.dt, 2048, Window::Hann);
+    let psd = welch(&centered, 1.0 / trace.dt, 2048, Window::Hann).expect("psd");
     let f_ref = 1.0 / t_ref;
     let band = |lo: f64, hi: f64| {
         let sel: Vec<f64> = psd
@@ -439,7 +439,7 @@ fn leakage_spur_prediction_matches_sim() {
         let trace = sim.run(2048.0 * t_ref, &|_| 0.0);
         let mean = trace.theta_vco.iter().sum::<f64>() / trace.theta_vco.len() as f64;
         let centered: Vec<f64> = trace.theta_vco.iter().map(|v| v - mean).collect();
-        let psd = periodogram(&centered, 1.0 / trace.dt, Window::Hann);
+        let psd = periodogram(&centered, 1.0 / trace.dt, Window::Hann).expect("psd");
         let f_ref = 1.0 / t_ref;
         let measured = band_power(&psd, 0.97 * f_ref, 1.03 * f_ref);
         let predicted = LeakageSpurs::new(&model, params.leakage).line_power(1);
@@ -505,7 +505,7 @@ fn vco_noise_psd_matches_htm_shaping() {
     let mut sim = PllSim::new(SimParams::from_design(&design), cfg);
     let _ = sim.run(300.0 * t_ref, &|_| 0.0);
     let trace = sim.run(6000.0 * t_ref, &|_| 0.0);
-    let psd = welch(&trace.theta_vco, 1.0 / trace.dt, 4096, Window::Hann);
+    let psd = welch(&trace.theta_vco, 1.0 / trace.dt, 4096, Window::Hann).expect("psd");
 
     // Free-running VCO phase in time units: Brownian of rate S/2
     // (cycles²/s) scaled by (T/N)² ⇒ S_θ(ω) = (T/N)²·S/ω².

@@ -1,0 +1,47 @@
+//! Cross-stack differential verification, exercised through the facade.
+//!
+//! The quick corpus must reconcile the λ(s), z-domain, and time-domain
+//! stacks with zero mismatches, and the report digest must be identical
+//! across repeated runs and thread budgets — the corpus is the contract
+//! that the three models describe the same physics.
+
+use htmpll::par::ThreadBudget;
+use htmpll::prelude::*;
+
+#[test]
+fn quick_corpus_has_no_cross_stack_mismatches() {
+    let report = run_corpus("quick", ThreadBudget::Fixed(1)).expect("quick corpus runs");
+    assert_eq!(
+        report.mismatches(),
+        0,
+        "cross-stack mismatches:\n{}",
+        report.render_table()
+    );
+    // Every scenario must contribute checks; an empty scenario would mean
+    // a stack silently dropped out of the reconciliation.
+    for s in &report.scenarios {
+        assert!(
+            !s.checks.is_empty(),
+            "scenario {} ran no checks",
+            s.scenario
+        );
+    }
+    assert!(report.total_checks() >= 20, "corpus too thin");
+}
+
+#[test]
+fn report_digest_is_deterministic_across_thread_budgets() {
+    let r1 = run_corpus("quick", ThreadBudget::Fixed(1)).expect("threads=1");
+    let r4 = run_corpus("quick", ThreadBudget::Fixed(4)).expect("threads=4");
+    assert_eq!(r1.digest(), r4.digest(), "digest varies with thread count");
+    assert_eq!(
+        r1.to_json(),
+        r4.to_json(),
+        "report varies with thread count"
+    );
+}
+
+#[test]
+fn unknown_corpus_is_rejected() {
+    assert!(run_corpus("no-such-corpus", ThreadBudget::Fixed(1)).is_err());
+}
