@@ -302,18 +302,25 @@ impl PllModel {
 
     /// Full closed-loop HTM at Laplace point `s` via the rank-one
     /// Sherman–Morrison closed form (works for time-varying VCOs too).
+    /// The result keeps the structured rank-one representation — O(n)
+    /// storage, densified lazily only if a consumer asks for the full
+    /// matrix.
     pub fn closed_loop_htm(&self, s: Complex, trunc: impl Into<TruncationSpec>) -> Htm {
         let trunc = self.resolve_truncation(trunc);
         let v = self.v_column(s, trunc);
         let ones = vec![Complex::ONE; trunc.dim()];
-        let (mat, _) = closed_loop_rank_one(&v, &ones);
-        Htm::from_matrix(trunc, self.design.omega_ref(), mat)
+        let (repr, _) = closed_loop_rank_one(&v, &ones);
+        Htm::from_repr(trunc, self.design.omega_ref(), repr)
     }
 
-    /// Assembles the **open-loop** HTM `G̃(s) = H̃_VCO·H̃_LF·H̃_PFD` by
-    /// dense block multiplication — the input to the reference
-    /// closed-loop solve, exposed so sweep caches can factor it once per
-    /// Laplace point.
+    /// Assembles the **open-loop** HTM `G̃(s) = H̃_VCO·(H̃_LF·H̃_PFD)`
+    /// — the input to the reference closed-loop solve, exposed so sweep
+    /// caches can factor it once per Laplace point. The association
+    /// order is chosen for structure propagation: the rank-one PFD is
+    /// absorbed first (`Diag·RankOne` and `BT·RankOne` both stay rank
+    /// one), so the whole product is assembled in O(n·b) and the repr
+    /// the closed-loop solver sees admits the Sherman–Morrison closed
+    /// form.
     pub fn open_loop_htm(&self, s: Complex, trunc: Truncation) -> Htm {
         let w0 = self.design.omega_ref();
         let pfd = SamplerHtm::new(w0);
@@ -323,7 +330,7 @@ impl PllModel {
         }
         let lf = LtiHtm::new(fwd_tf, w0);
         let vco = VcoHtm::new(self.vco_isf.clone(), w0);
-        &(&vco.htm(s, trunc) * &lf.htm(s, trunc)) * &pfd.htm(s, trunc)
+        &vco.htm(s, trunc) * &(&lf.htm(s, trunc) * &pfd.htm(s, trunc))
     }
 
     /// Full closed-loop HTM via dense block assembly and LU solve — the

@@ -63,4 +63,7 @@ pub use optimize::{optimize_loop, Candidate, NoiseSpec, OptimizeSpec};
 pub use poles::{damping_ratio, dominant_poles};
 pub use quality::{GridOutcome, PointOutcome, PointQuality, QualitySummary};
 pub use spurs::LeakageSpurs;
-pub use sweep::{bode_grid, DenseSolve, SpurLine, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION};
+pub use sweep::{
+    bode_grid, DenseSolve, KernelPolicy, SpurLine, SweepCache, SweepSpec, SweepWorkspace,
+    CACHE_CAP_ENV, DEFAULT_CACHE_CAP, MAX_AUTO_TRUNCATION,
+};

@@ -46,10 +46,10 @@ use crate::lambda::EffectiveGain;
 use crate::noise::NoiseModel;
 use crate::quality::{GridOutcome, PointOutcome, PointQuality};
 use crate::spurs::LeakageSpurs;
-use htmpll_htm::{Htm, Truncation, TruncationSpec};
+use htmpll_htm::{ClosedLoopFactor, Htm, SolveScratch, Truncation, TruncationSpec};
 use htmpll_lti::{bode_from_values, BodePoint, FrequencyGrid, GridError};
-use htmpll_num::{Complex, RobustLu, SolveReport};
-use htmpll_par::{par_map, ThreadBudget};
+use htmpll_num::{Complex, SolveReport};
+use htmpll_par::{par_map, par_map_with, ThreadBudget};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -70,6 +70,72 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// λ. Auto resolution clamps to this bound.
 pub const MAX_AUTO_TRUNCATION: usize = 64;
 
+/// Default per-map entry cap for [`SweepCache`] — generous (a dense
+/// K=24 entry is ~38 KB, so the default bounds the dense map at around
+/// a gigabyte) but finite, so long interactive sessions cannot grow
+/// without limit. Override with the `HTMPLL_CACHE_CAP` environment
+/// variable or [`SweepCache::with_capacity`].
+pub const DEFAULT_CACHE_CAP: usize = 32_768;
+
+/// Environment variable overriding the [`SweepCache`] entry cap.
+pub const CACHE_CAP_ENV: &str = "HTMPLL_CACHE_CAP";
+
+fn env_cache_cap() -> usize {
+    match std::env::var(CACHE_CAP_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => DEFAULT_CACHE_CAP,
+        },
+        Err(_) => DEFAULT_CACHE_CAP,
+    }
+}
+
+/// Which closed-loop kernels a sweep runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Dispatch on the open loop's structured representation: rank-one
+    /// and diagonal closed forms, banded factorization, dense ladder
+    /// only as fallback. The fast default.
+    #[default]
+    Structured,
+    /// Force the dense escalating ladder — the strict reference
+    /// kernels, used by cross-checks and benchmarks.
+    Dense,
+}
+
+impl KernelPolicy {
+    /// Stable one-byte tag for cache keys.
+    fn as_byte(self) -> u8 {
+        match self {
+            KernelPolicy::Structured => 0,
+            KernelPolicy::Dense => 1,
+        }
+    }
+
+    /// Human-readable name (`structured` / `dense`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPolicy::Structured => "structured",
+            KernelPolicy::Dense => "dense",
+        }
+    }
+}
+
+/// Per-worker scratch for sweep loops: reusable solve buffers threaded
+/// through [`par_map_with`](htmpll_par::par_map_with) so the grid loop
+/// avoids per-point staging allocations.
+#[derive(Debug, Default)]
+pub struct SweepWorkspace {
+    scratch: SolveScratch,
+}
+
+impl SweepWorkspace {
+    /// A fresh workspace; buffers grow on first use.
+    pub fn new() -> SweepWorkspace {
+        SweepWorkspace::default()
+    }
+}
+
 /// A frequency sweep specification: grid + truncation policy + thread
 /// budget. One `SweepSpec` drives every grid entry point in the crate,
 /// replacing per-call-site `(start, stop, n, k, threads)` tuples.
@@ -83,6 +149,9 @@ pub struct SweepSpec {
     /// Worker-thread budget; defaults to `Auto` (the `HTMPLL_THREADS`
     /// environment variable, then the machine's parallelism).
     pub threads: ThreadBudget,
+    /// Which closed-loop kernels dense sweeps use; defaults to
+    /// [`KernelPolicy::Structured`].
+    pub kernel: KernelPolicy,
 }
 
 impl SweepSpec {
@@ -92,6 +161,7 @@ impl SweepSpec {
             grid: grid.into(),
             trunc: TruncationSpec::default(),
             threads: ThreadBudget::Auto,
+            kernel: KernelPolicy::default(),
         }
     }
 
@@ -134,18 +204,28 @@ impl SweepSpec {
         self.threads = threads.into();
         self
     }
+
+    /// Sets the closed-loop kernel policy.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> SweepSpec {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// One dense closed-loop solve, kept whole so later callers can both
 /// read the closed-loop HTM and re-solve against new right-hand sides.
-/// Solved through the escalating [`RobustLu`] ladder, so the solve
-/// carries its own verdict: check [`DenseSolve::quality`] before
-/// trusting fine structure near a closed-loop pole.
+/// Solved through the structure-dispatching factor path (closed forms
+/// for rank-one/diagonal loops, banded LU, then the escalating dense
+/// ladder), so the solve carries its own verdict: check
+/// [`DenseSolve::quality`] before trusting fine structure near a
+/// closed-loop pole.
 #[derive(Debug)]
 pub struct DenseSolve {
-    /// Robust factorization of `I + G̃(s)` (of the Tikhonov-perturbed
-    /// matrix when `quality` is [`PointQuality::Perturbed`]).
-    pub lu: RobustLu,
+    /// Factorization of `I + G̃(s)` (of the Tikhonov-perturbed matrix
+    /// when `quality` is [`PointQuality::Perturbed`]) — a structured
+    /// closed form when the loop admits one, otherwise a robust LU.
+    pub lu: ClosedLoopFactor,
     /// The closed-loop HTM `(I + G̃)⁻¹G̃`.
     pub htm: Htm,
     /// Solver evidence: stages tried, residual, condition estimate.
@@ -155,10 +235,68 @@ pub struct DenseSolve {
 }
 
 type PointKey = (u64, u64);
-type DenseKey = (u64, u64, usize);
+type DenseKey = (u64, u64, usize, u8);
 
 fn point_key(s: Complex) -> PointKey {
     (s.re.to_bits(), s.im.to_bits())
+}
+
+/// A bounded map with least-recently-used eviction. Recency is a
+/// monotone tick stamped on every touch; when an insert would exceed
+/// the cap, the oldest ~12% of entries (at least one) are dropped so
+/// the sort cost amortizes across many inserts. Eviction only affects
+/// *which* points are recomputed, never their values — recomputation
+/// is pure and bit-reproducible — so bounded caches preserve the
+/// sweep determinism guarantees.
+#[derive(Debug)]
+struct Lru<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+    cap: usize,
+    evicted: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
+    fn new(cap: usize) -> Lru<K, V> {
+        Lru {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn get(&mut self, k: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(k).map(|entry| {
+            entry.1 = tick;
+            &entry.0
+        })
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.map.len() >= self.cap && !self.map.contains_key(&k) {
+            let drop_n = (self.cap / 8).max(1);
+            let mut stamps: Vec<(u64, K)> = self
+                .map
+                .iter()
+                .map(|(key, (_, tick))| (*tick, key.clone()))
+                .collect();
+            stamps.sort_unstable_by_key(|(tick, _)| *tick);
+            for (_, key) in stamps.into_iter().take(drop_n) {
+                self.map.remove(&key);
+                self.evicted += 1;
+            }
+            htmpll_obs::counter!("core", "sweep.cache_evictions").add(drop_n as u64);
+        }
+        self.tick += 1;
+        self.map.insert(k, (v, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// Memoization shared across sweeps: λ(s) values and dense closed-loop
@@ -171,16 +309,38 @@ fn point_key(s: Complex) -> PointKey {
 /// across pool workers; values are computed outside the lock, so a race
 /// costs at most one duplicate evaluation of the same point (both
 /// producing the same bits).
-#[derive(Debug, Default)]
+///
+/// Memory is bounded: each map holds at most `cap` entries (the
+/// `HTMPLL_CACHE_CAP` environment variable, defaulting to
+/// [`DEFAULT_CACHE_CAP`]) with LRU eviction, counted by the
+/// `sweep.cache_evictions` observability counter and
+/// [`SweepCache::evictions`].
+#[derive(Debug)]
 pub struct SweepCache {
-    lambda: Mutex<HashMap<PointKey, Complex>>,
-    dense: Mutex<HashMap<DenseKey, Result<Arc<DenseSolve>, String>>>,
+    lambda: Mutex<Lru<PointKey, Complex>>,
+    dense: Mutex<Lru<DenseKey, Result<Arc<DenseSolve>, String>>>,
+}
+
+impl Default for SweepCache {
+    fn default() -> SweepCache {
+        SweepCache::new()
+    }
 }
 
 impl SweepCache {
-    /// An empty cache.
+    /// An empty cache capped at `HTMPLL_CACHE_CAP` entries per map
+    /// ([`DEFAULT_CACHE_CAP`] when unset or unparsable).
     pub fn new() -> SweepCache {
-        SweepCache::default()
+        SweepCache::with_capacity(env_cache_cap())
+    }
+
+    /// An empty cache holding at most `cap` entries per map (clamped to
+    /// at least 1).
+    pub fn with_capacity(cap: usize) -> SweepCache {
+        SweepCache {
+            lambda: Mutex::new(Lru::new(cap)),
+            dense: Mutex::new(Lru::new(cap)),
+        }
     }
 
     /// λ(s) through the cache.
@@ -214,14 +374,40 @@ impl SweepCache {
         s: Complex,
         trunc: Truncation,
     ) -> Result<Arc<DenseSolve>, String> {
+        self.dense_robust_with(
+            model,
+            s,
+            trunc,
+            KernelPolicy::default(),
+            &mut SweepWorkspace::new(),
+        )
+    }
+
+    /// [`SweepCache::dense_robust`] with an explicit kernel policy and
+    /// a caller-owned workspace, so hot sweep loops reuse their solve
+    /// buffers across points. Structured and dense kernels memoize
+    /// under distinct keys: a cache warmed by one policy never answers
+    /// for the other.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepCache::dense_robust`].
+    pub fn dense_robust_with(
+        &self,
+        model: &PllModel,
+        s: Complex,
+        trunc: Truncation,
+        kernel: KernelPolicy,
+        ws: &mut SweepWorkspace,
+    ) -> Result<Arc<DenseSolve>, String> {
         let (re, im) = point_key(s);
-        let key = (re, im, trunc.order());
+        let key = (re, im, trunc.order(), kernel.as_byte());
         if let Some(v) = lock(&self.dense).get(&key) {
             htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
             return v.clone();
         }
         htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
-        let entry = compute_dense(model, s, trunc);
+        let entry = compute_dense(model, s, trunc, kernel, ws);
         lock(&self.dense).insert(key, entry.clone());
         entry
     }
@@ -251,6 +437,12 @@ impl SweepCache {
     pub fn dense_entries(&self) -> usize {
         lock(&self.dense).len()
     }
+
+    /// Total entries evicted from this cache (λ and dense combined)
+    /// since construction.
+    pub fn evictions(&self) -> u64 {
+        lock(&self.lambda).evicted + lock(&self.dense).evicted
+    }
 }
 
 /// The uncached dense-point computation behind
@@ -260,15 +452,23 @@ fn compute_dense(
     model: &PllModel,
     s: Complex,
     trunc: Truncation,
+    kernel: KernelPolicy,
+    ws: &mut SweepWorkspace,
 ) -> Result<Arc<DenseSolve>, String> {
     if !(s.re.is_finite() && s.im.is_finite()) {
         htmpll_obs::counter!("core", "robust.failed").inc();
         return Err(format!("non-finite Laplace point {s}"));
     }
     let open = model.open_loop_htm(s, trunc);
-    match open.closed_loop_factored_robust() {
+    let open = match kernel {
+        KernelPolicy::Structured => open,
+        // Materialize the open loop so the solve goes through the
+        // strict dense ladder regardless of available structure.
+        KernelPolicy::Dense => open.densified(),
+    };
+    match open.closed_loop_factored_robust_with(&mut ws.scratch) {
         Ok((lu, htm, report)) => {
-            if !htm.as_matrix().is_finite() {
+            if !htm.is_finite() {
                 htmpll_obs::counter!("core", "robust.failed").inc();
                 return Err(format!("non-finite closed-loop HTM at s = {s}"));
             }
@@ -365,11 +565,13 @@ impl PllModel {
         &self,
         s: Complex,
         trunc: Truncation,
+        kernel: KernelPolicy,
         cache: &SweepCache,
+        ws: &mut SweepWorkspace,
     ) -> PointOutcome<Htm> {
         let mut best: Option<PointOutcome<Htm>> = None;
         for (attempt, &k) in Self::truncation_ladder(trunc.order()).iter().enumerate() {
-            let outcome = match cache.dense_robust(self, s, Truncation::new(k)) {
+            let outcome = match cache.dense_robust_with(self, s, Truncation::new(k), kernel, ws) {
                 Ok(d) => PointOutcome {
                     value: Some(d.htm.clone()),
                     quality: d.quality.clone(),
@@ -413,11 +615,21 @@ impl PllModel {
     ) -> GridOutcome<Htm> {
         let trunc = self.resolve_truncation(spec.trunc);
         let _span = htmpll_obs::span_labeled("core", "sweep.htm_dense", || {
-            format!("n={} dim={}", spec.grid.len(), trunc.dim())
+            format!(
+                "n={} dim={} kernel={}",
+                spec.grid.len(),
+                trunc.dim(),
+                spec.kernel.name()
+            )
         });
-        let points = par_map(spec.threads, spec.grid.points(), |_, &w| {
-            self.dense_point_escalating(Complex::from_im(w), trunc, cache)
-        });
+        let points = par_map_with(
+            spec.threads,
+            spec.grid.points(),
+            SweepWorkspace::new,
+            |ws, _, &w| {
+                self.dense_point_escalating(Complex::from_im(w), trunc, spec.kernel, cache, ws)
+            },
+        );
         GridOutcome { points }
     }
 
@@ -570,11 +782,51 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.as_matrix().max_diff(y.as_matrix()), 0.0);
         }
-        // And the cached result matches the uncached dense reference.
+        // And the cached result matches the uncached dense reference —
+        // to rounding, not bitwise: the structured default closes the
+        // rank-one loop by Sherman–Morrison, not the dense LU.
         let reference = m
             .closed_loop_htm_dense(Complex::from_im(spec.grid.points()[3]), Truncation::new(4))
             .unwrap();
-        assert_eq!(a[3].as_matrix().max_diff(reference.as_matrix()), 0.0);
+        assert!(a[3].as_matrix().max_diff(reference.as_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn kernel_policies_agree_and_cache_separately() {
+        let m = model(0.25);
+        let cache = SweepCache::new();
+        let spec = SweepSpec::log(0.1, 2.0, 8)
+            .unwrap()
+            .with_truncation(Truncation::new(4))
+            .with_threads(2);
+        let fast = m.closed_loop_htm_grid_cached(&spec, &cache).unwrap();
+        assert_eq!(cache.dense_entries(), 8);
+        let strict = m
+            .closed_loop_htm_grid_cached(&spec.clone().with_kernel(KernelPolicy::Dense), &cache)
+            .unwrap();
+        // Distinct keys: the dense pass added its own 8 entries.
+        assert_eq!(cache.dense_entries(), 16);
+        for (x, y) in fast.iter().zip(&strict) {
+            assert!(x.as_matrix().max_diff(y.as_matrix()) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let m = model(0.25);
+        let cache = SweepCache::with_capacity(4);
+        let spec = SweepSpec::log(0.1, 2.0, 12)
+            .unwrap()
+            .with_truncation(Truncation::new(3))
+            .with_threads(1);
+        let a = m.closed_loop_htm_grid_cached(&spec, &cache).unwrap();
+        assert!(cache.dense_entries() <= 4);
+        assert!(cache.evictions() > 0);
+        // Evicted points recompute to the identical bits.
+        let b = m.closed_loop_htm_grid_cached(&spec, &cache).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_matrix().max_diff(y.as_matrix()), 0.0);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 
 use crate::matrix::Htm;
+use crate::repr::HtmRepr;
 use crate::trunc::Truncation;
 use htmpll_lti::Tf;
 use htmpll_num::Complex;
@@ -71,13 +72,11 @@ impl HtmBlock for LtiHtm {
 
     fn htm(&self, s: Complex, trunc: Truncation) -> Htm {
         let w0 = self.omega0;
-        Htm::from_fn(trunc, w0, |n, m| {
-            if n == m {
-                self.tf.eval(s + Complex::from_im(n as f64 * w0))
-            } else {
-                Complex::ZERO
-            }
-        })
+        let d = trunc
+            .harmonics()
+            .map(|n| self.tf.eval(s + Complex::from_im(n as f64 * w0)))
+            .collect();
+        Htm::from_repr(trunc, w0, HtmRepr::Diagonal(d))
     }
 }
 
@@ -142,7 +141,16 @@ impl HtmBlock for MultiplierHtm {
     }
 
     fn htm(&self, _s: Complex, trunc: Truncation) -> Htm {
-        Htm::from_fn(trunc, self.omega0, |n, m| self.coeff(n - m))
+        // Toeplitz in the harmonic offset: matrix entry (i, j) is
+        // `P_{n−m}` with `n−m = i−j`, exactly the banded-Toeplitz repr.
+        Htm::from_repr(
+            trunc,
+            self.omega0,
+            HtmRepr::BandedToeplitz {
+                coeffs: self.coeffs.clone(),
+                row_scale: None,
+            },
+        )
     }
 }
 
@@ -180,8 +188,18 @@ impl HtmBlock for SamplerHtm {
     }
 
     fn htm(&self, _s: Complex, trunc: Truncation) -> Htm {
+        // Rank one: `(ω₀/2π)·𝟙𝟙ᵀ` stored as its factors, O(n).
         let w = Complex::from_re(self.weight());
-        Htm::from_fn(trunc, self.omega0, |_, _| w)
+        let n = trunc.dim();
+        Htm::from_repr(
+            trunc,
+            self.omega0,
+            HtmRepr::RankOnePlus {
+                u: vec![w; n],
+                v: vec![Complex::ONE; n],
+                shift: Complex::ZERO,
+            },
+        )
     }
 }
 
@@ -221,13 +239,11 @@ impl HtmBlock for DelayHtm {
 
     fn htm(&self, s: Complex, trunc: Truncation) -> Htm {
         let w0 = self.omega0;
-        Htm::from_fn(trunc, w0, |n, m| {
-            if n == m {
-                (-(s + Complex::from_im(n as f64 * w0)).scale(self.tau)).exp()
-            } else {
-                Complex::ZERO
-            }
-        })
+        let d = trunc
+            .harmonics()
+            .map(|n| (-(s + Complex::from_im(n as f64 * w0)).scale(self.tau)).exp())
+            .collect();
+        Htm::from_repr(trunc, w0, HtmRepr::Diagonal(d))
     }
 }
 
@@ -327,11 +343,22 @@ impl HtmBlock for VcoHtm {
     }
 
     fn htm(&self, s: Complex, trunc: Truncation) -> Htm {
+        // Banded Toeplitz `v_{n−m}` scaled per row by the integrator
+        // pole `1/(s+jnω₀)` (eq. 25) — the bandwidth is set by the
+        // stored ISF harmonics, not the truncation.
         let w0 = self.omega0;
-        Htm::from_fn(trunc, w0, |n, m| {
-            let pole = s + Complex::from_im(n as f64 * w0);
-            self.isf_coeff(n - m) / pole
-        })
+        let row_scale = trunc
+            .harmonics()
+            .map(|n| (s + Complex::from_im(n as f64 * w0)).recip())
+            .collect();
+        Htm::from_repr(
+            trunc,
+            w0,
+            HtmRepr::BandedToeplitz {
+                coeffs: self.isf.clone(),
+                row_scale: Some(row_scale),
+            },
+        )
     }
 }
 

@@ -1,0 +1,469 @@
+//! Structured closed-loop factorizations.
+//!
+//! [`Htm::closed_loop_factored_robust`](crate::Htm::closed_loop_factored_robust)
+//! dispatches on the open loop's [`HtmRepr`]:
+//!
+//! * **rank one** (`G = u·vᵀ`, the sampling-PFD loop) — Sherman–Morrison
+//!   closed form, O(n): `(I+uvᵀ)⁻¹uvᵀ = u·vᵀ/(1+λ)` with `λ = vᵀu`;
+//! * **diagonal** — per-band reciprocal `g/(1+g)`, O(n);
+//! * **banded Toeplitz** — `I + G̃` assembled directly as a
+//!   [`BandMat`](htmpll_num::BandMat) and factored by the banded rung of
+//!   the robust ladder, O(n·b²) instead of O(n³);
+//! * **dense** — the classic escalating dense ladder, bit-identical to
+//!   the previous release.
+//!
+//! Every structured shortcut is *gated*: a closed form is only accepted
+//! when its condition estimate clears the same `COND_GATE` the dense
+//! ladder uses; otherwise the point densifies and walks the full ladder,
+//! with [`SolveStage::Structured`] prepended to `stages_tried` so the
+//! report shows the escalation. A structured answer is therefore never
+//! *wrong* — at worst it is slow.
+
+use crate::matrix::Htm;
+use crate::repr::HtmRepr;
+use htmpll_num::solve::COND_GATE;
+use htmpll_num::{BandMat, CMat, Complex, LuError, RobustLu, SolveReport, SolveStage};
+
+/// Reusable scratch buffers for closed-loop solves, so sweep loops can
+/// factor thousands of grid points without per-point heap allocation of
+/// the right-hand-side and solution staging vectors.
+#[derive(Debug, Default, Clone)]
+pub struct SolveScratch {
+    /// Right-hand-side staging for per-column banded solves.
+    rhs: Vec<Complex>,
+}
+
+impl SolveScratch {
+    /// A fresh (empty) scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+}
+
+/// How the feedback operator `I + G̃` was factored, for reuse against
+/// further right-hand sides at the same Laplace point.
+#[derive(Debug, Clone)]
+pub enum ClosedLoopFactor {
+    /// Sherman–Morrison closed form for `I + u·vᵀ` with `denom = 1+vᵀu`.
+    RankOne {
+        /// Column factor of the open loop.
+        u: Vec<Complex>,
+        /// Row factor of the open loop.
+        v: Vec<Complex>,
+        /// `1 + λ` — the scalar the update divides by.
+        denom: Complex,
+    },
+    /// Entrywise reciprocals `1/(1+gᵢ)` of a diagonal open loop.
+    Diagonal(Vec<Complex>),
+    /// A factorization from the escalating robust ladder (banded rung
+    /// or dense fallback).
+    Robust(RobustLu),
+}
+
+impl ClosedLoopFactor {
+    /// Short name of the factorization kind, for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ClosedLoopFactor::RankOne { .. } => "rank-one",
+            ClosedLoopFactor::Diagonal(_) => "diagonal",
+            ClosedLoopFactor::Robust(_) => "robust-lu",
+        }
+    }
+
+    /// Dimension of the factored operator.
+    pub fn dim(&self) -> usize {
+        match self {
+            ClosedLoopFactor::RankOne { u, .. } => u.len(),
+            ClosedLoopFactor::Diagonal(inv) => inv.len(),
+            ClosedLoopFactor::Robust(lu) => lu.dim(),
+        }
+    }
+
+    /// Solves `(I + G̃)x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::DimensionMismatch`] when `b.len()` does not match the
+    /// factored dimension; solver errors from the robust ladder.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LuError> {
+        if b.len() != self.dim() {
+            return Err(LuError::DimensionMismatch);
+        }
+        match self {
+            ClosedLoopFactor::RankOne { u, v, denom } => {
+                let vb: Complex = v.iter().zip(b).map(|(x, y)| *x * *y).sum();
+                let k = vb / *denom;
+                Ok(b.iter().zip(u).map(|(bi, ui)| *bi - *ui * k).collect())
+            }
+            ClosedLoopFactor::Diagonal(inv) => {
+                Ok(b.iter().zip(inv).map(|(bi, ri)| *bi * *ri).collect())
+            }
+            ClosedLoopFactor::Robust(lu) => lu.solve(b).map(|r| r.value),
+        }
+    }
+}
+
+type ClosedLoop = (ClosedLoopFactor, Htm, SolveReport);
+
+/// The dispatch behind `Htm::closed_loop_factored_robust`.
+pub(crate) fn closed_loop_robust(
+    g: &Htm,
+    scratch: &mut SolveScratch,
+) -> Result<ClosedLoop, LuError> {
+    let n = g.truncation().dim();
+    let _span = htmpll_obs::span_labeled("htm", "closed_loop_robust", || format!("dim={n}"));
+    if !g.is_finite() {
+        return Err(LuError::NonFinite);
+    }
+    match g.repr() {
+        HtmRepr::RankOnePlus { u, v, shift } if *shift == Complex::ZERO => rank_one_path(g, u, v),
+        HtmRepr::Diagonal(d) => diagonal_path(g, d),
+        HtmRepr::BandedToeplitz { .. } => banded_path(g, scratch),
+        _ => dense_path(g),
+    }
+}
+
+fn max_abs(zs: &[Complex]) -> f64 {
+    zs.iter().map(|z| z.abs()).fold(0.0, f64::max)
+}
+
+/// Sherman–Morrison: `(I+uvᵀ)⁻¹(uvᵀ) = u·vᵀ/(1+λ)`, `λ = vᵀu` (plain
+/// transpose — the HTM feedback algebra has no conjugation).
+fn rank_one_path(g: &Htm, u: &[Complex], v: &[Complex]) -> Result<ClosedLoop, LuError> {
+    let lambda: Complex = v.iter().zip(u).map(|(x, y)| *x * *y).sum();
+    let denom = Complex::ONE + lambda;
+    let nu = max_abs(u);
+    let nv = max_abs(v);
+    // ‖A‖·‖A⁻¹‖ proxy for A = I+uvᵀ: A⁻¹ = I − uvᵀ/denom.
+    let da = denom.abs();
+    let cond_est = if da == 0.0 {
+        f64::INFINITY
+    } else {
+        (1.0 + nu * nv) * (1.0 + nu * nv / da)
+    };
+    if !cond_est.is_finite() || cond_est > COND_GATE {
+        return structured_fallback(g, cond_est);
+    }
+    htmpll_obs::counter!("htm", "closed_loop.rank_one").inc();
+    let scale = Complex::ONE / denom;
+    let cl_u: Vec<Complex> = u.iter().map(|x| *x * scale).collect();
+    // Honest O(1) backward error on the worst column j* = argmax|vⱼ|:
+    // r = b − (I+uvᵀ)x has rᵢ = uᵢ·vⱼ*·(1 − scale·(1+λ)) exactly.
+    let err = (Complex::ONE - scale * denom).abs();
+    let rn = nv * nu * err;
+    let xn = nu * scale.abs() * nv;
+    let bn = nu * nv;
+    let denom_resid = (1.0 + nu * nv) * xn + bn;
+    let residual = if denom_resid == 0.0 {
+        0.0
+    } else {
+        rn / denom_resid
+    };
+    let report = SolveReport {
+        stages_tried: vec![SolveStage::Structured],
+        residual,
+        cond_estimate: cond_est,
+        perturbed: false,
+        refinement_kept: false,
+        pivot_growth: 1.0,
+    };
+    let cl = Htm::from_repr(
+        g.truncation(),
+        g.omega0(),
+        HtmRepr::RankOnePlus {
+            u: cl_u,
+            v: v.to_vec(),
+            shift: Complex::ZERO,
+        },
+    );
+    let factor = ClosedLoopFactor::RankOne {
+        u: u.to_vec(),
+        v: v.to_vec(),
+        denom,
+    };
+    Ok((factor, cl, report))
+}
+
+/// Diagonal open loop: per-band scalar feedback `g/(1+g)`.
+fn diagonal_path(g: &Htm, d: &[Complex]) -> Result<ClosedLoop, LuError> {
+    let denoms: Vec<Complex> = d.iter().map(|x| Complex::ONE + *x).collect();
+    let dmax = denoms.iter().map(|z| z.abs()).fold(0.0, f64::max);
+    let dmin = denoms.iter().map(|z| z.abs()).fold(f64::INFINITY, f64::min);
+    let cond_est = if dmin == 0.0 {
+        f64::INFINITY
+    } else {
+        dmax / dmin
+    };
+    if !cond_est.is_finite() || cond_est > COND_GATE {
+        return structured_fallback(g, cond_est);
+    }
+    htmpll_obs::counter!("htm", "closed_loop.diagonal").inc();
+    let inv: Vec<Complex> = denoms.iter().map(|x| Complex::ONE / *x).collect();
+    let cl_d: Vec<Complex> = d.iter().zip(&inv).map(|(gi, ri)| *gi * *ri).collect();
+    // Per-entry backward error: |gᵢ − (1+gᵢ)·xᵢ|.
+    let gmax = max_abs(d);
+    let xmax = max_abs(&cl_d);
+    let rn = d
+        .iter()
+        .zip(&denoms)
+        .zip(&cl_d)
+        .map(|((gi, di), xi)| (*gi - *di * *xi).abs())
+        .fold(0.0, f64::max);
+    let denom_resid = dmax * xmax + gmax;
+    let residual = if denom_resid == 0.0 {
+        0.0
+    } else {
+        rn / denom_resid
+    };
+    let report = SolveReport {
+        stages_tried: vec![SolveStage::Structured],
+        residual,
+        cond_estimate: cond_est,
+        perturbed: false,
+        refinement_kept: false,
+        pivot_growth: 1.0,
+    };
+    let cl = Htm::from_repr(g.truncation(), g.omega0(), HtmRepr::Diagonal(cl_d));
+    Ok((ClosedLoopFactor::Diagonal(inv), cl, report))
+}
+
+/// Banded Toeplitz open loop: assemble `I + G̃` directly as a banded
+/// matrix (never densified) and run the banded rung of the robust
+/// ladder — O(n·b²) factor, O(n·b) per solve. The rung's own
+/// pivot-growth and condition gates fall back to the dense ladder when
+/// the structure breaks numerically.
+fn banded_path(g: &Htm, scratch: &mut SolveScratch) -> Result<ClosedLoop, LuError> {
+    let n = g.truncation().dim();
+    let repr = g.repr();
+    let b = repr
+        .half_bandwidth()
+        .expect("banded path requires a banded repr")
+        .min(n.saturating_sub(1));
+    htmpll_obs::counter!("htm", "closed_loop.banded").inc();
+    let i_plus_g = BandMat::from_fn(n, b, |i, j| {
+        let e = repr.entry(n, i, j);
+        if i == j {
+            e + Complex::ONE
+        } else {
+            e
+        }
+    });
+    let lu = RobustLu::factor_banded(&i_plus_g)?;
+    // Solve (I+G̃)X = G̃ column by column; each RHS has at most 2b+1
+    // nonzeros, staged through the reusable scratch buffer.
+    let mut cl = CMat::zeros(n, n);
+    let mut worst_residual = 0.0f64;
+    let mut any_refined = false;
+    for j in 0..n {
+        scratch.rhs.clear();
+        scratch.rhs.resize(n, Complex::ZERO);
+        let lo = j.saturating_sub(b);
+        let hi = (j + b).min(n - 1);
+        for i in lo..=hi {
+            scratch.rhs[i] = repr.entry(n, i, j);
+        }
+        let sol = lu.solve(&scratch.rhs)?;
+        worst_residual = worst_residual.max(sol.residual);
+        any_refined |= sol.refined;
+        for (i, xi) in sol.value.iter().enumerate() {
+            cl[(i, j)] = *xi;
+        }
+    }
+    let mut report = lu.report().clone();
+    report.residual = worst_residual;
+    report.refinement_kept = any_refined;
+    let cl = Htm::from_matrix(g.truncation(), g.omega0(), cl);
+    Ok((ClosedLoopFactor::Robust(lu), cl, report))
+}
+
+/// The classic dense escalating ladder — bit-identical to the path all
+/// HTMs took before structured storage existed.
+fn dense_path(g: &Htm) -> Result<ClosedLoop, LuError> {
+    let n = g.truncation().dim();
+    let i_plus_g = &CMat::identity(n) + g.as_matrix();
+    let lu = RobustLu::factor(&i_plus_g)?;
+    let solved = lu.solve_mat(g.as_matrix())?;
+    let mut report = lu.report().clone();
+    report.residual = solved.residual;
+    report.refinement_kept = solved.refined;
+    let cl = Htm::from_matrix(g.truncation(), g.omega0(), solved.value);
+    Ok((ClosedLoopFactor::Robust(lu), cl, report))
+}
+
+/// A structured closed form whose condition gate tripped: densify, walk
+/// the full dense ladder, and record the attempted structured rung at
+/// the front of the stage list.
+fn structured_fallback(g: &Htm, cond_est: f64) -> Result<ClosedLoop, LuError> {
+    htmpll_obs::counter!("htm", "closed_loop.structured_fallback").inc();
+    let (factor, cl, mut report) = dense_path(g)?;
+    report.stages_tried.insert(0, SolveStage::Structured);
+    // Keep the more pessimistic of the two condition views: the
+    // structured estimate that tripped the gate, or the ladder's own.
+    report.cond_estimate = report.cond_estimate.max(cond_est.min(f64::MAX));
+    Ok((factor, cl, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trunc::Truncation;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn rank_one_g(t: Truncation) -> Htm {
+        let n = t.dim();
+        Htm::from_repr(
+            t,
+            2.0,
+            HtmRepr::RankOnePlus {
+                u: (0..n).map(|i| c(0.2 * i as f64 + 0.1, 0.05)).collect(),
+                v: (0..n).map(|i| c(0.6 - 0.1 * i as f64, -0.02)).collect(),
+                shift: Complex::ZERO,
+            },
+        )
+    }
+
+    fn banded_g(t: Truncation) -> Htm {
+        let n = t.dim();
+        Htm::from_repr(
+            t,
+            2.0,
+            HtmRepr::BandedToeplitz {
+                coeffs: vec![c(0.1, -0.05), c(0.4, 0.2), c(0.12, 0.03)],
+                row_scale: Some((0..n).map(|i| c(0.8, 0.1 * i as f64 - 0.3)).collect()),
+            },
+        )
+    }
+
+    /// Ground truth: the same open loop pushed through the dense ladder.
+    fn dense_reference(g: &Htm) -> Htm {
+        let dense = g.densified();
+        let (_, cl, report) = dense.closed_loop_factored_robust().unwrap();
+        assert!(!report.perturbed);
+        cl
+    }
+
+    #[test]
+    fn rank_one_closed_form_matches_dense() {
+        let t = Truncation::new(4);
+        let g = rank_one_g(t);
+        let (factor, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert_eq!(report.stages_tried, vec![SolveStage::Structured]);
+        assert!(report.residual < 1e-12, "residual {}", report.residual);
+        assert_eq!(factor.kind_name(), "rank-one");
+        let reference = dense_reference(&g);
+        assert!(cl.as_matrix().max_diff(reference.as_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_closed_form_matches_dense() {
+        let t = Truncation::new(3);
+        let n = t.dim();
+        let g = Htm::from_repr(
+            t,
+            1.5,
+            HtmRepr::Diagonal((0..n).map(|i| c(0.3 * i as f64, 0.4)).collect()),
+        );
+        let (factor, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert_eq!(report.stages_tried, vec![SolveStage::Structured]);
+        assert!(report.residual < 1e-13);
+        assert_eq!(factor.kind_name(), "diagonal");
+        let reference = dense_reference(&g);
+        assert!(cl.as_matrix().max_diff(reference.as_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn banded_path_matches_dense_and_reports_banded_stage() {
+        let t = Truncation::new(5);
+        let g = banded_g(t);
+        let (factor, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert_eq!(report.stages_tried.first(), Some(&SolveStage::Banded));
+        assert!(report.residual < 1e-11, "residual {}", report.residual);
+        assert_eq!(factor.kind_name(), "robust-lu");
+        let reference = dense_reference(&g);
+        assert!(cl.as_matrix().max_diff(reference.as_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn factor_solves_match_direct_inverse() {
+        let t = Truncation::new(3);
+        let n = t.dim();
+        for g in [rank_one_g(t), banded_g(t)] {
+            let (factor, _, _) = g.closed_loop_factored_robust().unwrap();
+            let i_plus_g = &CMat::identity(n) + g.as_matrix();
+            let b: Vec<Complex> = (0..n).map(|i| c(0.5 - 0.1 * i as f64, 0.2)).collect();
+            let x = factor.solve(&b).unwrap();
+            let back = i_plus_g.mul_vec(&x);
+            for (bb, rb) in b.iter().zip(&back) {
+                assert!((*bb - *rb).abs() < 1e-11, "{} factor", factor.kind_name());
+            }
+        }
+    }
+
+    #[test]
+    fn factor_rejects_wrong_dimension() {
+        let t = Truncation::new(2);
+        let (factor, _, _) = rank_one_g(t).closed_loop_factored_robust().unwrap();
+        assert!(matches!(
+            factor.solve(&[Complex::ONE]),
+            Err(LuError::DimensionMismatch)
+        ));
+    }
+
+    #[test]
+    fn singular_rank_one_falls_back_and_reports_structured_first() {
+        // λ = vᵀu = −1 makes I + uvᵀ exactly singular: the closed form
+        // must refuse and escalate through the dense ladder.
+        let t = Truncation::new(1);
+        let n = t.dim();
+        let u = vec![Complex::ONE; n];
+        let mut v = vec![Complex::ZERO; n];
+        v[0] = Complex::from_re(-1.0);
+        let g = Htm::from_repr(
+            t,
+            1.0,
+            HtmRepr::RankOnePlus {
+                u,
+                v,
+                shift: Complex::ZERO,
+            },
+        );
+        let (_, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert_eq!(report.stages_tried.first(), Some(&SolveStage::Structured));
+        assert!(report.stages_tried.len() > 1, "{:?}", report.stages_tried);
+        assert!(report.perturbed);
+        assert!(cl.as_matrix().is_finite());
+    }
+
+    #[test]
+    fn singular_banded_falls_back_through_ladder() {
+        // G̃ = −I as a (degenerate) banded Toeplitz: the banded rung's
+        // gates must trip and the dense ladder must absorb the point.
+        let t = Truncation::new(2);
+        let g = Htm::from_repr(
+            t,
+            1.0,
+            HtmRepr::BandedToeplitz {
+                coeffs: vec![Complex::from_re(-1.0)],
+                row_scale: None,
+            },
+        );
+        let (_, cl, report) = g.closed_loop_factored_robust().unwrap();
+        assert_eq!(report.stages_tried.first(), Some(&SolveStage::Banded));
+        assert!(report.perturbed, "{:?}", report.stages_tried);
+        assert!(cl.as_matrix().is_finite());
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let t = Truncation::new(4);
+        let g = banded_g(t);
+        let mut scratch = SolveScratch::new();
+        let (_, first, _) = g.closed_loop_factored_robust_with(&mut scratch).unwrap();
+        let (_, second, _) = g.closed_loop_factored_robust_with(&mut scratch).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -7,6 +7,11 @@
 //! of signal content from the input band around `mω₀` to the output band
 //! around `nω₀` (paper eq. 5/9 and Fig. 2).
 //!
+//! Storage is an [`HtmRepr`]: the structured variants (diagonal, banded
+//! Toeplitz, rank one) carry O(n) data and compose without densifying;
+//! a dense `(2K+1)²` matrix is materialized lazily only when a consumer
+//! actually asks for it ([`Htm::as_matrix`]).
+//!
 //! ```
 //! use htmpll_htm::{Htm, Truncation};
 //! use htmpll_num::Complex;
@@ -17,17 +22,22 @@
 //! assert_eq!(id.band(1, 0), Complex::ZERO);
 //! ```
 
+use crate::factor::{ClosedLoopFactor, SolveScratch};
+use crate::repr::HtmRepr;
 use crate::trunc::Truncation;
-use htmpll_num::{CMat, Complex, Lu, LuError, RobustLu, SolveReport};
+use htmpll_num::{CMat, Complex, Lu, LuError, SolveReport};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+use std::sync::OnceLock;
 
 /// A truncated harmonic transfer matrix evaluated at one Laplace point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Htm {
     trunc: Truncation,
     omega0: f64,
-    mat: CMat,
+    repr: HtmRepr,
+    /// Lazily materialized dense view of a structured `repr`.
+    dense: OnceLock<CMat>,
 }
 
 impl Htm {
@@ -38,14 +48,35 @@ impl Htm {
     /// Panics when the matrix dimension does not match the truncation or
     /// `omega0 <= 0`.
     pub fn from_matrix(trunc: Truncation, omega0: f64, mat: CMat) -> Self {
-        assert!(omega0 > 0.0, "fundamental frequency must be positive");
         assert_eq!(
             (mat.rows(), mat.cols()),
             (trunc.dim(), trunc.dim()),
             "matrix does not match truncation dimension {}",
             trunc.dim()
         );
-        Htm { trunc, omega0, mat }
+        Htm::from_repr(trunc, omega0, HtmRepr::Dense(mat))
+    }
+
+    /// Wraps a structured representation directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the representation is inconsistent with the
+    /// truncation dimension or `omega0 <= 0`.
+    pub fn from_repr(trunc: Truncation, omega0: f64, repr: HtmRepr) -> Self {
+        assert!(omega0 > 0.0, "fundamental frequency must be positive");
+        assert!(
+            repr.dim_ok(trunc.dim()),
+            "{} repr does not match truncation dimension {}",
+            repr.kind_name(),
+            trunc.dim()
+        );
+        Htm {
+            trunc,
+            omega0,
+            repr,
+            dense: OnceLock::new(),
+        }
     }
 
     /// Builds an HTM by evaluating `f(n, m)` over harmonic indices.
@@ -95,12 +126,20 @@ impl Htm {
 
     /// The identity HTM (the memoryless unity system).
     pub fn identity(trunc: Truncation, omega0: f64) -> Self {
-        Htm::from_matrix(trunc, omega0, CMat::identity(trunc.dim()))
+        Htm::from_repr(
+            trunc,
+            omega0,
+            HtmRepr::Diagonal(vec![Complex::ONE; trunc.dim()]),
+        )
     }
 
     /// The zero HTM.
     pub fn zero(trunc: Truncation, omega0: f64) -> Self {
-        Htm::from_matrix(trunc, omega0, CMat::zeros(trunc.dim(), trunc.dim()))
+        Htm::from_repr(
+            trunc,
+            omega0,
+            HtmRepr::Diagonal(vec![Complex::ZERO; trunc.dim()]),
+        )
     }
 
     /// The truncation this HTM was evaluated under.
@@ -113,18 +152,52 @@ impl Htm {
         self.omega0
     }
 
-    /// Borrows the underlying matrix.
-    pub fn as_matrix(&self) -> &CMat {
-        &self.mat
+    /// The structured representation backing this HTM.
+    pub fn repr(&self) -> &HtmRepr {
+        &self.repr
     }
 
-    /// Consumes the HTM and returns the underlying matrix.
+    /// Borrows a dense view of the matrix. For structured
+    /// representations the dense matrix is materialized on first call
+    /// and cached (an `htm.repr.densify` counter records the
+    /// escalation); band accessors ([`Htm::band`], [`Htm::apply`], …)
+    /// never trigger this.
+    pub fn as_matrix(&self) -> &CMat {
+        if let HtmRepr::Dense(m) = &self.repr {
+            return m;
+        }
+        self.dense.get_or_init(|| {
+            htmpll_obs::counter!("htm", "repr.densify").inc();
+            self.repr.to_dense(self.trunc.dim())
+        })
+    }
+
+    /// Consumes the HTM and returns the underlying matrix (densifying a
+    /// structured representation if needed).
     pub fn into_matrix(self) -> CMat {
-        self.mat
+        let n = self.trunc.dim();
+        match self.repr {
+            HtmRepr::Dense(m) => m,
+            repr => self.dense.into_inner().unwrap_or_else(|| repr.to_dense(n)),
+        }
+    }
+
+    /// A copy of this HTM with the representation forced dense — the
+    /// escape hatch for callers that explicitly want the unstructured
+    /// kernels (cross-checks, benchmarks).
+    pub fn densified(&self) -> Htm {
+        Htm::from_matrix(self.trunc, self.omega0, self.as_matrix().clone())
+    }
+
+    /// True when every entry is finite (no NaN/∞), checked on the
+    /// structured storage without densifying.
+    pub fn is_finite(&self) -> bool {
+        self.repr.is_finite()
     }
 
     /// Band-transfer element `H_{n,m}`: input band `mω₀` → output band
-    /// `nω₀`.
+    /// `nω₀`. Reads through the structured representation — O(1), no
+    /// densification.
     ///
     /// # Panics
     ///
@@ -138,7 +211,7 @@ impl Htm {
             .trunc
             .index_of(m)
             .expect("input harmonic outside truncation");
-        self.mat[(i, j)]
+        self.repr.entry(self.trunc.dim(), i, j)
     }
 
     /// Panic-free variant of [`band`](Htm::band): `None` when either
@@ -148,33 +221,30 @@ impl Htm {
     pub fn try_band(&self, n: i64, m: i64) -> Option<Complex> {
         let i = self.trunc.index_of(n)?;
         let j = self.trunc.index_of(m)?;
-        Some(self.mat[(i, j)])
+        Some(self.repr.entry(self.trunc.dim(), i, j))
     }
 
     /// Sum of all elements, `𝟙ᵀ H̃ 𝟙` — the scalar that becomes the
     /// effective open-loop gain `λ(s)` when applied to
-    /// `H̃_VCO·H̃_LF` (paper eq. 33).
+    /// `H̃_VCO·H̃_LF` (paper eq. 33). Computed on the structured
+    /// storage (O(n·b) for banded, O(n) for diagonal/rank-one).
     pub fn sum_entries(&self) -> Complex {
-        self.mat.sum_entries()
+        self.repr.sum_entries(self.trunc.dim())
     }
 
     /// Applies the HTM to a vector of band contents (harmonic order
-    /// `−K..K`).
+    /// `−K..K`) — a structured mat-vec, O(n·b) for banded storage.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
     pub fn apply(&self, bands: &[Complex]) -> Vec<Complex> {
-        self.mat.mul_vec(bands)
+        self.repr.mul_vec(self.trunc.dim(), bands)
     }
 
-    /// Scales every element.
+    /// Scales every element, preserving the structured representation.
     pub fn scale(&self, k: Complex) -> Htm {
-        Htm {
-            trunc: self.trunc,
-            omega0: self.omega0,
-            mat: self.mat.scale(k),
-        }
+        Htm::from_repr(self.trunc, self.omega0, self.repr.scale(k))
     }
 
     /// Solves the feedback equation: returns `(I + self)⁻¹ · self`, the
@@ -192,7 +262,8 @@ impl Htm {
     /// [`closed_loop`](Htm::closed_loop), additionally returning the LU
     /// factorization of `I + G` so callers that solve against further
     /// right-hand sides at the same Laplace point (sweep caches, band
-    /// extractions) can reuse it instead of refactoring.
+    /// extractions) can reuse it instead of refactoring. Always runs
+    /// the dense kernels — the strict reference implementation.
     ///
     /// # Errors
     ///
@@ -200,57 +271,55 @@ impl Htm {
     pub fn closed_loop_factored(&self) -> Result<(Lu, Htm), LuError> {
         let n = self.trunc.dim();
         let _span = htmpll_obs::span_labeled("htm", "closed_loop", || format!("dim={n}"));
-        let i_plus_g = &CMat::identity(n) + &self.mat;
+        let i_plus_g = &CMat::identity(n) + self.as_matrix();
         let lu = Lu::factor(&i_plus_g)?;
-        let solved = lu.solve_mat(&self.mat)?;
+        let solved = lu.solve_mat(self.as_matrix())?;
         // ‖(I+G)X − G‖_max: a telemetry-only backward check on the solve,
         // worth the extra matmul only when someone is looking.
         let residual = htmpll_obs::record!("htm", "closed_loop.residual", htmpll_obs::Level::Debug);
         if residual.is_enabled() {
-            let diff = &(&i_plus_g * &solved) - &self.mat;
+            let diff = &(&i_plus_g * &solved) - self.as_matrix();
             residual.record(diff.norm_max());
         }
-        Ok((
-            lu,
-            Htm {
-                trunc: self.trunc,
-                omega0: self.omega0,
-                mat: solved,
-            },
-        ))
+        Ok((lu, Htm::from_matrix(self.trunc, self.omega0, solved)))
     }
 
     /// [`closed_loop_factored`](Htm::closed_loop_factored) on the
-    /// escalating solver: `I + G` is factored through [`RobustLu`]
-    /// (refined partial pivot → complete pivoting → Tikhonov
-    /// perturbation), so an ill-conditioned or even exactly singular
-    /// `I + G` still yields a closed-loop HTM — graded by the returned
-    /// [`SolveReport`] (residual of the solve filled in) instead of
-    /// aborting. Callers decide from `report.perturbed` /
-    /// `report.residual` whether the point is trustworthy.
+    /// structure-aware escalating solver. The open loop's [`HtmRepr`]
+    /// picks the kernel: rank-one Sherman–Morrison or diagonal
+    /// reciprocal closed forms (O(n)), a banded O(n·b²) factorization
+    /// for banded Toeplitz loops, or the classic dense ladder (refined
+    /// partial pivot → complete pivoting → Tikhonov perturbation).
+    /// Structured shortcuts are condition-gated and fall back to the
+    /// dense ladder rather than return an untrustworthy answer; the
+    /// returned [`SolveReport`] grades the point either way. Callers
+    /// decide from `report.perturbed` / `report.residual` whether the
+    /// point is trustworthy.
     ///
     /// # Errors
     ///
     /// [`LuError::NonFinite`] when the open-loop matrix contains NaN/∞
     /// entries — the only failure the ladder cannot absorb.
-    pub fn closed_loop_factored_robust(&self) -> Result<(RobustLu, Htm, SolveReport), LuError> {
-        let n = self.trunc.dim();
-        let _span = htmpll_obs::span_labeled("htm", "closed_loop_robust", || format!("dim={n}"));
-        let i_plus_g = &CMat::identity(n) + &self.mat;
-        let lu = RobustLu::factor(&i_plus_g)?;
-        let solved = lu.solve_mat(&self.mat)?;
-        let mut report = lu.report().clone();
-        report.residual = solved.residual;
-        report.refinement_kept = solved.refined;
-        Ok((
-            lu,
-            Htm {
-                trunc: self.trunc,
-                omega0: self.omega0,
-                mat: solved.value,
-            },
-            report,
-        ))
+    pub fn closed_loop_factored_robust(
+        &self,
+    ) -> Result<(ClosedLoopFactor, Htm, SolveReport), LuError> {
+        let mut scratch = SolveScratch::new();
+        self.closed_loop_factored_robust_with(&mut scratch)
+    }
+
+    /// [`closed_loop_factored_robust`](Htm::closed_loop_factored_robust)
+    /// with caller-owned scratch buffers, so sweep loops can solve
+    /// thousands of grid points without per-point staging allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::NonFinite`] when the open-loop matrix contains NaN/∞
+    /// entries.
+    pub fn closed_loop_factored_robust_with(
+        &self,
+        scratch: &mut SolveScratch,
+    ) -> Result<(ClosedLoopFactor, Htm, SolveReport), LuError> {
+        crate::factor::closed_loop_robust(self, scratch)
     }
 
     /// Eigenvalues of the truncated HTM — the sample points of the
@@ -266,7 +335,7 @@ impl Htm {
     pub fn eigenvalues(&self) -> Result<Vec<Complex>, htmpll_num::EigError> {
         let _span =
             htmpll_obs::span_labeled("htm", "eigenvalues", || format!("dim={}", self.trunc.dim()));
-        htmpll_num::eigenvalues(&self.mat)
+        htmpll_num::eigenvalues(self.as_matrix())
     }
 
     /// Checks shape compatibility for binary operations.
@@ -278,6 +347,18 @@ impl Htm {
             self.omega0,
             other.omega0
         );
+    }
+}
+
+impl PartialEq for Htm {
+    /// Entry-wise equality — two HTMs are equal when they describe the
+    /// same matrix, regardless of which [`HtmRepr`] stores it.
+    fn eq(&self, other: &Self) -> bool {
+        if self.trunc != other.trunc || self.omega0 != other.omega0 {
+            return false;
+        }
+        let n = self.trunc.dim();
+        (0..n).all(|i| (0..n).all(|j| self.repr.entry(n, i, j) == other.repr.entry(n, i, j)))
     }
 }
 
@@ -296,14 +377,15 @@ impl fmt::Display for Htm {
 
 impl Add for &Htm {
     type Output = Htm;
-    /// Parallel connection `y = H₁[u] + H₂[u]` (paper eq. 10).
+    /// Parallel connection `y = H₁[u] + H₂[u]` (paper eq. 10) —
+    /// structure-propagating (see [`HtmRepr::add`]).
     fn add(self, rhs: &Htm) -> Htm {
         self.assert_compatible(rhs);
-        Htm {
-            trunc: self.trunc,
-            omega0: self.omega0,
-            mat: &self.mat + &rhs.mat,
-        }
+        Htm::from_repr(
+            self.trunc,
+            self.omega0,
+            self.repr.add(&rhs.repr, self.trunc.dim()),
+        )
     }
 }
 
@@ -311,11 +393,14 @@ impl Sub for &Htm {
     type Output = Htm;
     fn sub(self, rhs: &Htm) -> Htm {
         self.assert_compatible(rhs);
-        Htm {
-            trunc: self.trunc,
-            omega0: self.omega0,
-            mat: &self.mat - &rhs.mat,
-        }
+        // a − b ≡ a + (−1·b) bitwise in IEEE arithmetic, and the latter
+        // rides the structure-propagating add lattice.
+        Htm::from_repr(
+            self.trunc,
+            self.omega0,
+            self.repr
+                .add(&rhs.repr.scale(-Complex::ONE), self.trunc.dim()),
+        )
     }
 }
 
@@ -323,14 +408,16 @@ impl Mul for &Htm {
     type Output = Htm;
     /// Series connection: `self * rhs` is the system "`rhs` first, then
     /// `self`" — matrix order matches operator order (paper eq. 11:
-    /// `H̃∘ = H̃₂ H̃₁` for `y = H₂[H₁[u]]`).
+    /// `H̃∘ = H̃₂ H̃₁` for `y = H₂[H₁[u]]`). Structure-propagating
+    /// (see [`HtmRepr::mul`]): diagonal·banded stays banded,
+    /// anything·rank-one stays rank one.
     fn mul(self, rhs: &Htm) -> Htm {
         self.assert_compatible(rhs);
-        Htm {
-            trunc: self.trunc,
-            omega0: self.omega0,
-            mat: &self.mat * &rhs.mat,
-        }
+        Htm::from_repr(
+            self.trunc,
+            self.omega0,
+            self.repr.mul(&rhs.repr, self.trunc.dim()),
+        )
     }
 }
 
@@ -376,6 +463,18 @@ mod tests {
         let z = Htm::zero(t, 2.0);
         assert_eq!(&h + &z, h);
         assert_eq!(&h - &h, z);
+    }
+
+    #[test]
+    fn structured_identity_is_diagonal() {
+        // identity/zero carry O(n) storage now, and equality is
+        // representation-independent.
+        let t = Truncation::new(3);
+        let id = Htm::identity(t, 2.0);
+        assert_eq!(id.repr().kind_name(), "diagonal");
+        let dense_id = Htm::from_matrix(t, 2.0, CMat::identity(t.dim()));
+        assert_eq!(id, dense_id);
+        assert_eq!(dense_id, id);
     }
 
     #[test]
@@ -459,6 +558,16 @@ mod tests {
         assert!(!report.perturbed);
         assert!(report.residual < 1e-12);
         assert!(plain.as_matrix().max_diff(robust.as_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn densified_preserves_values() {
+        let t = Truncation::new(2);
+        let id = Htm::identity(t, 2.0);
+        let dense = id.densified();
+        assert_eq!(dense.repr().kind_name(), "dense");
+        assert_eq!(dense, id);
+        assert!(id.is_finite() && dense.is_finite());
     }
 
     #[test]

@@ -26,8 +26,9 @@
 
 use crate::blocks::HtmBlock;
 use crate::matrix::Htm;
+use crate::repr::HtmRepr;
 use crate::trunc::Truncation;
-use htmpll_num::{CMat, Complex};
+use htmpll_num::Complex;
 
 /// Evaluates the series connection of `blocks` (signal flows through
 /// `blocks[0]` first) at Laplace point `s`.
@@ -63,17 +64,27 @@ pub fn parallel(blocks: &[&dyn HtmBlock], s: Complex, trunc: Truncation) -> Htm 
 /// negative feedback, via Sherman–Morrison–Woodbury:
 /// `(I + G)⁻¹G = u·vᵀ/(1 + vᵀu)`.
 ///
-/// Returns the closed-loop matrix and the scalar loop gain `λ = vᵀu`.
+/// Returns the closed loop as a **structured** rank-one
+/// representation — O(n) storage, never materialized dense — and the
+/// scalar loop gain `λ = vᵀu`. Densify with
+/// [`HtmRepr::to_dense`] when an explicit matrix is needed.
 ///
 /// # Panics
 ///
 /// Panics when `u` and `v` differ in length.
-pub fn closed_loop_rank_one(u: &[Complex], v: &[Complex]) -> (CMat, Complex) {
+pub fn closed_loop_rank_one(u: &[Complex], v: &[Complex]) -> (HtmRepr, Complex) {
     assert_eq!(u.len(), v.len(), "rank-one factors must have equal length");
     let lambda: Complex = u.iter().zip(v).map(|(a, b)| *a * *b).sum();
     let denom = Complex::ONE + lambda;
     let scaled: Vec<Complex> = u.iter().map(|&x| x / denom).collect();
-    (CMat::outer(&scaled, v), lambda)
+    (
+        HtmRepr::RankOnePlus {
+            u: scaled,
+            v: v.to_vec(),
+            shift: Complex::ZERO,
+        },
+        lambda,
+    )
 }
 
 /// Applies the Sherman–Morrison inverse `(I + u·vᵀ)⁻¹` to a vector:
@@ -152,6 +163,7 @@ mod tests {
     use crate::blocks::{LtiHtm, MultiplierHtm, SamplerHtm};
     use htmpll_lti::Tf;
     use htmpll_num::lu::inverse;
+    use htmpll_num::CMat;
 
     const W0: f64 = 3.0;
 
@@ -213,10 +225,15 @@ mod tests {
             .map(|i| Complex::new(0.3 - 0.02 * i as f64, 0.01 * i as f64))
             .collect();
         let (cl, lambda) = closed_loop_rank_one(&u, &v);
+        assert_eq!(
+            cl.kind_name(),
+            "rank-one",
+            "closed loop must stay structured"
+        );
         let g = CMat::outer(&u, &v);
         let i_plus_g = &CMat::identity(n) + &g;
         let dense = &inverse(&i_plus_g).unwrap() * &g;
-        assert!(cl.max_diff(&dense) < 1e-12);
+        assert!(cl.to_dense(n).max_diff(&dense) < 1e-12);
         // λ = vᵀu = sum over elementwise product.
         let expect: Complex = u.iter().zip(&v).map(|(a, b)| *a * *b).sum();
         assert!(lambda.approx_eq(expect, 1e-14));
@@ -258,7 +275,7 @@ mod tests {
             .collect();
         let (cl_fast, _) = closed_loop_rank_one(&u, &ones);
         let cl_dense = g.closed_loop().unwrap();
-        assert!(cl_fast.max_diff(cl_dense.as_matrix()) < 1e-12);
+        assert!(cl_fast.to_dense(t.dim()).max_diff(cl_dense.as_matrix()) < 1e-12);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod band_lu;
 pub mod complex;
 pub mod eig;
 pub mod hash;
@@ -55,6 +56,7 @@ pub mod roots;
 pub mod solve;
 pub mod special;
 
+pub use band_lu::{BandLu, BandMat};
 pub use complex::Complex;
 pub use eig::{eigenvalues, EigError};
 pub use lu::{Lu, LuError};

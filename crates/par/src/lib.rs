@@ -10,7 +10,9 @@
 //! * [`par_map`] — map a pure function over a slice using scoped worker
 //!   threads that pull **chunks of work from a shared atomic cursor**
 //!   (self-balancing: a worker that finishes its chunk steals the next
-//!   one, so uneven per-point cost does not serialize the sweep),
+//!   one, so uneven per-point cost does not serialize the sweep), and
+//!   [`par_map_with`] — the same engine with a per-worker scratch
+//!   workspace so hot loops can run allocation-free,
 //! * [`ThreadBudget`] — where the thread count comes from: an explicit
 //!   request, the `HTMPLL_THREADS` environment variable, or the
 //!   machine's available parallelism,
@@ -126,11 +128,41 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(budget, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with a **per-worker workspace**: `init` runs once per
+/// worker thread (once total on the inline path) and the resulting
+/// value is passed `&mut` to every `f` call that worker executes. Sweep
+/// loops use this to reuse factor/right-hand-side scratch buffers
+/// across grid points instead of allocating per point.
+///
+/// The determinism contract is unchanged — the workspace must be
+/// *scratch* (its contents may not influence results), which holds
+/// whenever `f` fully overwrites what it reads. `f` is still called
+/// exactly once per item and results are placed by item index.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope unwinds after all
+/// workers stop).
+pub fn par_map_with<T, R, W, I, F>(budget: ThreadBudget, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let threads = budget.resolve().min(n.max(1));
     htmpll_obs::counter!("par", "tasks").add(n as u64);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut ws = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut ws, i, t))
+            .collect();
     }
 
     let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads={threads}"));
@@ -145,6 +177,7 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 let started = telemetry.then(Instant::now);
+                let mut ws = init();
                 let mut grabbed = 0usize;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -155,7 +188,7 @@ where
                     let out: Vec<R> = items[start..end]
                         .iter()
                         .enumerate()
-                        .map(|(i, t)| f(start + i, t))
+                        .map(|(i, t)| f(&mut ws, start + i, t))
                         .collect();
                     parts
                         .lock()
@@ -245,6 +278,38 @@ mod tests {
         assert_eq!(ThreadBudget::from(Some(5)), ThreadBudget::Fixed(5));
         assert!(ThreadBudget::Auto.resolve() >= 1);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        // A scratch buffer reused across points must not change results
+        // (f fully overwrites what it reads) and each worker gets its
+        // own workspace.
+        let xs: Vec<usize> = (0..321).collect();
+        let run = |threads: usize| {
+            par_map_with(
+                ThreadBudget::Fixed(threads),
+                &xs,
+                Vec::<f64>::new,
+                |scratch, i, &x| {
+                    scratch.clear();
+                    scratch.resize(8, 0.0);
+                    for (k, slot) in scratch.iter_mut().enumerate() {
+                        *slot = (x as f64 + k as f64).sqrt();
+                    }
+                    assert_eq!(i, x);
+                    scratch.iter().sum::<f64>()
+                },
+            )
+        };
+        let one = run(1);
+        for t in [2, 5, 8] {
+            let many = run(t);
+            assert!(one
+                .iter()
+                .zip(&many)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! |---|---|---|
 //! | `lambda-truncation` | exact `coth` λ vs `Σ_{\|m\|≤M}` | eq. 37, Richardson-bounded tail |
 //! | `smw-vs-dense` | rank-one SMW closed loop vs dense LU | same matrix, two solvers |
+//! | `structured-vs-dense` | structured kernel dispatch vs dense ladder | same matrix, two kernel families |
 //! | `h00-vs-dense` | scalar `A/(1+λ)` vs HTM `(0,0)` band | eq. 38 vs truncated reference |
 //! | `lambda-vs-ztf` | `λ(jω)` vs `G(e^{jωT})` | impulse invariance (exact, rel. deg. ≥ 2) |
 //! | `half-sample-residual` | ditto, relative degree 1 | Poisson correction `T·c/2` |
@@ -28,7 +29,10 @@
 use crate::corpus::{corpus, Scenario};
 use crate::report::{CheckResult, ScenarioReport, StackTimings, Verdict, XcheckReport};
 use crate::tolerance::{ladder, EXACT_TIER};
-use htmpll_core::{analyze_with, AnalysisReport, CoreError, LeakageSpurs, PllDesign, PllModel};
+use htmpll_core::{
+    analyze_with, AnalysisReport, CoreError, KernelPolicy, LeakageSpurs, PllDesign, PllModel,
+    SweepCache, SweepWorkspace,
+};
 use htmpll_htm::Truncation;
 use htmpll_num::Complex;
 use htmpll_par::{par_map, ThreadBudget};
@@ -246,6 +250,56 @@ fn check_h00_vs_dense(model: &PllModel, probes: &[f64]) -> Result<CheckResult, X
         "h00-vs-dense",
         "core::A/(1+λ) vs htm::band(0,0)",
         "λ truncation tail t_K through the resolvent",
+        EXACT_TIER,
+        &pts,
+    ))
+}
+
+/// The structured kernel family (rank-one / diagonal / banded dispatch
+/// with the Sherman–Morrison and banded-LU fast paths) against the
+/// forced dense escalating ladder at identical truncation — same
+/// closed-loop matrix, two kernel implementations, reconciled entry by
+/// entry and on the `(0,0)` baseband element. Differences are pure
+/// solver roundoff amplified by the conditioning of `I + G̃`.
+fn check_structured_vs_dense(model: &PllModel, probes: &[f64]) -> Result<CheckResult, XcheckError> {
+    let k = Truncation::new(DENSE_K);
+    let lam = model.lambda();
+    let cache = SweepCache::new();
+    let mut ws = SweepWorkspace::new();
+    let mut solve = |w: f64, kernel: KernelPolicy| {
+        cache
+            .dense_robust_with(model, Complex::from_im(w), k, kernel, &mut ws)
+            .map_err(|reason| XcheckError::Core(CoreError::SweepFailed { reason }))
+    };
+    let mut pts = Vec::with_capacity(2 * probes.len());
+    for &w in probes {
+        let fast = solve(w, KernelPolicy::Structured)?;
+        let strict = solve(w, KernelPolicy::Dense)?;
+        let dense = strict.htm.as_matrix();
+        let scale = dense
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, z| a.max(z.abs()))
+            .max(1e-300);
+        let cond = (Complex::ONE + lam.eval_truncated(Complex::from_im(w), DENSE_K))
+            .abs()
+            .recip();
+        pts.push(Pt {
+            deviation: fast.htm.as_matrix().max_diff(dense) / scale,
+            bound: 1e-12 * (DENSE_K as f64) * (1.0 + cond),
+            values: (scale, fast.htm.as_matrix().max_diff(dense)),
+        });
+        let (f00, d00) = (fast.htm.band(0, 0), strict.htm.band(0, 0));
+        pts.push(Pt {
+            deviation: (f00 - d00).abs() / (1.0 + d00.abs()),
+            bound: 1e-12 * (DENSE_K as f64) * (1.0 + cond),
+            values: (f00.abs(), d00.abs()),
+        });
+    }
+    Ok(grade(
+        "structured-vs-dense",
+        "core::structured kernels vs dense ladder",
+        "solver roundoff × (1 + 1/|1+λ|)",
         EXACT_TIER,
         &pts,
     ))
@@ -509,6 +563,7 @@ fn run_scenario(s: &Scenario) -> Result<(ScenarioReport, StackTimings), XcheckEr
     // HTM reference path.
     let t0 = Instant::now();
     checks.push(check_smw_vs_dense(&model, &probes)?);
+    checks.push(check_structured_vs_dense(&model, &probes)?);
     if !s.isf {
         // The scalar closed form assumes the time-invariant V-column.
         checks.push(check_h00_vs_dense(&model, &probes)?);

@@ -79,7 +79,7 @@ doctorjson=$(mktemp)
     echo "doctor smoke failed: non-zero exit on a healthy design" >&2
     exit 1
 }
-for key in robust. num.robust.factor; do
+for key in robust. num.robust.factor htm.closed_loop.rank_one num.robust.banded_fallback; do
     grep -q "$key" "$doctorjson" || {
         echo "doctor smoke failed: $key missing from doctor metrics JSON" >&2
         exit 1
@@ -100,6 +100,13 @@ cmp -s "$x1" "$x4" || {
 }
 grep -q '"mismatch":0' "$x1" || {
     echo "xcheck leg failed: cross-stack mismatches in the quick corpus" >&2
+    exit 1
+}
+# The corpus reconciles the structured kernels against the forced dense
+# ladder; the bitwise compare above therefore also pins that check's
+# digest across HTMPLL_THREADS=1 and =4. Assert it actually ran.
+grep -q 'structured-vs-dense' "$x1" || {
+    echo "xcheck leg failed: structured-vs-dense reconciliation missing from report" >&2
     exit 1
 }
 digest=$(grep -o '"digest":"[0-9a-f]*"' "$x1" | head -1)

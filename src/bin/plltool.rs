@@ -17,7 +17,7 @@ use htmpll::core::{
     NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel, PointQuality,
     SampleHoldModel, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION,
 };
-use htmpll::htm::{Htm, Truncation};
+use htmpll::htm::{Htm, HtmRepr, Truncation};
 use htmpll::lti::FrequencyGrid;
 use htmpll::num::optim::lin_grid;
 use htmpll::num::Complex;
@@ -463,7 +463,48 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
         },
     });
 
-    // 9: a loop pushed to the sampling limit (ω_UG ≈ ω₀ regime) must
+    // 9: structured-kernel probe — a banded open loop whose I+G~ is a
+    // tridiagonal Toeplitz matrix tuned to be singular to working
+    // precision (smallest eigenvalue a + 2·cos(π/(n+1)) = 0). The
+    // banded rung must refuse it at the conditioning gate and escalate
+    // through the dense ladder to a refined/perturbed value — never
+    // silently return a wrong structured answer.
+    let n = trunc.dim();
+    let a0 = -2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+    let near_singular = Htm::from_repr(
+        trunc,
+        w0,
+        HtmRepr::BandedToeplitz {
+            coeffs: vec![Complex::ONE, Complex::from_re(a0 - 1.0), Complex::ONE],
+            row_scale: None,
+        },
+    );
+    rows.push(match near_singular.closed_loop_factored_robust() {
+        Ok((_, cl, report)) => {
+            let quality = PointQuality::from_report(&report);
+            let escalated = report.stages_tried.len() > 1;
+            DoctorRow {
+                check: "structured near-singular band",
+                verdict: verdict_label(&quality).to_string(),
+                cond: Some(report.cond_estimate),
+                residual: Some(report.residual),
+                ok: escalated
+                    && matches!(quality, PointQuality::Refined | PointQuality::Perturbed)
+                    && cl.as_matrix().is_finite(),
+                note: format!("stages {}", report.stages_tried.len()),
+            }
+        }
+        Err(e) => DoctorRow {
+            check: "structured near-singular band",
+            verdict: "failed".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.to_string(),
+        },
+    });
+
+    // 10: a loop pushed to the sampling limit (ω_UG ≈ ω₀ regime) must
     // still analyze end to end and report its degraded-point counts.
     let fast_row = match PllDesign::reference_design(0.45)
         .map_err(|e| e.to_string())
@@ -686,7 +727,8 @@ const USAGE: &str =
            [--ref-noise PSD] [--vco-noise PSD]
   hop     --ratio R [--until T] [--points N]
   doctor  [--ratio R]   stress-evaluates adversarial points (on-pole s,
-          singular I+G, extreme truncations, NaN injection) and prints
+          singular I+G, extreme truncations, NaN injection, a
+          structure-breaking near-singular banded loop) and prints
           a health table; non-zero exit when a check misbehaves
   xcheck  [--corpus default|quick] [--json PATH] [--bench PATH]
           reconciles the λ(s), z-domain and time-domain stacks over a

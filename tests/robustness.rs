@@ -11,7 +11,9 @@ use htmpll::core::{
 use htmpll::htm::{Htm, Truncation};
 use htmpll::lti::Tf;
 use htmpll::num::rng::Rng;
-use htmpll::num::{solve_robust, CMat, Complex, FullPivLu, LuError, RobustLu, SolveStage};
+use htmpll::num::{
+    solve_robust, BandLu, BandMat, CMat, Complex, FullPivLu, LuError, RobustLu, SolveStage,
+};
 use htmpll::par::ThreadBudget;
 
 fn model(ratio: f64) -> PllModel {
@@ -385,6 +387,85 @@ fn verdicts_and_values_bitwise_identical_across_thread_counts() {
                 _ => panic!("point {i}: value presence differs across thread counts"),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Banded LU vs dense LU: the structured kernel must agree with the
+// dense reference on random banded complex systems across 24 decades
+// of scale, and must never accept a factorization it cannot defend.
+// ---------------------------------------------------------------------
+
+#[test]
+fn banded_lu_matches_dense_lu_across_24_decades() {
+    // log10 scales −12..=+12 inclusive: 24 decades of dynamic range.
+    for seed in 0..120u64 {
+        let mut rng = Rng::seed_from_u64(0xBA2DEDu64 ^ seed);
+        let n = 4 + (rng.next_u64() % 13) as usize; // 4..=16
+        let b = (rng.next_u64() % 4) as usize; // 0..=3
+        let log_scale = -12.0 + (seed % 25) as f64; // −12..=+12
+        let scale = 10f64.powf(log_scale);
+        let a = BandMat::from_fn(n, b, |i, j| {
+            let _ = (i, j);
+            c(rng.gaussian() * scale, rng.gaussian() * scale)
+        });
+        let rhs: Vec<Complex> = (0..n)
+            .map(|_| c(rng.gaussian() * scale, rng.gaussian() * scale))
+            .collect();
+
+        let dense = a.to_dense();
+        let reference = match FullPivLu::factor(&dense) {
+            Ok(lu) => match lu.solve(&rhs) {
+                Ok(x) => x,
+                Err(_) => continue, // singular draw: nothing to compare
+            },
+            Err(_) => continue,
+        };
+        let ref_norm: f64 = reference.iter().map(|z| z.abs()).fold(0.0, f64::max);
+
+        // Pure banded factorization, when it accepts the matrix.
+        if let Ok(blu) = BandLu::factor(&a) {
+            if blu.pivot_growth() < 1e8 {
+                let x = blu.solve(&rhs).unwrap();
+                let diff: f64 = x
+                    .iter()
+                    .zip(&reference)
+                    .map(|(p, q)| (*p - *q).abs())
+                    .fold(0.0, f64::max);
+                assert!(
+                    diff <= 1e-8 * ref_norm.max(f64::MIN_POSITIVE),
+                    "seed {seed} (n={n} b={b} scale=1e{log_scale}): \
+                     banded vs dense diff {diff:.3e} vs norm {ref_norm:.3e}"
+                );
+            }
+        }
+
+        // The gated ladder entry must agree regardless of which rung
+        // accepted, and must report the Banded rung as first evidence.
+        let r = RobustLu::factor_banded(&a).unwrap();
+        assert_eq!(
+            r.report().stages_tried[0],
+            SolveStage::Banded,
+            "seed {seed}"
+        );
+        let x = r.solve(&rhs).unwrap();
+        if !r.report().perturbed {
+            let diff: f64 = x
+                .value
+                .iter()
+                .zip(&reference)
+                .map(|(p, q)| (*p - *q).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                diff <= 1e-6 * ref_norm.max(f64::MIN_POSITIVE),
+                "seed {seed} (n={n} b={b} scale=1e{log_scale}): \
+                 ladder vs dense diff {diff:.3e} vs norm {ref_norm:.3e}"
+            );
+        }
+        assert!(
+            x.value.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "seed {seed}: ladder returned non-finite entries"
+        );
     }
 }
 
