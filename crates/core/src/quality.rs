@@ -49,6 +49,18 @@ impl PointQuality {
         matches!(self, PointQuality::Perturbed | PointQuality::Failed { .. })
     }
 
+    /// Short verdict slug without the failure reason (`exact`,
+    /// `refined`, `perturbed`, `failed`) — for event labels and table
+    /// columns where the full [`fmt::Display`] form is too wide.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointQuality::Exact => "exact",
+            PointQuality::Refined => "refined",
+            PointQuality::Perturbed => "perturbed",
+            PointQuality::Failed { .. } => "failed",
+        }
+    }
+
     /// Grades a solver report: `Perturbed` when the Tikhonov rung ran,
     /// `Refined` when the ladder escalated or a refinement correction
     /// was kept, `Exact` otherwise.
@@ -250,6 +262,10 @@ mod tests {
         assert!(!failed.is_usable());
         assert!(failed.is_degraded());
         assert!(failed.to_string().contains('x'));
+        assert_eq!(failed.name(), "failed");
+        assert_eq!(PointQuality::Exact.name(), "exact");
+        assert_eq!(PointQuality::Refined.name(), "refined");
+        assert_eq!(PointQuality::Perturbed.name(), "perturbed");
     }
 
     #[test]

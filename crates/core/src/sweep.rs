@@ -289,6 +289,9 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
                 self.evicted += 1;
             }
             htmpll_obs::counter!("core", "sweep.cache_evictions").add(drop_n as u64);
+            htmpll_obs::instant("core", || {
+                format!("cache{{evict,n={drop_n},cap={}}}", self.cap)
+            });
         }
         self.tick += 1;
         self.map.insert(k, (v, self.tick));
@@ -348,9 +351,15 @@ impl SweepCache {
         let key = point_key(s);
         if let Some(&v) = lock(&self.lambda).get(&key) {
             htmpll_obs::counter!("core", "sweep.lambda_cache.hit").inc();
+            htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
+                "cache{lambda,hit}".to_string()
+            });
             return v;
         }
         htmpll_obs::counter!("core", "sweep.lambda_cache.miss").inc();
+        htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
+            "cache{lambda,miss}".to_string()
+        });
         let v = lam.eval(s);
         lock(&self.lambda).insert(key, v);
         v
@@ -404,9 +413,15 @@ impl SweepCache {
         let key = (re, im, trunc.order(), kernel.as_byte());
         if let Some(v) = lock(&self.dense).get(&key) {
             htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
+            htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
+                format!("cache{{dense,hit,k={}}}", trunc.order())
+            });
             return v.clone();
         }
         htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
+        htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
+            format!("cache{{dense,miss,k={}}}", trunc.order())
+        });
         let entry = compute_dense(model, s, trunc, kernel, ws);
         lock(&self.dense).insert(key, entry.clone());
         entry
@@ -457,8 +472,16 @@ fn compute_dense(
 ) -> Result<Arc<DenseSolve>, String> {
     if !(s.re.is_finite() && s.im.is_finite()) {
         htmpll_obs::counter!("core", "robust.failed").inc();
+        htmpll_obs::instant("core", || {
+            format!("quality{{verdict=failed,s={s},k={}}}", trunc.order())
+        });
         return Err(format!("non-finite Laplace point {s}"));
     }
+    // Per-point solve latency: the span quantiles (p50/p99) are what
+    // `plltool profile` attributes each phase with. Trace tier: on the
+    // structured kernel a point costs ~3µs, so even one registry span
+    // here would blow the <10% default-tracing overhead budget.
+    let _point = htmpll_obs::span_at("core", "sweep_point", htmpll_obs::Level::Trace);
     let open = model.open_loop_htm(s, trunc);
     let open = match kernel {
         KernelPolicy::Structured => open,
@@ -470,6 +493,9 @@ fn compute_dense(
         Ok((lu, htm, report)) => {
             if !htm.is_finite() {
                 htmpll_obs::counter!("core", "robust.failed").inc();
+                htmpll_obs::instant("core", || {
+                    format!("quality{{verdict=failed,s={s},k={}}}", trunc.order())
+                });
                 return Err(format!("non-finite closed-loop HTM at s = {s}"));
             }
             let quality = PointQuality::from_report(&report);
@@ -478,6 +504,17 @@ fn compute_dense(
                 PointQuality::Refined => htmpll_obs::counter!("core", "robust.refined").inc(),
                 PointQuality::Perturbed => htmpll_obs::counter!("core", "robust.perturbed").inc(),
                 PointQuality::Failed { .. } => htmpll_obs::counter!("core", "robust.failed").inc(),
+            }
+            if quality.is_degraded() {
+                // Verdict transition away from Exact, with the point that
+                // caused it — the timeline shows *where* a sweep degrades.
+                htmpll_obs::instant("core", || {
+                    format!(
+                        "quality{{verdict={},s={s},k={}}}",
+                        quality.name(),
+                        trunc.order()
+                    )
+                });
             }
             if report.escalated() {
                 htmpll_obs::counter!("core", "robust.escalated").inc();
@@ -491,6 +528,9 @@ fn compute_dense(
         }
         Err(e) => {
             htmpll_obs::counter!("core", "robust.failed").inc();
+            htmpll_obs::instant("core", || {
+                format!("quality{{verdict=failed,s={s},k={}}}", trunc.order())
+            });
             Err(format!("closed-loop solve at s = {s}: {e}"))
         }
     }
@@ -583,6 +623,9 @@ impl PllModel {
             if !outcome.quality.is_degraded() {
                 if attempt > 0 {
                     htmpll_obs::counter!("core", "robust.trunc_escalated").inc();
+                    htmpll_obs::instant("core", || {
+                        format!("quality{{trunc-escalated,s={s},k={k}}}")
+                    });
                 }
                 return outcome;
             }

@@ -112,10 +112,26 @@ pub(crate) fn closed_loop_robust(
     scratch: &mut SolveScratch,
 ) -> Result<ClosedLoop, LuError> {
     let n = g.truncation().dim();
-    let _span = htmpll_obs::span_labeled("htm", "closed_loop_robust", || format!("dim={n}"));
+    // Trace tier: this runs once per sweep point, and the structured
+    // closed forms it dispatches to are cheaper than a labeled span.
+    let _span = htmpll_obs::span_labeled_at(
+        "htm",
+        "closed_loop_robust",
+        htmpll_obs::Level::Trace,
+        || format!("dim={n}"),
+    );
     if !g.is_finite() {
         return Err(LuError::NonFinite);
     }
+    let path = match g.repr() {
+        HtmRepr::RankOnePlus { shift, .. } if *shift == Complex::ZERO => "rank-one",
+        HtmRepr::Diagonal(_) => "diagonal",
+        HtmRepr::BandedToeplitz { .. } => "banded",
+        _ => "dense",
+    };
+    htmpll_obs::instant_at("htm", htmpll_obs::Level::Trace, || {
+        format!("dispatch{{path={path},dim={n}}}")
+    });
     match g.repr() {
         HtmRepr::RankOnePlus { u, v, shift } if *shift == Complex::ZERO => rank_one_path(g, u, v),
         HtmRepr::Diagonal(d) => diagonal_path(g, d),
@@ -296,6 +312,12 @@ fn dense_path(g: &Htm) -> Result<ClosedLoop, LuError> {
 /// the front of the stage list.
 fn structured_fallback(g: &Htm, cond_est: f64) -> Result<ClosedLoop, LuError> {
     htmpll_obs::counter!("htm", "closed_loop.structured_fallback").inc();
+    htmpll_obs::instant("htm", || {
+        format!(
+            "dispatch{{path=structured-fallback,dim={},cond={cond_est:.3e}}}",
+            g.truncation().dim()
+        )
+    });
     let (factor, cl, mut report) = dense_path(g)?;
     report.stages_tried.insert(0, SolveStage::Structured);
     // Keep the more pessimistic of the two condition views: the

@@ -396,6 +396,10 @@ impl RobustLu {
             return Err(LuError::NonFinite);
         }
         htmpll_obs::counter!("num", "robust.factor").inc();
+        let _span =
+            htmpll_obs::span_labeled_at("num", "robust_factor", htmpll_obs::Level::Debug, || {
+                format!("n={}", a.rows())
+            });
         let mut stages = vec![SolveStage::RefinedPartial];
 
         // Rung 1: refined partial pivot, gated on growth + condition.
@@ -420,6 +424,9 @@ impl RobustLu {
 
         // Rung 2: complete pivoting.
         htmpll_obs::counter!("num", "robust.escalate_full").inc();
+        htmpll_obs::instant("num", || {
+            format!("ladder{{stage=full-pivot,n={}}}", a.rows())
+        });
         stages.push(SolveStage::FullPivot);
         if let Ok(lu) = FullPivLu::factor(a) {
             let cond = lu.cond_estimate(a);
@@ -444,6 +451,7 @@ impl RobustLu {
         // the zero matrix) so the shift is tiny relative to the data but
         // large relative to roundoff.
         htmpll_obs::counter!("num", "robust.escalate_tikhonov").inc();
+        htmpll_obs::instant("num", || format!("ladder{{stage=tikhonov,n={}}}", a.rows()));
         stages.push(SolveStage::Tikhonov);
         let n = a.rows();
         let scale = if a.norm_max() > 0.0 {
@@ -491,6 +499,12 @@ impl RobustLu {
             return Err(LuError::NonFinite);
         }
         htmpll_obs::counter!("num", "robust.factor_banded").inc();
+        let _span = htmpll_obs::span_labeled_at(
+            "num",
+            "robust_factor_banded",
+            htmpll_obs::Level::Debug,
+            || format!("n={},b={}", a.dim(), a.bandwidth()),
+        );
         if let Ok(lu) = BandLu::factor(a) {
             let growth = lu.pivot_growth();
             let cond = lu.cond_probe(a);
@@ -510,6 +524,9 @@ impl RobustLu {
             }
         }
         htmpll_obs::counter!("num", "robust.banded_fallback").inc();
+        htmpll_obs::instant("num", || {
+            format!("ladder{{stage=banded-fallback,n={}}}", a.dim())
+        });
         let mut robust = RobustLu::factor(&a.to_dense())?;
         robust.report.stages_tried.insert(0, SolveStage::Banded);
         Ok(robust)

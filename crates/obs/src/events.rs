@@ -1,0 +1,360 @@
+//! Per-thread event ring buffers for timeline tracing.
+//!
+//! A trace session ([`trace_start`] … [`trace_stop`]) records a timeline
+//! of [`TraceEvent`]s: span begin/end pairs (emitted automatically by the
+//! RAII [`Span`](crate::Span) guards while a session is active), explicit
+//! trace-only spans ([`trace_span`]), and point-in-time attribution
+//! markers ([`instant`]) at hot decision sites (solver-ladder escalation,
+//! cache hit/miss/eviction, kernel dispatch, worker scheduling).
+//!
+//! ## Buffering
+//!
+//! Each thread appends to its **own** ring buffer: the hot path touches a
+//! thread-cached handle and never contends on a shared lock — the global
+//! session registry is locked only once per thread per session (to
+//! register the buffer) and once at [`trace_stop`] (to drain). When a
+//! ring fills, the **oldest** events are shed and counted in
+//! [`Trace::dropped`]; the exporters tolerate the resulting unmatched
+//! begin/end events.
+//!
+//! ## Cost
+//!
+//! With no session active every entry point is one `Relaxed` atomic load
+//! and a branch — same contract as the metric sites. Name closures are
+//! not invoked while inactive.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events) for a trace session.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point-in-time attribution marker.
+    Instant,
+}
+
+/// One timeline event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic nanoseconds since the session started.
+    pub ts_ns: u64,
+    /// Stable per-thread id (assigned in order of first event).
+    pub tid: u64,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Instrumentation target (crate short name), the Chrome `cat`.
+    pub cat: &'static str,
+    /// Event name, including any `{label}` suffix.
+    pub name: String,
+}
+
+/// A drained trace session, ordered by `(ts_ns, tid)`.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events from all threads, merged and time-ordered.
+    pub events: Vec<TraceEvent>,
+    /// Events shed because a per-thread ring overflowed.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct ThreadBuffer {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    id: u64,
+    start: Instant,
+    capacity: usize,
+    buffers: Mutex<Vec<Arc<Mutex<ThreadBuffer>>>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CURRENT_ID: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn session_slot() -> &'static Mutex<Option<Arc<Session>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Session>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+struct LocalBuf {
+    session_id: u64,
+    tid: u64,
+    start: Instant,
+    capacity: usize,
+    buf: Arc<Mutex<ThreadBuffer>>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+    static TID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// True while a trace session is recording. One relaxed atomic load.
+#[inline]
+pub fn trace_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Starts a trace session with the given per-thread ring capacity.
+/// Replaces (and discards) any session already active.
+pub fn trace_start(capacity: usize) {
+    let mut slot = session_slot().lock().unwrap_or_else(|e| e.into_inner());
+    let id = CURRENT_ID.fetch_add(1, Ordering::Relaxed) + 1;
+    *slot = Some(Arc::new(Session {
+        id,
+        start: Instant::now(),
+        capacity: capacity.max(16),
+        buffers: Mutex::new(Vec::new()),
+    }));
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Stops the active session and returns its merged, time-ordered events.
+/// Returns an empty [`Trace`] when no session was active.
+pub fn trace_stop() -> Trace {
+    ACTIVE.store(false, Ordering::SeqCst);
+    let sess = session_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some(sess) = sess else {
+        return Trace::default();
+    };
+    let buffers = sess.buffers.lock().unwrap_or_else(|e| e.into_inner());
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for b in buffers.iter() {
+        let mut tb = b.lock().unwrap_or_else(|e| e.into_inner());
+        dropped += tb.dropped;
+        events.extend(tb.events.drain(..));
+    }
+    events.sort_by_key(|a| (a.ts_ns, a.tid));
+    Trace { events, dropped }
+}
+
+/// Records one event into this thread's ring. `name` runs only when a
+/// session is active.
+pub(crate) fn record_event<F: FnOnce() -> String>(phase: TracePhase, cat: &'static str, name: F) {
+    if !trace_active() {
+        return;
+    }
+    record_event_named(phase, cat, name());
+}
+
+/// Like [`record_event`] but with the name already built (span drops
+/// reuse the name captured at open).
+pub(crate) fn record_event_named(phase: TracePhase, cat: &'static str, name: String) {
+    if !trace_active() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let cur = CURRENT_ID.load(Ordering::Relaxed);
+        let stale = match l.as_ref() {
+            Some(lb) => lb.session_id != cur,
+            None => true,
+        };
+        if stale {
+            let sess = session_slot()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            let Some(sess) = sess else { return };
+            if sess.id != cur {
+                return; // raced a concurrent stop/start; skip this event
+            }
+            let buf = Arc::new(Mutex::new(ThreadBuffer::default()));
+            sess.buffers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&buf));
+            *l = Some(LocalBuf {
+                session_id: sess.id,
+                tid: thread_tid(),
+                start: sess.start,
+                capacity: sess.capacity,
+                buf,
+            });
+        }
+        if let Some(lb) = l.as_ref() {
+            let ts_ns = lb.start.elapsed().as_nanos() as u64;
+            let mut tb = lb.buf.lock().unwrap_or_else(|e| e.into_inner());
+            if tb.events.len() >= lb.capacity {
+                tb.events.pop_front();
+                tb.dropped += 1;
+            }
+            tb.events.push_back(TraceEvent {
+                ts_ns,
+                tid: lb.tid,
+                phase,
+                cat,
+                name,
+            });
+        }
+    });
+}
+
+/// Emits a point-in-time attribution marker. The name closure runs only
+/// while a session is active.
+///
+/// Use this for **rare** events (ladder escalations, cache evictions,
+/// degraded verdicts): it fires whenever a session is recording,
+/// regardless of the obs filter. High-frequency per-point markers must go
+/// through [`instant_at`] with [`Level::Trace`](crate::Level::Trace) so
+/// default (`debug`) tracing stays within the overhead budget.
+#[inline]
+pub fn instant<F: FnOnce() -> String>(cat: &'static str, name: F) {
+    record_event(TracePhase::Instant, cat, name);
+}
+
+/// [`instant`] gated on the obs filter: records only while a session is
+/// active **and** `cat` is enabled at `level`. Hot per-point attribution
+/// markers (cache hit/miss, kernel dispatch) use
+/// [`Level::Trace`](crate::Level::Trace) here, making them a deeper
+/// opt-in (`HTMPLL_OBS=trace`) than span timelines.
+#[inline]
+pub fn instant_at<F: FnOnce() -> String>(cat: &'static str, level: crate::Level, name: F) {
+    if !trace_active() || !crate::enabled(cat, level) {
+        return;
+    }
+    record_event_named(TracePhase::Instant, cat, name());
+}
+
+/// RAII guard for a trace-only span: begin/end events on the timeline,
+/// nothing in the metric registry. Used for high-cardinality timeline
+/// detail (per-worker, per-chunk) that would pollute registry keys.
+#[derive(Debug)]
+#[must_use = "a trace span marks the time until it is dropped; bind it to a variable"]
+pub struct TraceSpan {
+    live: Option<(&'static str, String)>,
+}
+
+/// Opens a trace-only span; inert (closure not invoked) when no session
+/// is active.
+pub fn trace_span<F: FnOnce() -> String>(cat: &'static str, name: F) -> TraceSpan {
+    if !trace_active() {
+        return TraceSpan { live: None };
+    }
+    let n = name();
+    record_event_named(TracePhase::Begin, cat, n.clone());
+    TraceSpan {
+        live: Some((cat, n)),
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((cat, n)) = self.live.take() {
+            record_event_named(TracePhase::End, cat, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::test_lock;
+
+    #[test]
+    fn inactive_session_is_inert() {
+        let _g = test_lock();
+        let _ = trace_stop(); // ensure no session
+        let mut ran = false;
+        instant("evtest", || {
+            ran = true;
+            "x".into()
+        });
+        assert!(!ran, "name closure must not run without a session");
+        let t = trace_stop();
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn events_are_recorded_and_ordered() {
+        let _g = test_lock();
+        trace_start(64);
+        {
+            let _s = trace_span("evtest", || "outer".into());
+            instant("evtest", || "marker".into());
+        }
+        let t = trace_stop();
+        let names: Vec<(&str, TracePhase)> = t
+            .events
+            .iter()
+            .map(|e| (e.name.as_str(), e.phase))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", TracePhase::Begin),
+                ("marker", TracePhase::Instant),
+                ("outer", TracePhase::End),
+            ]
+        );
+        assert!(t.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn ring_sheds_oldest_on_overflow() {
+        let _g = test_lock();
+        trace_start(16);
+        for i in 0..40 {
+            instant("evtest", || format!("e{i}"));
+        }
+        let t = trace_stop();
+        assert_eq!(t.events.len(), 16);
+        assert_eq!(t.dropped, 24);
+        // The newest events survive.
+        assert_eq!(t.events.last().map(|e| e.name.as_str()), Some("e39"));
+    }
+
+    #[test]
+    fn multi_thread_events_merge_by_timestamp() {
+        let _g = test_lock();
+        trace_start(1024);
+        let hs: Vec<_> = (0..2)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        instant("evtest", || format!("w{w}_{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            let _ = h.join();
+        }
+        let t = trace_stop();
+        assert_eq!(t.events.len(), 20);
+        assert!(t.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // Two distinct thread ids present.
+        let tids: std::collections::BTreeSet<u64> = t.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2);
+    }
+}

@@ -10,10 +10,12 @@
 //!     "sim.engine.steps":  {"kind": "counter", "value": 12800},
 //!     "core.lambda.suggest_k": {"kind": "histogram", "count": 3,
 //!        "sum": 42.0, "min": 6.0, "max": 24.0, "mean": 14.0,
+//!        "p50": 12.0, "p95": 24.0, "p99": 24.0,
 //!        "buckets": [{"le": 8.0, "count": 2}, {"le": 32.0, "count": 1}]},
 //!     "htm.closed_loop{dim=21}": {"kind": "span", "count": 5,
 //!        "total_ns": 83210.0, "min_ns": 9000.0, "max_ns": 31000.0,
-//!        "mean_ns": 16642.0}
+//!        "mean_ns": 16642.0, "p50_ns": 14000.0, "p95_ns": 31000.0,
+//!        "p99_ns": 31000.0}
 //!   }
 //! }
 //! ```
@@ -23,7 +25,7 @@ use crate::registry::{snapshot, MetricKind, MetricSnapshot};
 use std::fmt::Write as _;
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -43,7 +45,7 @@ fn escape_json(s: &str, out: &mut String) {
 
 /// Formats an f64 as a JSON number (never NaN/Infinity, which are not
 /// valid JSON — they become null).
-fn json_num(v: f64, out: &mut String) {
+pub(crate) fn json_num(v: f64, out: &mut String) {
     if v.is_finite() {
         // `{:?}` gives a shortest round-trip representation that always
         // contains a '.' or 'e', i.e. a valid JSON number.
@@ -80,6 +82,20 @@ fn metric_json(m: &MetricSnapshot, out: &mut String) {
             if let Some(avg) = m.mean() {
                 out.push_str(&format!(", \"{mean}\": "));
                 json_num(avg, out);
+            }
+            let suffix = if m.kind == MetricKind::Span {
+                "_ns"
+            } else {
+                ""
+            };
+            if let (Some(p50), Some(p95), Some(p99)) = (m.p50, m.p95, m.p99) {
+                for (tag, v) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+                    out.push_str(&format!(", \"{tag}{suffix}\": "));
+                    json_num(v, out);
+                }
+                if !m.quantiles_exact {
+                    out.push_str(", \"quantiles_exact\": false");
+                }
             }
             if m.kind == MetricKind::Histogram && !m.buckets.is_empty() {
                 out.push_str(", \"buckets\": [");
@@ -158,33 +174,41 @@ pub fn export_table() -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<key_w$}  {:<9}  {:>10}  {:>12}  {:>12}  {:>12}",
-        "metric", "kind", "count", "mean", "min", "max"
+        "{:<key_w$}  {:<9}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "metric", "kind", "count", "mean", "p50", "p95", "p99", "max"
     );
-    let _ = writeln!(out, "{}", "-".repeat(key_w + 9 + 10 + 12 * 3 + 12));
+    let _ = writeln!(out, "{}", "-".repeat(key_w + 9 + 10 + 12 * 5 + 2 * 7));
     for m in &metrics {
-        let (mean, min, max) = match m.kind {
-            MetricKind::Counter => ("-".to_string(), "-".to_string(), "-".to_string()),
-            MetricKind::Span => (
-                m.mean().map(human_duration).unwrap_or_else(|| "-".into()),
-                m.min.map(human_duration).unwrap_or_else(|| "-".into()),
-                m.max.map(human_duration).unwrap_or_else(|| "-".into()),
-            ),
-            MetricKind::Histogram => (
-                m.mean().map(human_value).unwrap_or_else(|| "-".into()),
-                m.min.map(human_value).unwrap_or_else(|| "-".into()),
-                m.max.map(human_value).unwrap_or_else(|| "-".into()),
-            ),
+        let fmt: fn(f64) -> String = match m.kind {
+            MetricKind::Span => human_duration,
+            _ => human_value,
+        };
+        let col = |v: Option<f64>| -> String {
+            match (m.kind, v) {
+                (MetricKind::Counter, _) | (_, None) => "-".to_string(),
+                (_, Some(v)) => fmt(v),
+            }
+        };
+        // Bucket-bound (inexact) quantiles are marked with a '≤'.
+        let qcol = |v: Option<f64>| -> String {
+            let s = col(v);
+            if s != "-" && !m.quantiles_exact {
+                format!("≤{s}")
+            } else {
+                s
+            }
         };
         let _ = writeln!(
             out,
-            "{:<key_w$}  {:<9}  {:>10}  {:>12}  {:>12}  {:>12}",
+            "{:<key_w$}  {:<9}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
             m.key,
             m.kind.as_str(),
             m.count,
-            mean,
-            min,
-            max
+            col(m.mean()),
+            qcol(m.p50),
+            qcol(m.p95),
+            qcol(m.p99),
+            col(m.max),
         );
     }
     out
@@ -266,6 +290,41 @@ mod tests {
         override_filter("a=debug,b=info");
         let d = describe_targets(&["a", "b", "c"]);
         assert_eq!(d, "a=debug,b=info,c=off");
+        override_filter("off");
+    }
+
+    #[test]
+    fn quantiles_reach_json_and_table() {
+        let _g = test_lock();
+        override_filter("exptest=debug");
+        crate::registry::reset();
+        let h = crate::record!("exptest", "qdist");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let json = export_json();
+        assert!(
+            json.contains("\"exptest.qdist\": {\"kind\": \"histogram\", \"count\": 100"),
+            "{json}"
+        );
+        assert!(json.contains("\"p50\": 50.0"), "{json}");
+        assert!(json.contains("\"p95\": 95.0"), "{json}");
+        assert!(json.contains("\"p99\": 99.0"), "{json}");
+        // Exact quantiles carry no degradation marker.
+        assert!(!json.contains("\"quantiles_exact\""), "{json}");
+
+        let table = export_table();
+        let row = table
+            .lines()
+            .find(|l| l.starts_with("exptest.qdist"))
+            .unwrap();
+        assert!(row.contains("50"), "{row}");
+        assert!(row.contains("95"), "{row}");
+        assert!(row.contains("99"), "{row}");
+        let header = table.lines().next().unwrap();
+        for colname in ["p50", "p95", "p99"] {
+            assert!(header.contains(colname), "{header}");
+        }
         override_filter("off");
     }
 

@@ -21,6 +21,11 @@ pub enum Level {
     Info = 1,
     /// Detailed telemetry that may add measurable work when enabled.
     Debug = 2,
+    /// Per-event timeline detail: high-frequency instants (cache
+    /// hit/miss, kernel dispatch) that fire for every grid point while a
+    /// trace session is active. The deepest opt-in — measurably slows
+    /// hot sweeps, so it is not implied by `debug`.
+    Trace = 3,
 }
 
 impl Level {
@@ -28,7 +33,8 @@ impl Level {
         match s.trim().to_ascii_lowercase().as_str() {
             "off" | "none" | "0" | "false" => Some(Level::Off),
             "info" | "on" => Some(Level::Info),
-            "debug" | "trace" | "all" | "1" | "true" => Some(Level::Debug),
+            "debug" | "1" | "true" => Some(Level::Debug),
+            "trace" | "all" => Some(Level::Trace),
             _ => None,
         }
     }
@@ -38,6 +44,7 @@ impl Level {
             Level::Off => "off",
             Level::Info => "info",
             Level::Debug => "debug",
+            Level::Trace => "trace",
         }
     }
 }
@@ -209,7 +216,10 @@ mod tests {
         assert_eq!(Level::parse(" INFO "), Some(Level::Info));
         assert_eq!(Level::parse("off"), Some(Level::Off));
         assert_eq!(Level::parse("1"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("ALL"), Some(Level::Trace));
         assert_eq!(Level::parse("htm"), None);
+        assert!(Level::Trace > Level::Debug);
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //! * an **env filter** (`HTMPLL_OBS=htm=debug,sim=info`) so that disabled
 //!   instrumentation costs one relaxed atomic load and a branch,
 //! * **JSON** and human-table **exporters** ([`export_json`],
-//!   [`export_table`]) over a global registry snapshot.
+//!   [`export_table`]) over a global registry snapshot, including exact
+//!   streaming **p50/p95/p99** on every histogram and span,
+//! * **timeline tracing** ([`trace_start`]/[`trace_stop`]): per-thread
+//!   event ring buffers capturing span begin/end and [`instant`]
+//!   attribution markers, exported as Chrome Trace Format JSON
+//!   ([`chrome_trace_json`], loadable in `chrome://tracing`/Perfetto) or
+//!   folded-stack flamegraph text ([`flamegraph_folded`]).
 //!
 //! ## Enabling
 //!
@@ -23,7 +29,8 @@
 //! environment variable or programmatically with [`override_filter`]:
 //!
 //! ```text
-//! HTMPLL_OBS=debug              # everything, maximum detail
+//! HTMPLL_OBS=trace              # everything incl. per-point spans/markers
+//! HTMPLL_OBS=debug              # counters, per-sweep spans, quantiles
 //! HTMPLL_OBS=info               # everything, cheap sites only
 //! HTMPLL_OBS=htm=debug,sim=info # per-target levels; unlisted targets off
 //! HTMPLL_OBS=sim                # bare target ⇒ debug for that target
@@ -59,17 +66,27 @@
 
 #![warn(missing_docs)]
 
+mod events;
 mod export;
 mod filter;
+mod quantile;
 mod registry;
 mod site;
 mod span;
+mod trace_export;
 
+pub use events::{
+    instant, instant_at, trace_active, trace_span, trace_start, trace_stop, Trace, TraceEvent,
+    TracePhase, TraceSpan, DEFAULT_TRACE_CAPACITY,
+};
 pub use export::{describe_targets, export_json, export_table};
 pub use filter::{enabled, init_from_env, override_filter, Level};
 pub use registry::{clear, reset, snapshot, MetricKind, MetricSnapshot};
 pub use site::{SiteCounter, SiteHistogram};
 pub use span::{span, span_at, span_labeled, span_labeled_at, Span};
+pub use trace_export::{
+    chrome_trace_json, flamegraph_folded, parse_json, validate_json, JsonValue,
+};
 
 /// Declares a per-call-site counter and returns a `&'static SiteCounter`.
 ///

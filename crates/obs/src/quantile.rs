@@ -1,0 +1,147 @@
+//! Exact streaming quantiles for histogram and span cells.
+//!
+//! Every [`SiteHistogram`](crate::SiteHistogram) (and span) cell keeps the
+//! raw observed values up to a fixed cap ([`SAMPLE_CAP`]) alongside its
+//! log₂ buckets. While the cap is not exceeded the reported
+//! p50/p95/p99 are **exact** order statistics of everything observed;
+//! past the cap the sketch stops retaining values and the quantiles
+//! degrade to **upper bounds** derived from the log₂ buckets (which always
+//! hold every observation). The `quantiles_exact` flag on
+//! [`MetricSnapshot`](crate::MetricSnapshot) says which regime a metric
+//! is in.
+//!
+//! The cap bounds memory at `SAMPLE_CAP × 8` bytes per cell (32 KiB) and
+//! keeps the record path allocation-free in steady state (one `Vec` push
+//! into pre-grown storage under the cell mutex the caller already holds).
+
+use crate::registry::bucket_upper;
+
+/// Maximum raw samples retained per cell before quantiles degrade to
+/// bucket-derived upper bounds.
+pub(crate) const SAMPLE_CAP: usize = 4096;
+
+/// Raw-sample reservoir backing exact quantiles.
+#[derive(Debug)]
+pub(crate) struct QuantileSketch {
+    values: Vec<f64>,
+    overflow: u64,
+}
+
+impl QuantileSketch {
+    pub(crate) fn new() -> QuantileSketch {
+        QuantileSketch {
+            values: Vec::new(),
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation; past [`SAMPLE_CAP`] only counts it.
+    pub(crate) fn record(&mut self, v: f64) {
+        if self.values.len() < SAMPLE_CAP {
+            self.values.push(v);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Forgets all samples (used by `reset`). Retains allocated capacity
+    /// so a hot cell does not re-grow after every reset.
+    pub(crate) fn clear(&mut self) {
+        self.values.clear();
+        self.overflow = 0;
+    }
+
+    /// True while every observation is retained verbatim.
+    pub(crate) fn is_exact(&self) -> bool {
+        self.overflow == 0
+    }
+
+    /// Sorted copy of the retained samples (total order; NaNs sort last).
+    pub(crate) fn sorted(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+}
+
+/// Exact quantile `q ∈ (0, 1]` of an ascending slice: the value at rank
+/// `⌈q·n⌉` (1-based), i.e. the smallest sample ≥ the requested fraction
+/// of the distribution. Callers guarantee `sorted` is non-empty.
+pub(crate) fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Quantile upper bound from log₂ bucket counts when raw samples were
+/// shed: the upper edge of the bucket containing rank `⌈q·total⌉`,
+/// clamped to the observed maximum. Conservative but thread-count-stable
+/// (bucket counts are deterministic even when sample retention is not).
+pub(crate) fn bucket_quantile(buckets: &[u64], total: u64, q: f64, observed_max: f64) -> f64 {
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total.max(1));
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_upper(i).min(observed_max);
+        }
+    }
+    observed_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles_on_small_sets() {
+        let one = [7.0];
+        assert_eq!(exact_quantile(&one, 0.5), 7.0);
+        assert_eq!(exact_quantile(&one, 0.99), 7.0);
+
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(exact_quantile(&xs, 0.50), 50.0);
+        assert_eq!(exact_quantile(&xs, 0.95), 95.0);
+        assert_eq!(exact_quantile(&xs, 0.99), 99.0);
+        assert_eq!(exact_quantile(&xs, 1.0), 100.0);
+    }
+
+    #[test]
+    fn exact_quantiles_are_order_independent() {
+        let mut sk = QuantileSketch::new();
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            sk.record(v);
+        }
+        let sorted = sk.sorted();
+        assert_eq!(exact_quantile(&sorted, 0.5), 5.0);
+        assert_eq!(exact_quantile(&sorted, 0.99), 9.0);
+        assert!(sk.is_exact());
+    }
+
+    #[test]
+    fn sketch_overflows_gracefully() {
+        let mut sk = QuantileSketch::new();
+        for i in 0..(SAMPLE_CAP + 10) {
+            sk.record(i as f64);
+        }
+        assert!(!sk.is_exact());
+        assert_eq!(sk.sorted().len(), SAMPLE_CAP);
+        sk.clear();
+        assert!(sk.is_exact());
+        assert!(sk.sorted().is_empty());
+    }
+
+    #[test]
+    fn bucket_quantile_bounds_the_true_value() {
+        // 10 values of 1.0 (bucket 64) and 10 of 100.0 (bucket ~70).
+        let mut buckets = vec![0u64; crate::registry::BUCKETS];
+        buckets[crate::registry::bucket_index(1.0)] = 10;
+        buckets[crate::registry::bucket_index(100.0)] = 10;
+        let p50 = bucket_quantile(&buckets, 20, 0.50, 100.0);
+        let p99 = bucket_quantile(&buckets, 20, 0.99, 100.0);
+        assert!((1.0..=2.0).contains(&p50), "p50 bound {p50}");
+        assert!((100.0 - 1e-12..=128.0).contains(&p99), "p99 bound {p99}");
+        // Clamped to the observed max.
+        assert_eq!(p99, 100.0);
+    }
+}

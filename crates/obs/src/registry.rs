@@ -5,6 +5,7 @@
 //! through atomics (counters) or a short per-metric mutex (histograms and
 //! spans) without re-taking the registry lock.
 
+use crate::quantile::{bucket_quantile, exact_quantile, QuantileSketch};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -42,6 +43,7 @@ pub(crate) struct HistState {
     pub min: f64,
     pub max: f64,
     pub buckets: Box<[u64; BUCKETS]>,
+    pub samples: QuantileSketch,
 }
 
 impl HistState {
@@ -51,6 +53,7 @@ impl HistState {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             buckets: Box::new([0; BUCKETS]),
+            samples: QuantileSketch::new(),
         }
     }
 
@@ -59,6 +62,7 @@ impl HistState {
         self.min = f64::INFINITY;
         self.max = f64::NEG_INFINITY;
         self.buckets.fill(0);
+        self.samples.clear();
     }
 }
 
@@ -100,6 +104,7 @@ impl Cell {
         st.min = st.min.min(v);
         st.max = st.max.max(v);
         st.buckets[bucket_index(v)] += 1;
+        st.samples.record(v);
     }
 }
 
@@ -144,6 +149,16 @@ pub struct MetricSnapshot {
     pub max: Option<f64>,
     /// Non-empty log₂ buckets as `(upper_bound, count)` pairs.
     pub buckets: Vec<(f64, u64)>,
+    /// Median observation; `None` for empty or counter metrics.
+    pub p50: Option<f64>,
+    /// 95th-percentile observation.
+    pub p95: Option<f64>,
+    /// 99th-percentile observation.
+    pub p99: Option<f64>,
+    /// True while p50/p95/p99 are exact order statistics; false once the
+    /// per-cell sample reservoir (4096 raw values) overflowed and they
+    /// degraded to log₂-bucket upper bounds.
+    pub quantiles_exact: bool,
 }
 
 impl MetricSnapshot {
@@ -165,6 +180,21 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
             let count = cell.count.load(Ordering::Relaxed);
             let st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
             let observed = st.min.is_finite();
+            let observations = st.buckets.iter().sum::<u64>();
+            let (p50, p95, p99, quantiles_exact) = if observations == 0 {
+                (None, None, None, true)
+            } else if st.samples.is_exact() {
+                let sorted = st.samples.sorted();
+                (
+                    Some(exact_quantile(&sorted, 0.50)),
+                    Some(exact_quantile(&sorted, 0.95)),
+                    Some(exact_quantile(&sorted, 0.99)),
+                    true,
+                )
+            } else {
+                let q = |p| Some(bucket_quantile(&st.buckets[..], observations, p, st.max));
+                (q(0.50), q(0.95), q(0.99), false)
+            };
             MetricSnapshot {
                 key: key.clone(),
                 kind: cell.kind,
@@ -179,14 +209,22 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                     .filter(|(_, &c)| c > 0)
                     .map(|(i, &c)| (bucket_upper(i), c))
                     .collect(),
+                p50,
+                p95,
+                p99,
+                quantiles_exact,
             }
         })
         .collect()
 }
 
 /// Zeroes every metric's value while keeping registrations (cached
-/// `&'static Cell` handles in call sites stay valid).
+/// `&'static Cell` handles in call sites stay valid). Also versions the
+/// per-thread span stacks: spans still open when `reset` runs belong to
+/// the drained epoch, so they neither record on drop nor contribute
+/// parent segments to spans opened afterwards.
 pub fn reset() {
+    crate::span::bump_epoch();
     let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     for cell in reg.values() {
         cell.count.store(0, Ordering::Relaxed);
@@ -196,8 +234,9 @@ pub fn reset() {
 
 /// Removes every registration. Cached site handles re-register on next
 /// use. (The leaked cells are not freed; this is bounded by the number of
-/// distinct keys ever used.)
+/// distinct keys ever used.) Versions the span stacks like [`reset`].
 pub fn clear() {
+    crate::span::bump_epoch();
     registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 

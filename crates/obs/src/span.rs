@@ -13,15 +13,49 @@
 //! so solver time can be attributed to the pipeline stage that asked for
 //! it. When the site is disabled the constructor returns an inert guard
 //! without touching the clock, the thread-local stack, or the registry.
+//!
+//! While a trace session is active ([`crate::trace_start`]) every live
+//! span additionally emits begin/end events onto the thread's timeline.
+//!
+//! ## Reset epochs
+//!
+//! [`crate::reset`]/[`crate::clear`] bump a global epoch. A per-thread
+//! stack whose epoch is stale is drained before the next span opens, so
+//! spans opened *after* a reset never inherit parent segments from spans
+//! that were already open *before* it (stale parent linkage). A span that
+//! itself straddles a reset records nothing on drop: its start time
+//! belongs to the epoch the reset discarded.
 
+use crate::events::{record_event_named, trace_active, TracePhase};
 use crate::filter::{enabled, Level};
 use crate::registry::{cell, MetricKind};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Bumped by `reset`/`clear`; stacks and spans from older epochs are
+/// stale.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn bump_epoch() {
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_epoch() -> u64 {
+    EPOCH.load(Ordering::Relaxed)
+}
+
+#[derive(Debug)]
+struct SpanStack {
+    epoch: u64,
+    names: Vec<String>,
+}
 
 thread_local! {
     /// Names (with labels) of the spans currently open on this thread.
-    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<SpanStack> = const {
+        RefCell::new(SpanStack { epoch: 0, names: Vec::new() })
+    };
 }
 
 /// An RAII span guard; records its duration when dropped.
@@ -35,9 +69,14 @@ pub struct Span {
 struct SpanInner {
     key: String,
     start: Instant,
+    epoch: u64,
+    target: &'static str,
+    /// Leaf segment, kept only when a trace session saw the begin event
+    /// (the end event must carry the same name).
+    trace_name: Option<String>,
 }
 
-fn open(target: &str, name: &str, label: Option<String>, level: Level) -> Span {
+fn open(target: &'static str, name: &str, label: Option<String>, level: Level) -> Span {
     if !enabled(target, level) {
         return Span { inner: None };
     }
@@ -45,23 +84,39 @@ fn open(target: &str, name: &str, label: Option<String>, level: Level) -> Span {
         Some(l) if !l.is_empty() => format!("{name}{{{l}}}"),
         _ => name.to_string(),
     };
+    let epoch = current_epoch();
+    let trace_name = trace_active().then(|| segment.clone());
     let key = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let mut path = String::with_capacity(target.len() + 1 + 16 * (stack.len() + 1));
+        if stack.epoch != epoch {
+            // A reset happened since this thread last opened a span: any
+            // names still on the stack belong to spans from the drained
+            // epoch and must not become parents in the new one.
+            stack.names.clear();
+            stack.epoch = epoch;
+        }
+        let mut path = String::with_capacity(target.len() + 1 + 16 * (stack.names.len() + 1));
         path.push_str(target);
         path.push('.');
-        for parent in stack.iter() {
+        for parent in stack.names.iter() {
             path.push_str(parent);
             path.push('/');
         }
         path.push_str(&segment);
-        stack.push(segment);
+        stack.names.push(segment);
         path
     });
+    if let Some(leaf) = &trace_name {
+        // The timeline carries leaf names; nesting reconstructs the path.
+        record_event_named(TracePhase::Begin, target, leaf.clone());
+    }
     Span {
         inner: Some(SpanInner {
             key,
             start: Instant::now(),
+            epoch,
+            target,
+            trace_name,
         }),
     }
 }
@@ -78,9 +133,19 @@ impl Drop for Span {
         if let Some(inner) = self.inner.take() {
             let ns = inner.start.elapsed().as_secs_f64() * 1e9;
             STACK.with(|stack| {
-                stack.borrow_mut().pop();
+                let mut stack = stack.borrow_mut();
+                // Only unwind a stack from our own epoch; a reset already
+                // drained stale entries (or will, on the next open).
+                if stack.epoch == inner.epoch {
+                    stack.names.pop();
+                }
             });
-            cell(&inner.key, MetricKind::Span).observe(ns);
+            if let Some(name) = inner.trace_name {
+                record_event_named(TracePhase::End, inner.target, name);
+            }
+            if current_epoch() == inner.epoch {
+                cell(&inner.key, MetricKind::Span).observe(ns);
+            }
         }
     }
 }
@@ -125,7 +190,7 @@ pub fn span_labeled_at<F: FnOnce() -> String>(
 mod tests {
     use super::*;
     use crate::override_filter;
-    use crate::registry::{snapshot, test_lock};
+    use crate::registry::{reset, snapshot, test_lock};
 
     fn keys_with_prefix(prefix: &str) -> Vec<String> {
         snapshot()
@@ -216,6 +281,93 @@ mod tests {
         }
         let keys = keys_with_prefix("spanchild.");
         assert!(keys.contains(&"spanchild.on_child".to_string()), "{keys:?}");
+        override_filter("off");
+    }
+
+    #[test]
+    fn reset_drains_live_span_parentage() {
+        // Regression: a Span alive across `reset()` used to stay on the
+        // thread stack, so spans opened after the reset were filed under
+        // a parent from the drained epoch.
+        let _g = test_lock();
+        override_filter("spanepoch=debug");
+        let straddler = span("spanepoch", "straddler");
+        reset();
+        {
+            let _fresh = span("spanepoch", "fresh");
+        }
+        let keys = keys_with_prefix("spanepoch.");
+        assert!(
+            keys.contains(&"spanepoch.fresh".to_string()),
+            "post-reset span must have no stale parent: {keys:?}"
+        );
+        assert!(
+            !keys.iter().any(|k| k.contains("straddler/")),
+            "stale parent linkage survived reset: {keys:?}"
+        );
+        drop(straddler);
+        // The straddling span itself records nothing: its start time
+        // belongs to the epoch the reset discarded.
+        let keys = keys_with_prefix("spanepoch.");
+        assert!(
+            !keys.contains(&"spanepoch.straddler".to_string()),
+            "straddling span leaked into the fresh epoch: {keys:?}"
+        );
+        override_filter("off");
+    }
+
+    #[test]
+    fn reset_mid_nest_keeps_stack_balanced() {
+        let _g = test_lock();
+        override_filter("spanepoch2=debug");
+        {
+            let _outer = span("spanepoch2", "outer");
+            reset();
+            let _post = span("spanepoch2", "post"); // clears stale stack
+            let _child = span("spanepoch2", "child");
+            // outer drops last; it must not pop the new epoch's stack.
+        }
+        {
+            let _after = span("spanepoch2", "after");
+        }
+        let keys = keys_with_prefix("spanepoch2.");
+        assert!(keys.contains(&"spanepoch2.post".to_string()), "{keys:?}");
+        assert!(
+            keys.contains(&"spanepoch2.post/child".to_string()),
+            "{keys:?}"
+        );
+        assert!(
+            keys.contains(&"spanepoch2.after".to_string()),
+            "unbalanced stack after straddling drop: {keys:?}"
+        );
+        override_filter("off");
+    }
+
+    #[test]
+    fn spans_emit_trace_events_when_session_active() {
+        let _g = test_lock();
+        override_filter("spantrace=debug");
+        crate::events::trace_start(256);
+        {
+            let _a = span("spantrace", "outer");
+            let _b = span_labeled("spantrace", "inner", || "k=2".into());
+        }
+        let trace = crate::events::trace_stop();
+        let seq: Vec<(&str, TracePhase)> = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == "spantrace")
+            .map(|e| (e.name.as_str(), e.phase))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                ("outer", TracePhase::Begin),
+                ("inner{k=2}", TracePhase::Begin),
+                ("inner{k=2}", TracePhase::End),
+                ("outer", TracePhase::End),
+            ]
+        );
         override_filter("off");
     }
 }

@@ -1,0 +1,458 @@
+//! Trace exporters: Chrome Trace Format JSON and folded-stack flamegraph
+//! text, plus a minimal JSON parser used to validate exports round-trip
+//! (the workspace builds offline, so no serde).
+//!
+//! * [`chrome_trace_json`] — the JSON Object Format of the Chrome Trace
+//!   Event specification: `{"traceEvents": [...]}` with `ph` = `B`/`E`
+//!   (span begin/end) or `i` (instant), timestamps in microseconds.
+//!   Loadable in `chrome://tracing` and Perfetto.
+//! * [`flamegraph_folded`] — one line per unique span stack,
+//!   `cat.frame;cat.frame ns`, with **self** time in nanoseconds as the
+//!   value; feed straight to `flamegraph.pl` or `inferno-flamegraph`.
+//! * [`parse_json`] / [`validate_json`] — recursive-descent parser for
+//!   the JSON subset the workspace emits (actually: all of JSON), so
+//!   tests and `plltool trace` can prove an export is well-formed.
+
+use crate::events::{Trace, TracePhase};
+use crate::export::{escape_json, json_num};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serializes a drained [`Trace`] as Chrome Trace Format JSON.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + 96 * trace.events.len());
+    out.push_str("{\"displayTimeUnit\": \"ns\", \"dropped\": ");
+    let _ = write!(out, "{}", trace.dropped);
+    out.push_str(", \"traceEvents\": [\n");
+    for (i, e) in trace.events.iter().enumerate() {
+        out.push_str("  {\"name\": ");
+        escape_json(&e.name, &mut out);
+        out.push_str(", \"cat\": ");
+        escape_json(e.cat, &mut out);
+        let ph = match e.phase {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        };
+        let _ = write!(out, ", \"ph\": \"{ph}\", \"ts\": ");
+        json_num(e.ts_ns as f64 / 1e3, &mut out);
+        let _ = write!(out, ", \"pid\": 1, \"tid\": {}", e.tid);
+        if e.phase == TracePhase::Instant {
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push('}');
+        if i + 1 < trace.events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Collapses a [`Trace`] into folded-stack flamegraph lines, sorted
+/// lexicographically (deterministic for a fixed event sequence). Value is
+/// self time in nanoseconds. Instants and unmatched begin/end events
+/// (possible after ring overflow) are skipped.
+pub fn flamegraph_folded(trace: &Trace) -> String {
+    // Per-thread stacks of (frame, begin_ts, child_inclusive_ns).
+    let mut stacks: BTreeMap<u64, Vec<(String, u64, u64)>> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &trace.events {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            TracePhase::Instant => {}
+            TracePhase::Begin => {
+                stack.push((format!("{}.{}", e.cat, e.name), e.ts_ns, 0));
+            }
+            TracePhase::End => {
+                let frame = format!("{}.{}", e.cat, e.name);
+                // Only pop a matching frame; an End whose Begin was shed
+                // by the ring (or predates the session) is dropped.
+                if stack.last().map(|(f, _, _)| f.as_str()) != Some(frame.as_str()) {
+                    continue;
+                }
+                if let Some((frame, begin, child_ns)) = stack.pop() {
+                    let incl = e.ts_ns.saturating_sub(begin);
+                    let selfns = incl.saturating_sub(child_ns);
+                    let mut path = String::new();
+                    for (f, _, _) in stack.iter() {
+                        path.push_str(f);
+                        path.push(';');
+                    }
+                    path.push_str(&frame);
+                    *folded.entry(path).or_insert(0) += selfns;
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += incl;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in &folded {
+        let _ = writeln!(out, "{path} {ns}");
+    }
+    out
+}
+
+/// A parsed JSON value ([`parse_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order preserved, duplicate keys kept as-is.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string when this is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number when this is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document; errors carry a byte offset.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Checks a JSON document for well-formedness.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value(depth + 1)?;
+            members.push((key, v));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs; lone surrogates become U+FFFD.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.b.get(self.i..self.i + 2) == Some(b"\\u") {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(combined).unwrap_or('\u{fffd}')
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) if c < 0x20 => return Err(self.err("control char in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xc0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        self.i += 1; // past the 'u'
+        let hex = self
+            .b
+            .get(self.i..self.i + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| self.err("bad number"))?;
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::TraceEvent;
+
+    fn ev(ts_ns: u64, tid: u64, phase: TracePhase, name: &str) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            tid,
+            phase,
+            cat: "t",
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn chrome_export_parses_back() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, TracePhase::Begin, "outer"),
+                ev(500, 0, TracePhase::Instant, "mark \"x\""),
+                ev(2000, 0, TracePhase::End, "outer"),
+            ],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&trace);
+        let doc = parse_json(&json).expect("well-formed");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("ph").and_then(|v| v.as_str()),
+            Some("B"),
+            "{json}"
+        );
+        assert_eq!(events[1].get("s").and_then(|v| v.as_str()), Some("t"));
+        assert_eq!(
+            events[1].get("name").and_then(|v| v.as_str()),
+            Some("mark \"x\"")
+        );
+        // ts is microseconds.
+        assert_eq!(events[2].get("ts").and_then(|v| v.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn flamegraph_self_time_accounting() {
+        // outer [0, 1000] contains inner [200, 700]: self 500 vs 500.
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, TracePhase::Begin, "outer"),
+                ev(200, 0, TracePhase::Begin, "inner"),
+                ev(700, 0, TracePhase::End, "inner"),
+                ev(1000, 0, TracePhase::End, "outer"),
+            ],
+            dropped: 0,
+        };
+        let folded = flamegraph_folded(&trace);
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["t.outer 500", "t.outer;t.inner 500"]);
+    }
+
+    #[test]
+    fn flamegraph_skips_unmatched_events() {
+        let trace = Trace {
+            events: vec![
+                ev(100, 0, TracePhase::End, "orphan"),
+                ev(200, 0, TracePhase::Begin, "open_forever"),
+                ev(300, 0, TracePhase::Begin, "ok"),
+                ev(400, 0, TracePhase::End, "ok"),
+            ],
+            dropped: 1,
+        };
+        let folded = flamegraph_folded(&trace);
+        assert_eq!(folded, "t.open_forever;t.ok 100\n");
+    }
+
+    #[test]
+    fn parser_handles_the_grammar() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, true, null], "b": "xé\n"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1],
+            JsonValue::Num(-2500.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("xé\n"));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("[] trailing").is_err());
+        assert!(validate_json("[[[[1]]]]").is_ok());
+    }
+}

@@ -157,6 +157,9 @@ where
     let threads = budget.resolve().min(n.max(1));
     htmpll_obs::counter!("par", "tasks").add(n as u64);
     if threads <= 1 {
+        // Same span as the threaded path so traces carry a `par` timeline
+        // at every thread count; children still nest under the caller.
+        let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads=1"));
         let mut ws = init();
         return items
             .iter()
@@ -174,8 +177,17 @@ where
     // which worker computed which chunk.
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n / chunk + threads));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        let cursor = &cursor;
+        let parts = &parts;
+        let init = &init;
+        let f = &f;
+        for widx in 0..threads {
+            scope.spawn(move || {
+                // Busy/steal timeline: the worker span brackets this
+                // worker's busy life; each chunk is a child span; every
+                // grab after the first is a steal marker. All trace-only
+                // (high cardinality would pollute the metric registry).
+                let _wspan = htmpll_obs::trace_span("par", || format!("worker{{w{widx}}}"));
                 let started = telemetry.then(Instant::now);
                 let mut ws = init();
                 let mut grabbed = 0usize;
@@ -185,6 +197,11 @@ where
                         break;
                     }
                     let end = (start + chunk).min(n);
+                    if grabbed > 0 {
+                        htmpll_obs::instant("par", || format!("steal{{w{widx}@{start}}}"));
+                    }
+                    let _cspan =
+                        htmpll_obs::trace_span("par", || format!("chunk{{{start}..{end}}}"));
                     let out: Vec<R> = items[start..end]
                         .iter()
                         .enumerate()
@@ -322,6 +339,35 @@ mod tests {
                 assert!(c * n.div_ceil(c) >= n);
             }
         }
+    }
+
+    #[test]
+    fn trace_timeline_has_worker_and_chunk_events() {
+        htmpll_obs::trace_start(1 << 14);
+        let xs: Vec<usize> = (0..64).collect();
+        let _ = par_map(ThreadBudget::Fixed(2), &xs, |_, &x| x + 1);
+        let t = htmpll_obs::trace_stop();
+        let par_events: Vec<&htmpll_obs::TraceEvent> =
+            t.events.iter().filter(|e| e.cat == "par").collect();
+        assert!(
+            par_events.iter().any(|e| e.name.starts_with("worker{")),
+            "missing worker timeline: {par_events:?}"
+        );
+        assert!(
+            par_events.iter().any(|e| e.name.starts_with("chunk{")),
+            "missing chunk timeline: {par_events:?}"
+        );
+        // Every worker begin has a matching end.
+        let begins = par_events
+            .iter()
+            .filter(|e| e.name.starts_with("worker{") && e.phase == htmpll_obs::TracePhase::Begin)
+            .count();
+        let ends = par_events
+            .iter()
+            .filter(|e| e.name.starts_with("worker{") && e.phase == htmpll_obs::TracePhase::End)
+            .count();
+        assert_eq!(begins, ends);
+        assert!(begins >= 1);
     }
 
     #[test]

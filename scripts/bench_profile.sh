@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_profile_overhead.json: wall-clock overhead of the
+# observability stack (examples/bench_profile.rs) on a K = 24 structured
+# 96-point closed-loop sweep, across the filter/session tiers:
+#
+#   disabled  HTMPLL_OBS unset — one relaxed atomic load per site
+#   debug     counters, per-sweep spans, quantile reservoirs
+#   enabled   debug + active trace session (`plltool trace` default)
+#   trace     deepest tier: per-point spans and attribution instants
+#
+#   scripts/bench_profile.sh [--points N] [--trunc K] [--reps R]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --example bench_profile
+bench=$(./target/release/examples/bench_profile "$@")
+cores=$(echo "$bench" | sed -n 's/.*"host_cores": \([0-9]*\).*/\1/p')
+
+cat > BENCH_profile_overhead.json <<EOF
+{
+  "note": "Measured on a ${cores}-core host, single worker thread. Configs are interleaved round-robin (best-of-reps per config) so host noise is sampled evenly. overhead_pct is the default-tracing tier (debug filter + session, what plltool trace runs) over the disabled baseline and must stay under 10; trace_overhead_pct is the deepest tier (per-point spans + instants), which deliberately trades overhead for per-point timeline detail. disabled_site_ns is the per-hit cost of one instrumented counter site with collection off.",
+  "generated_by": "scripts/bench_profile.sh",
+  "bench": $bench
+}
+EOF
+echo "wrote BENCH_profile_overhead.json:"
+cat BENCH_profile_overhead.json

@@ -117,6 +117,32 @@ echo "==> xcheck full corpus (exit 2 on any mismatch)"
 ./target/release/plltool xcheck --corpus default > /dev/null
 echo "xcheck full corpus ok (zero mismatches)"
 
+echo "==> plltool trace smoke"
+tracejson=$(mktemp)
+./target/release/plltool trace doctor --ratio 0.1 --threads 1 --out "$tracejson" > /dev/null
+for cat in core htm num par; do
+    grep -q "\"cat\": \"$cat\"" "$tracejson" || {
+        echo "trace smoke failed: no $cat spans in Chrome trace" >&2
+        exit 1
+    }
+done
+grep -q '"ph": "B"' "$tracejson" && grep -q '"ph": "E"' "$tracejson" || {
+    echo "trace smoke failed: no span begin/end pairs" >&2
+    exit 1
+}
+rm -f "$tracejson"
+echo "trace smoke ok (core/htm/num/par spans in Chrome trace JSON)"
+
+echo "==> tracing overhead guard"
+cargo build --release -q --example bench_profile
+overhead=$(./target/release/examples/bench_profile --reps 9 \
+    | grep -o '"overhead_pct": [0-9.eE+-]*' | cut -d' ' -f2)
+awk -v o="$overhead" 'BEGIN { exit !(o < 10.0) }' || {
+    echo "overhead guard failed: default-tracing overhead ${overhead}% >= 10% on the K=24 structured sweep" >&2
+    exit 1
+}
+echo "tracing overhead guard ok (${overhead}% < 10%)"
+
 echo "==> parallel sweep pool smoke"
 tmpjson=$(mktemp)
 trap 'rm -f "$tmpjson"' EXIT

@@ -342,12 +342,7 @@ struct DoctorRow {
 
 /// Short verdict label for the health table.
 fn verdict_label(q: &PointQuality) -> &'static str {
-    match q {
-        PointQuality::Exact => "exact",
-        PointQuality::Refined => "refined",
-        PointQuality::Perturbed => "perturbed",
-        PointQuality::Failed { .. } => "failed",
-    }
+    q.name()
 }
 
 /// Stress-evaluates a model at adversarial points — on-pole `s`, a loop
@@ -715,8 +710,73 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Wraps an inner command in a trace session and exports the event
+/// timeline as Chrome Trace Format JSON (and optionally a folded-stack
+/// flamegraph). The inner command's own flags pass straight through —
+/// `plltool trace sweep --points 5 --out t.json` traces a 5-point sweep.
+fn cmd_trace(inner: &str, args: &Args) -> Result<(), String> {
+    if inner == "trace" || inner == "profile" {
+        return Err(format!("trace cannot wrap `{inner}`"));
+    }
+    let out = args
+        .values
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_string());
+    let capacity = args.usize_or("trace-capacity", htmpll::obs::DEFAULT_TRACE_CAPACITY)?;
+    // Timeline events ride on span/instant sites, so collection must be
+    // on; debug captures the per-point and solver-ladder detail.
+    let spec = args
+        .values
+        .get("obs")
+        .cloned()
+        .unwrap_or_else(|| "debug".to_string());
+    htmpll::obs::override_filter(&spec);
+    htmpll::obs::trace_start(capacity);
+    let result = dispatch(inner, args);
+    let trace = htmpll::obs::trace_stop();
+
+    let json = htmpll::obs::chrome_trace_json(&trace);
+    htmpll::obs::validate_json(&json).map_err(|e| format!("internal: trace JSON invalid: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("--out {out}: {e}"))?;
+    let targets: std::collections::BTreeSet<&str> = trace.events.iter().map(|e| e.cat).collect();
+    println!(
+        "trace : {} events ({} shed) from targets [{}]",
+        trace.events.len(),
+        trace.dropped,
+        targets.into_iter().collect::<Vec<_>>().join(", ")
+    );
+    println!("wrote {out}");
+    if let Some(path) = args.values.get("folded") {
+        std::fs::write(path, htmpll::obs::flamegraph_folded(&trace))
+            .map_err(|e| format!("--folded {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    result
+}
+
+/// Runs the seeded profiling workload matrix and prints the per-phase
+/// attribution table.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let spec = htmpll::profile::ProfileSpec {
+        ratio: args.f64_or("ratio", 0.1)?,
+        points: args.usize_or("points", 96)?,
+        trunc: args.usize_or("trunc", 8)?,
+        reps: args.usize_or("reps", 1)?,
+        threads: args.threads()?,
+        seed: args.usize_or("seed", 0)? as u64,
+    };
+    let report = htmpll::profile::run_profile(&spec)?;
+    print!("{}", report.render_table());
+    if let Some(path) = args.values.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -734,14 +794,53 @@ const USAGE: &str =
           reconciles the λ(s), z-domain and time-domain stacks over a
           deterministic scenario corpus; exit 2 on any mismatch
   metrics [--ratio R] [--obs SPEC] [--json PATH]
+  trace <cmd> [--out PATH] [--folded PATH] [--obs SPEC] [--trace-capacity N]
+          runs <cmd> under an event-timeline session and writes Chrome
+          Trace Format JSON (default trace.json; open in a trace viewer)
+          plus, with --folded, a folded-stack flamegraph text file;
+          the wrapped command's own flags pass through unchanged
+  profile [--ratio R] [--points N] [--trunc K] [--reps N] [--seed S]
+          [--json PATH]
+          runs a seeded workload matrix (λ grid, cold/warm structured
+          sweep, dense kernel, adversarial robust grid, noise folding)
+          and prints per-phase attribution: wall time, per-point p50/p99,
+          cache hit rate, verdicts, ladder stages, worker utilization
   every command accepts --threads N for the sweep worker pool
   (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
   PATH to dump instrumentation (enables info-level collection if
   HTMPLL_OBS is unset)";
 
+/// Routes one non-wrapper command to its handler. `trace` wraps this,
+/// so everything here is traceable.
+fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
+    match cmd {
+        "analyze" => cmd_analyze(args),
+        "sweep" => cmd_sweep(args),
+        "bode" => cmd_bode(args),
+        "step" => cmd_step(args),
+        "spur" => cmd_spur(args),
+        "optimize" => cmd_optimize(args),
+        "hop" => cmd_hop(args),
+        "doctor" => cmd_doctor(args),
+        "xcheck" => cmd_xcheck(args),
+        "metrics" => cmd_metrics(args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let cmd = argv.first().map(String::as_str).ok_or(USAGE)?;
-    let args = Args::parse(&argv[1..])?;
+    // `trace` takes the wrapped command as a positional before the flags.
+    let (inner, flags) = if cmd == "trace" {
+        let inner = argv
+            .get(1)
+            .map(String::as_str)
+            .ok_or("trace needs a command to wrap\n(usage: plltool trace <cmd> [--flags ...])")?;
+        (Some(inner), &argv[2..])
+    } else {
+        (None, &argv[1..])
+    };
+    let args = Args::parse(flags)?;
     // Bridge --threads into the process-wide budget so code paths that
     // use ThreadBudget::Auto internally (optimizer, library defaults)
     // honor the flag too.
@@ -753,25 +852,20 @@ fn run(argv: &[String]) -> Result<(), String> {
             std::env::set_var(htmpll::par::THREADS_ENV, n.to_string());
         }
     }
+    if let Some(inner) = inner {
+        return cmd_trace(inner, &args);
+    }
     if cmd == "metrics" {
         return cmd_metrics(&args);
+    }
+    if cmd == "profile" {
+        return cmd_profile(&args);
     }
     let metrics_path = args.values.get("metrics-json").cloned();
     if metrics_path.is_some() && std::env::var_os("HTMPLL_OBS").is_none() {
         htmpll::obs::override_filter("info");
     }
-    let result = match cmd {
-        "analyze" => cmd_analyze(&args),
-        "sweep" => cmd_sweep(&args),
-        "bode" => cmd_bode(&args),
-        "step" => cmd_step(&args),
-        "spur" => cmd_spur(&args),
-        "optimize" => cmd_optimize(&args),
-        "hop" => cmd_hop(&args),
-        "doctor" => cmd_doctor(&args),
-        "xcheck" => cmd_xcheck(&args),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
+    let result = dispatch(cmd, &args);
     if let Some(path) = &metrics_path {
         std::fs::write(path, htmpll::obs::export_json())
             .map_err(|e| format!("--metrics-json {path}: {e}"))?;
@@ -793,9 +887,18 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
 
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Serializes tests that mutate the process-global obs filter or
+    /// trace session, so one test's `override_filter("off")` teardown
+    /// cannot disable collection mid-run in another.
+    fn obs_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]
@@ -865,6 +968,7 @@ mod tests {
 
     #[test]
     fn doctor_reports_healthy_and_dumps_robust_metrics() {
+        let _guard = obs_lock();
         let path = std::env::temp_dir().join("plltool_doctor_test.json");
         let path_s = path.to_str().unwrap().to_string();
         run(&strs(&[
@@ -917,7 +1021,87 @@ mod tests {
     }
 
     #[test]
+    fn trace_command_writes_chrome_json_and_flamegraph() {
+        let _guard = obs_lock();
+        let out = std::env::temp_dir().join("plltool_trace_test.json");
+        let folded = std::env::temp_dir().join("plltool_trace_test.folded");
+        run(&strs(&[
+            "trace",
+            "doctor",
+            "--ratio",
+            "0.1",
+            "--threads",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+            "--folded",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        htmpll::obs::override_filter("off");
+
+        let json = std::fs::read_to_string(&out).unwrap();
+        let doc = htmpll::obs::parse_json(&json).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let cats: std::collections::BTreeSet<String> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(|c| c.as_str()).map(str::to_string))
+            .collect();
+        // The doctor workload must light up every pipeline layer.
+        for cat in ["core", "htm", "num", "par"] {
+            assert!(cats.contains(cat), "missing target {cat} in {cats:?}");
+        }
+
+        let fold = std::fs::read_to_string(&folded).unwrap();
+        for line in fold.lines() {
+            let (stack, ns) = line.rsplit_once(' ').expect("`stack ns` line");
+            assert!(!stack.is_empty());
+            ns.parse::<u64>().expect("self-time is integer ns");
+        }
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&folded).ok();
+    }
+
+    #[test]
+    fn trace_rejects_bad_wrapping() {
+        assert!(run(&strs(&["trace"])).is_err());
+        assert!(run(&strs(&["trace", "trace", "--ratio", "0.1"])).is_err());
+        assert!(run(&strs(&["trace", "profile"])).is_err());
+    }
+
+    #[test]
+    fn profile_command_prints_attribution_and_writes_json() {
+        let _guard = obs_lock();
+        let path = std::env::temp_dir().join("plltool_profile_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&[
+            "profile",
+            "--points",
+            "8",
+            "--trunc",
+            "3",
+            "--threads",
+            "1",
+            "--json",
+            &path_s,
+        ]))
+        .unwrap();
+        htmpll::obs::override_filter("off");
+        let json = std::fs::read_to_string(&path).unwrap();
+        htmpll::obs::validate_json(&json).unwrap();
+        for phase in ["lambda", "htm_cold", "htm_warm", "dense", "robust", "noise"] {
+            assert!(json.contains(&format!("\"name\": \"{phase}\"")), "{json}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn metrics_command_writes_valid_json() {
+        let _guard = obs_lock();
         let path = std::env::temp_dir().join("plltool_metrics_test.json");
         let path_s = path.to_str().unwrap().to_string();
         run(&strs(&["metrics", "--ratio", "0.1", "--json", &path_s])).unwrap();
@@ -936,6 +1120,7 @@ mod tests {
 
     #[test]
     fn metrics_json_flag_dumps_after_any_command() {
+        let _guard = obs_lock();
         let path = std::env::temp_dir().join("plltool_metrics_flag_test.json");
         let path_s = path.to_str().unwrap().to_string();
         run(&strs(&[

@@ -67,6 +67,10 @@ pub use htmpll_par as par;
 /// Cross-stack differential verification (re-export of `htmpll-xcheck`).
 pub use htmpll_xcheck as xcheck;
 
+/// Seeded profiling workload matrix + per-phase attribution (drives
+/// `plltool profile`).
+pub mod profile;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
