@@ -113,6 +113,26 @@ pub fn analyze(model: &PllModel) -> Result<AnalysisReport, CoreError> {
 /// Propagates margin-extraction failures (e.g. a loop so slow/fast that
 /// no unity crossing exists in the scan window).
 pub fn analyze_with(model: &PllModel, threads: ThreadBudget) -> Result<AnalysisReport, CoreError> {
+    analyze_cached(model, threads, &SweepCache::new())
+}
+
+/// [`analyze_with`] routing every cacheable evaluation (the dense
+/// closed-loop probe at the effective crossover) through a caller-owned
+/// [`SweepCache`]. Since cache keys carry the model fingerprint, a
+/// long-lived cache can be shared across calls **and across models**:
+/// repeated analyses of the same design skip the HTM assembly and
+/// factorization entirely. Cache reuse never changes results — hits
+/// return the identical bits the first evaluation produced.
+///
+/// # Errors
+///
+/// Propagates margin-extraction failures (e.g. a loop so slow/fast that
+/// no unity crossing exists in the scan window).
+pub fn analyze_cached(
+    model: &PllModel,
+    threads: ThreadBudget,
+    cache: &SweepCache,
+) -> Result<AnalysisReport, CoreError> {
     let _span = htmpll_obs::span("core", "analyze");
     let a = model.open_loop().clone();
     let w0 = model.design().omega_ref();
@@ -188,7 +208,7 @@ pub fn analyze_with(model: &PllModel, threads: ThreadBudget) -> Result<AnalysisR
         quality.absorb(&q, 0.0, 0.0);
     }
     let probe_trunc = model.resolve_truncation(htmpll_htm::TruncationSpec::default());
-    match SweepCache::new().dense_robust(model, Complex::from_im(eff.omega_ug), probe_trunc) {
+    match cache.dense_robust(model, Complex::from_im(eff.omega_ug), probe_trunc) {
         Ok(d) => quality.absorb(&d.quality, d.report.cond_estimate, d.report.residual),
         Err(reason) => quality.absorb(&PointQuality::Failed { reason }, 0.0, 0.0),
     }

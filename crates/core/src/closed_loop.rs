@@ -42,6 +42,9 @@ pub struct PllModel {
     /// unity when absent. Folded into `lambda` at construction and
     /// applied explicitly by the matrix-assembly paths.
     extra_lti: Option<htmpll_lti::Tf>,
+    /// Identity hash over everything the HTM assembly reads; see
+    /// [`PllModel::fingerprint`].
+    fingerprint: u64,
 }
 
 /// Staged construction of a [`PllModel`]: start from a [`PllDesign`],
@@ -140,11 +143,42 @@ impl PllModelBuilder {
         }
         let lambda = EffectiveGain::new(&open, design.omega_ref())?;
         let vco_isf = vco_isf.unwrap_or_else(|| vec![Complex::from_re(design.v0())]);
+        // The matrix paths read the loop-filter factor, the extra LTI
+        // factor and the ISF column separately (not only their product
+        // folded into λ), so all of them enter the identity hash: two
+        // models hash equal only if every HTM block they assemble is
+        // bit-identical.
+        let mut h = htmpll_num::hash::Fnv1a::new();
+        h.write_str("htmpll.model");
+        h.write_u64(lambda.fingerprint());
+        let hlf = design.loop_filter_tf();
+        h.write_u64(hlf.num().coeffs().len() as u64);
+        for &c in hlf.num().coeffs() {
+            h.write_f64(c);
+        }
+        for &c in hlf.den().coeffs() {
+            h.write_f64(c);
+        }
+        h.write_u64(vco_isf.len() as u64);
+        for v in &vco_isf {
+            h.write_f64(v.re);
+            h.write_f64(v.im);
+        }
+        if let Some(extra) = &extra_lti {
+            h.write_u64(extra.num().coeffs().len() as u64);
+            for &c in extra.num().coeffs() {
+                h.write_f64(c);
+            }
+            for &c in extra.den().coeffs() {
+                h.write_f64(c);
+            }
+        }
         Ok(PllModel {
             design,
             vco_isf,
             lambda,
             extra_lti,
+            fingerprint: h.finish(),
         })
     }
 }
@@ -162,40 +196,15 @@ impl PllModel {
         }
     }
 
-    /// Builds the model with a time-invariant VCO.
-    ///
-    /// # Errors
-    ///
-    /// Propagates effective-gain construction failures (improper loop,
-    /// pole extraction).
-    #[deprecated(note = "use PllModel::builder(design).build()")]
-    pub fn new(design: PllDesign) -> Result<PllModel, CoreError> {
-        PllModel::builder(design).build()
-    }
-
-    /// Builds the model with a loop latency folded in.
-    ///
-    /// # Errors
-    ///
-    /// Propagates Padé construction and effective-gain failures.
-    #[deprecated(note = "use PllModel::builder(design).loop_delay(tau, order).build()")]
-    pub fn with_loop_delay(
-        design: PllDesign,
-        tau: f64,
-        order: usize,
-    ) -> Result<PllModel, CoreError> {
-        PllModel::builder(design).loop_delay(tau, order).build()
-    }
-
-    /// Builds the model with a time-varying VCO ISF.
-    ///
-    /// # Errors
-    ///
-    /// Rejects even-length ISF lists; propagates effective-gain
-    /// failures.
-    #[deprecated(note = "use PllModel::builder(design).vco_isf(isf).build()")]
-    pub fn with_vco_isf(design: PllDesign, vco_isf: Vec<Complex>) -> Result<PllModel, CoreError> {
-        PllModel::builder(design).vco_isf(vco_isf).build()
+    /// Stable identity hash over everything the frequency-domain
+    /// evaluators read: the open-loop gain (including any folded delay),
+    /// the loop-filter factor, the VCO ISF harmonics and `ω₀` — all by
+    /// coefficient **bit patterns**. Two models with equal fingerprints
+    /// produce bitwise-identical λ values and HTMs at every Laplace
+    /// point, which is what lets one [`SweepCache`](crate::SweepCache)
+    /// be shared across models (and across service requests) safely.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The underlying design.

@@ -35,6 +35,7 @@
 
 use crate::error::{positive, CoreError};
 use htmpll_lti::{Pfe, Tf};
+use htmpll_num::hash::Fnv1a;
 use htmpll_num::special::{lattice_sum, MAX_LATTICE_ORDER};
 use htmpll_num::Complex;
 
@@ -44,6 +45,7 @@ pub struct EffectiveGain {
     a: Tf,
     pfe: Pfe,
     omega0: f64,
+    fingerprint: u64,
 }
 
 /// Relative distance below which an alias point `s ± jmω₀` counts as
@@ -78,11 +80,30 @@ impl EffectiveGain {
                 value: pfe.max_order() as f64,
             });
         }
+        let mut h = Fnv1a::new();
+        h.write_str("htmpll.lambda");
+        h.write_f64(omega0);
+        h.write_u64(a.num().coeffs().len() as u64);
+        for &c in a.num().coeffs() {
+            h.write_f64(c);
+        }
+        for &c in a.den().coeffs() {
+            h.write_f64(c);
+        }
         Ok(EffectiveGain {
             a: a.clone(),
             pfe,
             omega0,
+            fingerprint: h.finish(),
         })
+    }
+
+    /// Stable identity hash over the defining data (`A(s)` coefficient
+    /// bit patterns and `ω₀`): two evaluators with the same fingerprint
+    /// produce bitwise-identical values at every `s`, so caches keyed by
+    /// `(fingerprint, s)` may be shared across models safely.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The underlying LTI open-loop gain `A(s)`.

@@ -52,7 +52,7 @@ pub mod spurs;
 pub mod sweep;
 pub mod transient;
 
-pub use analysis::{analyze, analyze_with, AnalysisReport};
+pub use analysis::{analyze, analyze_cached, analyze_with, AnalysisReport};
 pub use closed_loop::{PllModel, PllModelBuilder};
 pub use design::{LoopFilter, PllDesign, PllDesignBuilder};
 pub use error::CoreError;
@@ -64,6 +64,6 @@ pub use poles::{damping_ratio, dominant_poles};
 pub use quality::{GridOutcome, PointOutcome, PointQuality, QualitySummary};
 pub use spurs::LeakageSpurs;
 pub use sweep::{
-    bode_grid, DenseSolve, KernelPolicy, SpurLine, SweepCache, SweepSpec, SweepWorkspace,
-    CACHE_CAP_ENV, DEFAULT_CACHE_CAP, MAX_AUTO_TRUNCATION,
+    bode_grid, CacheStats, DenseSolve, KernelPolicy, SpurLine, SweepCache, SweepSpec,
+    SweepWorkspace, CACHE_CAP_ENV, DEFAULT_CACHE_CAP, MAX_AUTO_TRUNCATION,
 };

@@ -48,9 +48,11 @@ use crate::quality::{GridOutcome, PointOutcome, PointQuality};
 use crate::spurs::LeakageSpurs;
 use htmpll_htm::{ClosedLoopFactor, Htm, SolveScratch, Truncation, TruncationSpec};
 use htmpll_lti::{bode_from_values, BodePoint, FrequencyGrid, GridError};
+use htmpll_num::hash::Fnv1a;
 use htmpll_num::{Complex, SolveReport};
 use htmpll_par::{par_map, par_map_with, ThreadBudget};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Locks a cache mutex, recovering from poisoning: the protected maps
@@ -234,11 +236,15 @@ pub struct DenseSolve {
     pub quality: PointQuality,
 }
 
-type PointKey = (u64, u64);
-type DenseKey = (u64, u64, usize, u8);
+/// λ cache key: `(model fingerprint, s.re bits, s.im bits)`. The
+/// fingerprint makes one cache safe to share across different models —
+/// a prerequisite for cross-request reuse in `plltool serve`.
+type PointKey = (u64, u64, u64);
+/// Dense-solve key: λ key plus truncation order and kernel-policy byte.
+type DenseKey = (u64, u64, u64, usize, u8);
 
-fn point_key(s: Complex) -> PointKey {
-    (s.re.to_bits(), s.im.to_bits())
+fn point_key(fingerprint: u64, s: Complex) -> PointKey {
+    (fingerprint, s.re.to_bits(), s.im.to_bits())
 }
 
 /// A bounded map with least-recently-used eviction. Recency is a
@@ -302,26 +308,76 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
     }
 }
 
-/// Memoization shared across sweeps: λ(s) values and dense closed-loop
+/// A point-in-time view of [`SweepCache`] occupancy and traffic,
+/// readable without the obs layer (the counters are plain atomics on
+/// the cache itself), so a long-running service can report hit rates
+/// even when metric collection is filtered off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// λ and dense lookups answered from memory.
+    pub hits: u64,
+    /// λ and dense lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted (λ and dense combined) since construction.
+    pub evictions: u64,
+    /// Memoized λ points currently held.
+    pub lambda_entries: usize,
+    /// Memoized dense solves currently held (including failures).
+    pub dense_entries: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One independently locked slice of the cache; keys are distributed
+/// across shards by hash so concurrent workers (and concurrent service
+/// requests) rarely contend on the same mutex.
+#[derive(Debug)]
+struct Shard {
+    lambda: Mutex<Lru<PointKey, Complex>>,
+    dense: Mutex<Lru<DenseKey, Result<Arc<DenseSolve>, String>>>,
+}
+
+/// Upper bound on shard count; keys spread by hash, so a handful of
+/// locks is enough to decongest any realistic worker count.
+const MAX_SHARDS: usize = 16;
+
+/// Memoization shared across sweeps — and, since the keys carry the
+/// model fingerprint ([`PllModel::fingerprint`]), safely shared across
+/// **different models**: λ(s) values and dense closed-loop
 /// factorizations, keyed by the **bit patterns** of the Laplace point
 /// (and the truncation order for matrix entries). Bitwise keys make the
 /// cache exact — no tolerance tuning — and deterministic: a hit returns
 /// the identical value the first evaluation produced.
 ///
-/// The cache is internally synchronized and is shared by reference
-/// across pool workers; values are computed outside the lock, so a race
-/// costs at most one duplicate evaluation of the same point (both
-/// producing the same bits).
+/// The cache is internally synchronized and sharded: keys hash to one
+/// of several independently locked maps, so pool workers and concurrent
+/// service requests contend only when they touch the same shard. Values
+/// are computed outside the lock, so a race costs at most one duplicate
+/// evaluation of the same point (both producing the same bits).
 ///
-/// Memory is bounded: each map holds at most `cap` entries (the
-/// `HTMPLL_CACHE_CAP` environment variable, defaulting to
-/// [`DEFAULT_CACHE_CAP`]) with LRU eviction, counted by the
-/// `sweep.cache_evictions` observability counter and
-/// [`SweepCache::evictions`].
+/// Memory is bounded: the shards together hold at most `cap` entries
+/// per map kind (the `HTMPLL_CACHE_CAP` environment variable,
+/// defaulting to [`DEFAULT_CACHE_CAP`]) with per-shard LRU eviction,
+/// counted by the `sweep.cache_evictions` observability counter and
+/// [`SweepCache::evictions`]. Traffic totals are kept in plain atomics
+/// and surfaced by [`SweepCache::stats`].
 #[derive(Debug)]
 pub struct SweepCache {
-    lambda: Mutex<Lru<PointKey, Complex>>,
-    dense: Mutex<Lru<DenseKey, Result<Arc<DenseSolve>, String>>>,
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl Default for SweepCache {
@@ -337,31 +393,64 @@ impl SweepCache {
         SweepCache::with_capacity(env_cache_cap())
     }
 
-    /// An empty cache holding at most `cap` entries per map (clamped to
-    /// at least 1).
+    /// An empty cache holding at most `cap` entries per map kind
+    /// (clamped to at least 1), spread over `min(16, cap)` shards
+    /// (rounded down to a power of two) so the aggregate never exceeds
+    /// `cap`.
     pub fn with_capacity(cap: usize) -> SweepCache {
-        SweepCache {
-            lambda: Mutex::new(Lru::new(cap)),
-            dense: Mutex::new(Lru::new(cap)),
+        let cap = cap.max(1);
+        let mut shards = 1usize;
+        while shards * 2 <= cap.min(MAX_SHARDS) {
+            shards *= 2;
         }
+        let per_shard = (cap / shards).max(1);
+        let shards = (0..shards)
+            .map(|_| Shard {
+                lambda: Mutex::new(Lru::new(per_shard)),
+                dense: Mutex::new(Lru::new(per_shard)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SweepCache {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, fingerprint: u64, s: Complex, trunc: usize, kernel: u8) -> &Shard {
+        let mut h = Fnv1a::new();
+        h.write_u64(fingerprint);
+        h.write_u64(s.re.to_bits());
+        h.write_u64(s.im.to_bits());
+        h.write_u64(trunc as u64);
+        h.write_u64(kernel as u64);
+        // Shard count is a power of two; fold the high bits in so the
+        // mask never sees only FNV's low-entropy tail.
+        let hash = h.finish();
+        let idx = ((hash >> 32) ^ hash) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
     }
 
     /// λ(s) through the cache.
     pub fn lambda(&self, lam: &EffectiveGain, s: Complex) -> Complex {
-        let key = point_key(s);
-        if let Some(&v) = lock(&self.lambda).get(&key) {
+        let key = point_key(lam.fingerprint(), s);
+        let shard = self.shard_for(key.0, s, 0, 0);
+        if let Some(&v) = lock(&shard.lambda).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             htmpll_obs::counter!("core", "sweep.lambda_cache.hit").inc();
             htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
                 "cache{lambda,hit}".to_string()
             });
             return v;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         htmpll_obs::counter!("core", "sweep.lambda_cache.miss").inc();
         htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
             "cache{lambda,miss}".to_string()
         });
         let v = lam.eval(s);
-        lock(&self.lambda).insert(key, v);
+        lock(&shard.lambda).insert(key, v);
         v
     }
 
@@ -409,21 +498,24 @@ impl SweepCache {
         kernel: KernelPolicy,
         ws: &mut SweepWorkspace,
     ) -> Result<Arc<DenseSolve>, String> {
-        let (re, im) = point_key(s);
-        let key = (re, im, trunc.order(), kernel.as_byte());
-        if let Some(v) = lock(&self.dense).get(&key) {
+        let (fp, re, im) = point_key(model.fingerprint(), s);
+        let key = (fp, re, im, trunc.order(), kernel.as_byte());
+        let shard = self.shard_for(fp, s, trunc.order(), kernel.as_byte());
+        if let Some(v) = lock(&shard.dense).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             htmpll_obs::counter!("core", "sweep.dense_cache.hit").inc();
             htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
                 format!("cache{{dense,hit,k={}}}", trunc.order())
             });
             return v.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         htmpll_obs::counter!("core", "sweep.dense_cache.miss").inc();
         htmpll_obs::instant_at("core", htmpll_obs::Level::Trace, || {
             format!("cache{{dense,miss,k={}}}", trunc.order())
         });
         let entry = compute_dense(model, s, trunc, kernel, ws);
-        lock(&self.dense).insert(key, entry.clone());
+        lock(&shard.dense).insert(key, entry.clone());
         entry
     }
 
@@ -445,18 +537,43 @@ impl SweepCache {
 
     /// Number of memoized λ points.
     pub fn lambda_entries(&self) -> usize {
-        lock(&self.lambda).len()
+        self.shards.iter().map(|s| lock(&s.lambda).len()).sum()
     }
 
     /// Number of memoized dense solves (including memoized failures).
     pub fn dense_entries(&self) -> usize {
-        lock(&self.dense).len()
+        self.shards.iter().map(|s| lock(&s.dense).len()).sum()
     }
 
     /// Total entries evicted from this cache (λ and dense combined)
     /// since construction.
     pub fn evictions(&self) -> u64 {
-        lock(&self.lambda).evicted + lock(&self.dense).evicted
+        self.shards
+            .iter()
+            .map(|s| lock(&s.lambda).evicted + lock(&s.dense).evicted)
+            .sum()
+    }
+
+    /// Lookups answered from memory since construction (λ and dense).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute since construction (λ and dense).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of traffic and occupancy; see [`CacheStats`].
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            lambda_entries: self.lambda_entries(),
+            dense_entries: self.dense_entries(),
+            shards: self.shards.len(),
+        }
     }
 }
 
@@ -965,6 +1082,69 @@ mod tests {
         // Strict wrapper maps the memoized reason into CoreError.
         let strict = cache.dense(&m, Complex::from_im(w0), t);
         assert!(matches!(strict, Err(CoreError::SweepFailed { .. })));
+    }
+
+    #[test]
+    fn cache_is_safe_across_models() {
+        // Keys carry the model fingerprint, so one cache shared by two
+        // different designs must keep their values apart.
+        let a = model(0.2);
+        let b = model(0.3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), model(0.2).fingerprint());
+        let cache = SweepCache::new();
+        let s = Complex::from_im(0.7);
+        let va = cache.lambda(a.lambda(), s);
+        let vb = cache.lambda(b.lambda(), s);
+        assert_eq!(cache.lambda_entries(), 2);
+        assert_eq!(va.re.to_bits(), a.lambda().eval(s).re.to_bits());
+        assert_eq!(vb.re.to_bits(), b.lambda().eval(s).re.to_bits());
+        assert_ne!(va.re.to_bits(), vb.re.to_bits());
+        let t = Truncation::new(3);
+        let da = cache.dense_robust(&a, s, t).unwrap();
+        let db = cache.dense_robust(&b, s, t).unwrap();
+        assert_eq!(cache.dense_entries(), 2);
+        assert!(da.htm.as_matrix().max_diff(db.htm.as_matrix()) > 1e-6);
+        // Round trips stay hits for the right model.
+        let da2 = cache.dense_robust(&a, s, t).unwrap();
+        assert_eq!(da.htm.as_matrix().max_diff(da2.htm.as_matrix()), 0.0);
+        assert_eq!(cache.dense_entries(), 2);
+    }
+
+    #[test]
+    fn cache_stats_count_traffic() {
+        let m = model(0.2);
+        let cache = SweepCache::new();
+        let s = Complex::from_im(0.7);
+        cache.lambda(m.lambda(), s);
+        cache.lambda(m.lambda(), s);
+        let st = cache.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.lambda_entries, 1);
+        assert_eq!(st.dense_entries, 0);
+        assert!(st.shards.is_power_of_two());
+        assert!((st.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sharding_respects_total_capacity() {
+        // A tiny cap still means at most `cap` entries in aggregate,
+        // however many shards the capacity was split across.
+        for cap in [1usize, 2, 3, 4, 7, 16] {
+            let cache = SweepCache::with_capacity(cap);
+            let m = model(0.25);
+            for i in 0..40 {
+                let s = Complex::from_im(0.1 + 0.01 * i as f64);
+                let _ = cache.lambda(m.lambda(), s);
+            }
+            assert!(
+                cache.lambda_entries() <= cap,
+                "cap {cap}: {} entries",
+                cache.lambda_entries()
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,10 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::Pool;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -105,7 +109,7 @@ pub fn available_threads() -> usize {
 /// Chunk size for `n` items across `threads` workers: ~4 chunks per
 /// worker so a fast worker can steal from a slow one, but never so small
 /// that the cursor contention dominates point cost.
-fn chunk_size(n: usize, threads: usize) -> usize {
+pub(crate) fn chunk_size(n: usize, threads: usize) -> usize {
     n.div_ceil(threads * 4).max(1)
 }
 

@@ -1,0 +1,120 @@
+//! Serve-throughput benchmark, used by `scripts/bench_serve.sh` to
+//! produce `BENCH_serve_throughput.json`.
+//!
+//! Drives the in-process serve core (`htmpll::service::serve_lines`) —
+//! the same reader/batcher/pool/cache pipeline behind `plltool serve`,
+//! minus OS pipe overhead — with two synthetic JSONL workloads:
+//!
+//! 1. **repeated** — many requests over a small set of distinct specs;
+//!    after the first pass everything is a response-cache hit, so this
+//!    measures the service overhead per request (parse, batch, reorder,
+//!    emit) and the warm path's latency profile.
+//! 2. **distinct** — every request is a different design, so every
+//!    request computes; this measures how analysis throughput scales
+//!    with the worker pool.
+//!
+//! Each workload runs at one worker and at the host's full
+//! parallelism; requests/sec plus per-request p50/p99 latency are
+//! reported for both. Prints one JSON object to stdout. Usage:
+//!
+//! ```sh
+//! cargo run --release --example bench_serve -- [--repeated N] [--specs S] [--distinct D]
+//! ```
+
+use htmpll::service::{serve_lines, ServeOptions, ServeSummary};
+use std::io::Cursor;
+use std::time::Instant;
+
+fn workload_repeated(requests: usize, specs: usize) -> String {
+    let mut input = String::with_capacity(requests * 64);
+    for i in 0..requests {
+        // Spread the distinct specs over a benign ratio range.
+        let ratio = 0.06 + 0.01 * (i % specs) as f64;
+        input.push_str(&format!(
+            "{{\"id\":{i},\"command\":\"analyze\",\"params\":{{\"ratio\":{ratio}}}}}\n"
+        ));
+    }
+    input
+}
+
+fn workload_distinct(requests: usize) -> String {
+    let mut input = String::with_capacity(requests * 64);
+    for i in 0..requests {
+        let ratio = 0.05 + 0.15 * i as f64 / requests.max(1) as f64;
+        input.push_str(&format!(
+            "{{\"id\":{i},\"command\":\"analyze\",\"params\":{{\"ratio\":{ratio}}}}}\n"
+        ));
+    }
+    input
+}
+
+fn run(input: &str, workers: usize) -> (ServeSummary, f64) {
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    let summary = serve_lines(
+        Cursor::new(input.to_string()),
+        &mut out,
+        &ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("serve_lines");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(summary.responded, summary.received, "lossless run expected");
+    (summary, secs)
+}
+
+fn leg_json(summary: &ServeSummary, secs: f64, workers: usize) -> String {
+    let rps = summary.responded as f64 / secs.max(1e-9);
+    format!(
+        "{{\"workers\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"wall_s\": {:.3}, \"response_cache_hits\": {}, \"sweep_cache_hits\": {}}}",
+        workers,
+        rps,
+        summary.p50_latency_ns as f64 / 1e6,
+        summary.p99_latency_ns as f64 / 1e6,
+        secs,
+        summary.response_cache_hits,
+        summary.sweep_cache_hits,
+    )
+}
+
+fn main() {
+    let mut repeated = 500usize;
+    let mut specs = 8usize;
+    let mut distinct = 48usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{what} needs an integer"))
+        };
+        match a.as_str() {
+            "--repeated" => repeated = grab("--repeated"),
+            "--specs" => specs = grab("--specs"),
+            "--distinct" => distinct = grab("--distinct"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let many = std::thread::available_parallelism().map_or(2, |n| n.get());
+
+    let rep_input = workload_repeated(repeated, specs.max(1));
+    let (rep1, rep1_s) = run(&rep_input, 1);
+    let (repn, repn_s) = run(&rep_input, many);
+
+    let dis_input = workload_distinct(distinct);
+    let (dis1, dis1_s) = run(&dis_input, 1);
+    let (disn, disn_s) = run(&dis_input, many);
+
+    println!(
+        "{{\n  \"host_cores\": {many},\n  \"repeated\": {{\"requests\": {repeated}, \"distinct_specs\": {specs}, \
+         \"one_worker\": {}, \"many_workers\": {}}},\n  \"distinct\": {{\"requests\": {distinct}, \
+         \"one_worker\": {}, \"many_workers\": {}}}\n}}",
+        leg_json(&rep1, rep1_s, 1),
+        leg_json(&repn, repn_s, many),
+        leg_json(&dis1, dis1_s, 1),
+        leg_json(&disn, disn_s, many),
+    );
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_serve_throughput.json: requests/sec and per-request
+# p50/p99 latency of the `plltool serve` pipeline (reader → bounded
+# queue → admission batches → worker pool → in-order emit), measured
+# in-process by examples/bench_serve.rs on two workloads:
+#
+#   repeated  many requests over few distinct specs — the warm path
+#             (response-cache hits dominate after the first pass)
+#   distinct  every request a different design — the compute path
+#             (shows worker-pool scaling at 1 vs all cores)
+#
+#   scripts/bench_serve.sh [--repeated N] [--specs S] [--distinct D]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --example bench_serve
+bench=$(./target/release/examples/bench_serve "$@")
+cores=$(echo "$bench" | sed -n 's/.*"host_cores": \([0-9]*\).*/\1/p')
+
+cat > BENCH_serve_throughput.json <<EOF
+{
+  "note": "Measured on a ${cores}-core host via the in-process serve core (no OS pipe). The repeated workload is response-cache-warm after one pass per spec, so its rps is the per-request service overhead ceiling; the distinct workload recomputes every request, so many_workers/one_worker rps is the pool-scaling factor. Latencies are per request, parse-to-envelope, nearest-rank percentiles.",
+  "generated_by": "scripts/bench_serve.sh",
+  "bench": $bench
+}
+EOF
+echo "wrote BENCH_serve_throughput.json:"
+cat BENCH_serve_throughput.json

@@ -46,7 +46,7 @@ while IFS= read -r hit; do
         audit_fail=1
     fi
 done < <(
-    find crates/*/src src/bin src/lib.rs -name '*.rs' 2>/dev/null \
+    find crates/*/src src/bin src/lib.rs src/profile.rs src/requests.rs src/service -name '*.rs' 2>/dev/null \
         | grep -v '^crates/bench/' | sort | while IFS= read -r f; do
         # The assert!-family is additionally audited in the estimation
         # and z-domain crates, whose inputs come straight from user
@@ -154,5 +154,37 @@ for key in par.tasks par.chunks par.worker_busy_ns core.sweep.dense_cache.hit; d
     }
 done
 echo "pool smoke ok (par.* counters + sweep cache hits present)"
+
+echo "==> plltool serve leg (50-request JSONL batch)"
+servein=$(mktemp); serveout=$(mktemp)
+{
+    for i in $(seq 0 48); do
+        r=$(awk -v i="$i" 'BEGIN { printf "0.%02d", 6 + i % 5 }')
+        echo "{\"id\":$i,\"command\":\"analyze\",\"params\":{\"ratio\":$r}}"
+    done
+    echo '{"id":"stats","command":"stats"}'
+} > "$servein"
+./target/release/plltool serve --workers 4 < "$servein" > "$serveout" 2>/dev/null
+lines=$(wc -l < "$serveout")
+[ "$lines" -eq 50 ] || {
+    echo "serve leg failed: expected 50 response lines, got $lines" >&2
+    exit 1
+}
+if grep -q '"code":"shed"' "$serveout"; then
+    echo "serve leg failed: request shed at default queue bounds" >&2
+    exit 1
+fi
+if grep -q '"ok":false' "$serveout"; then
+    echo "serve leg failed: a request errored in the healthy batch" >&2
+    grep '"ok":false' "$serveout" | head -3 >&2
+    exit 1
+fi
+hits=$(grep -o '"response_cache":{"hits":[0-9]*' "$serveout" | grep -o '[0-9]*$' | head -1)
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || {
+    echo "serve leg failed: repeated specs produced no warm-cache hits (hits=$hits)" >&2
+    exit 1
+}
+rm -f "$servein" "$serveout"
+echo "serve leg ok (50/50 in-order responses, zero shed, $hits warm-cache hits)"
 
 echo "==> all green"

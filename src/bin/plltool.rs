@@ -7,776 +7,23 @@
 //! plltool bode    --ratio 0.15 --lambda
 //! plltool step    --ratio 0.2 --until 40
 //! plltool spur    --ratio 0.1 --leakage-frac 1e-3
+//! echo '{"id":1,"command":"analyze","params":{"ratio":0.1}}' | plltool serve
 //! ```
 //!
-//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
-//! workspace dependency-free.
+//! This binary is a *thin* front end: argv is parsed into a typed
+//! [`Request`] (`htmpll::requests`), executed by the shared service
+//! layer (`htmpll::service`), and rendered from the typed [`Response`].
+//! The same layer powers `plltool serve`, the `trace` wrapper, and the
+//! `--json`/`--metrics-json` envelope writers, so every surface
+//! produces identical results. Argument parsing stays hand-rolled
+//! (`--key value` pairs) to keep the workspace dependency-free.
 
-use htmpll::core::{
-    analyze_with, bode_grid, dominant_poles, optimize_loop, transient, EffectiveGain, LeakageSpurs,
-    NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel, PointQuality,
-    SampleHoldModel, SweepCache, SweepSpec, MAX_AUTO_TRUNCATION,
-};
-use htmpll::htm::{Htm, HtmRepr, Truncation};
-use htmpll::lti::FrequencyGrid;
-use htmpll::num::optim::lin_grid;
-use htmpll::num::Complex;
-use htmpll::par::ThreadBudget;
-use htmpll::sim::{acquire_lock, LockOptions, PllSim, SimConfig, SimParams};
-use htmpll::spectral::{periodogram, Window};
-use std::collections::HashMap;
+use htmpll::requests::{Params, Request, RequestId};
+use htmpll::service::{envelope, handle, serve_lines, Response, ServeOptions, ServiceCtx};
 use std::process::ExitCode;
 
-/// Parsed `--key value` arguments.
-#[derive(Debug, Clone, Default)]
-struct Args {
-    values: HashMap<String, String>,
-}
-
-impl Args {
-    /// Parses `--key value` pairs; rejects stray positionals and
-    /// dangling flags.
-    fn parse(raw: &[String]) -> Result<Args, String> {
-        let mut values = HashMap::new();
-        let mut it = raw.iter();
-        while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got `{tok}`"))?;
-            let val = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            values.insert(key.to_string(), val.clone());
-        }
-        Ok(Args { values })
-    }
-
-    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
-        match self.values.get(key) {
-            None => Ok(None),
-            Some(v) => v
-                .parse::<f64>()
-                .map(Some)
-                .map_err(|_| format!("--{key}: `{v}` is not a number")),
-        }
-    }
-
-    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
-        Ok(self.f64_opt(key)?.unwrap_or(default))
-    }
-
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
-        match self.values.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse::<usize>()
-                .map_err(|_| format!("--{key}: `{v}` is not an integer")),
-        }
-    }
-
-    fn has(&self, key: &str) -> bool {
-        self.values.contains_key(key)
-    }
-
-    /// Worker-thread budget from `--threads N` (`0` = auto-detect).
-    fn threads(&self) -> Result<ThreadBudget, String> {
-        Ok(ThreadBudget::from(self.usize_or("threads", 0)?))
-    }
-}
-
-/// Builds a design from either `--ratio` (normalized reference family)
-/// or physical parameters `--fref --n --kvco --bw [--spread --ctotal]`.
-fn design_from(args: &Args) -> Result<PllDesign, String> {
-    if let Some(ratio) = args.f64_opt("ratio")? {
-        let spread = args.f64_or("spread", 4.0)?;
-        return PllDesign::reference_design_shaped(ratio, spread).map_err(|e| e.to_string());
-    }
-    let fref = args
-        .f64_opt("fref")?
-        .ok_or("need --ratio or --fref/--n/--kvco/--bw")?;
-    let n = args.f64_or("n", 1.0)?;
-    let kvco = args.f64_opt("kvco")?.ok_or("--kvco required with --fref")?;
-    let bw = args.f64_opt("bw")?.ok_or("--bw required with --fref")?;
-    let spread = args.f64_or("spread", 4.0)?;
-    let ctotal = args.f64_or("ctotal", 1e-9)?;
-    PllDesign::synthesize(
-        fref,
-        n,
-        kvco,
-        2.0 * std::f64::consts::PI * bw,
-        spread,
-        ctotal,
-    )
-    .map_err(|e| e.to_string())
-}
-
-fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let design = design_from(args)?;
-    let model = PllModel::builder(design.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
-    let r = analyze_with(&model, args.threads()?).map_err(|e| e.to_string())?;
-    println!("design             : {design}");
-    println!("ω₀ (reference)     : {:.6e} rad/s", design.omega_ref());
-    println!(
-        "ω_UG (LTI)         : {:.6e} rad/s  (ω_UG/ω₀ = {:.4})",
-        r.omega_ug_lti, r.omega_ug_ratio
-    );
-    println!("phase margin (LTI) : {:.2}°", r.phase_margin_lti_deg);
-    println!(
-        "ω_UG,eff           : {:.6e} rad/s  ({:.3}× LTI)",
-        r.omega_ug_eff,
-        r.omega_ug_eff / r.omega_ug_lti
-    );
-    println!(
-        "phase margin (eff) : {:.2}°  ({:.1} % degradation)",
-        r.phase_margin_eff_deg,
-        100.0 * r.phase_margin_degradation_rel()
-    );
-    match r.bandwidth_3db {
-        Some(bw) => println!("−3 dB bandwidth    : {bw:.6e} rad/s"),
-        None => println!("−3 dB bandwidth    : (none in scan window)"),
-    }
-    println!(
-        "peaking            : {:.2} dB (LTI predicted {:.2} dB)",
-        r.peaking_db, r.peaking_lti_db
-    );
-    println!(
-        "stable (HTM)       : {}{}",
-        r.nyquist_stable,
-        if r.beyond_sampling_limit {
-            "  [beyond sampling limit]"
-        } else {
-            ""
-        }
-    );
-    if let Ok(poles) = dominant_poles(&model) {
-        println!("strip poles        :");
-        for p in poles {
-            println!(
-                "    {:.4} {:+.4}j   (Im/(ω₀/2) = {:.3})",
-                p.re,
-                p.im,
-                p.im / (0.5 * design.omega_ref())
-            );
-        }
-    }
-    if args.values.get("pfd").map(String::as_str) == Some("sh") {
-        let sh = SampleHoldModel::new(model.design().clone()).map_err(|e| e.to_string())?;
-        match sh.margins() {
-            Ok(m) => println!(
-                "sample-and-hold PFD: ω_UG,eff = {:.4e} rad/s, PM = {:.2}°",
-                m.omega_ug, m.phase_margin_deg
-            ),
-            Err(e) => println!("sample-and-hold PFD: no margin ({e})"),
-        }
-    }
-    if args.has("symbolic") {
-        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
-            .map_err(|e| e.to_string())?;
-        println!("\n{}", lam.symbolic());
-    }
-    Ok(())
-}
-
-fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let from = args.f64_or("from", 0.02)?;
-    let to = args.f64_or("to", 0.3)?;
-    let points = args.usize_or("points", 15)?;
-    let threads = args.threads()?;
-    println!(
-        "{:>8} {:>14} {:>12} {:>12} {:>8}",
-        "ratio", "wUG_eff/wUG", "PM_eff", "PM_LTI", "limit?"
-    );
-    for ratio in lin_grid(from, to, points.max(2)) {
-        let model =
-            PllModel::builder(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
-                .build()
-                .map_err(|e| e.to_string())?;
-        let r = analyze_with(&model, threads).map_err(|e| e.to_string())?;
-        println!(
-            "{:8.3} {:14.4} {:12.2} {:12.2} {:>8}",
-            ratio,
-            r.omega_ug_eff / r.omega_ug_lti,
-            r.phase_margin_eff_deg,
-            r.phase_margin_lti_deg,
-            if r.beyond_sampling_limit { "YES" } else { "" }
-        );
-    }
-    Ok(())
-}
-
-fn cmd_bode(args: &Args) -> Result<(), String> {
-    let design = design_from(args)?;
-    let threads = args.threads()?;
-    let model = PllModel::builder(design.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
-    let wug = analyze_with(&model, threads)
-        .map_err(|e| e.to_string())?
-        .omega_ug_lti;
-    let points = args.usize_or("points", 31)?;
-    let grid =
-        FrequencyGrid::log(1e-2 * wug, 1e2 * wug, points.max(2)).map_err(|e| e.to_string())?;
-    println!("{:>14} {:>12} {:>12}", "omega", "mag_dB", "phase_deg");
-    if args.has("lambda") {
-        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
-            .map_err(|e| e.to_string())?;
-        // λ is only meaningful inside the first band.
-        let spec =
-            SweepSpec::new(grid.retain(|w| w < 0.4999 * design.omega_ref())).with_threads(threads);
-        for p in bode_grid(|w| lam.eval_jw(w), &spec) {
-            println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
-        }
-    } else {
-        let a = design.open_loop_gain();
-        let spec = SweepSpec::new(grid).with_threads(threads);
-        for p in bode_grid(|w| a.eval_jw(w), &spec) {
-            println!("{:14.6e} {:12.3} {:12.2}", p.omega, p.mag_db, p.phase_deg);
-        }
-    }
-    Ok(())
-}
-
-fn cmd_step(args: &Args) -> Result<(), String> {
-    let design = design_from(args)?;
-    let model = PllModel::builder(design)
-        .build()
-        .map_err(|e| e.to_string())?;
-    let until = args.f64_or("until", 40.0)?;
-    let points = args.usize_or("points", 20)?;
-    let ts = lin_grid(until / points as f64, until, points.max(2));
-    let ys = transient::step_response(&model, &ts);
-    println!("{:>12} {:>12}", "t", "theta/step");
-    for (t, y) in ts.iter().zip(&ys) {
-        println!("{t:12.4} {y:12.5}");
-    }
-    Ok(())
-}
-
-fn cmd_hop(args: &Args) -> Result<(), String> {
-    let design = design_from(args)?;
-    let model = PllModel::builder(design)
-        .build()
-        .map_err(|e| e.to_string())?;
-    let until = args.f64_or("until", 40.0)?;
-    let points = args.usize_or("points", 20)?;
-    let ts = lin_grid(until / points as f64, until, points.max(2));
-    let errs = transient::frequency_step_error(&model, &ts);
-    println!("{:>12} {:>14}", "t", "tracking error");
-    for (t, e) in ts.iter().zip(&errs) {
-        println!("{t:12.4} {e:14.5e}");
-    }
-    Ok(())
-}
-
-fn cmd_spur(args: &Args) -> Result<(), String> {
-    let design = design_from(args)?;
-    let frac = args.f64_or("leakage-frac", 1e-3)?;
-    let k_max = args.usize_or("kmax", 4)? as i64;
-    let model = PllModel::builder(design.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
-    let spurs = LeakageSpurs::new(&model, frac * design.icp());
-    println!("leakage            : {:.3e} × I_cp", frac);
-    println!(
-        "static offset      : {:.4e} s ({:.3e}·T)",
-        spurs.static_offset(),
-        spurs.static_offset() * design.f_ref()
-    );
-    println!("{:>6} {:>16} {:>12}", "k", "|sideband| (s)", "dBc");
-    for line in spurs.scan(k_max, args.threads()?) {
-        println!(
-            "{:>6} {:16.4e} {:12.2}",
-            line.k,
-            line.sideband.abs(),
-            line.level_dbc
-        );
-    }
-    Ok(())
-}
-
-fn cmd_optimize(args: &Args) -> Result<(), String> {
-    let spec = OptimizeSpec {
-        min_pm_eff_deg: args.f64_or("min-pm", 45.0)?,
-        ratios: (
-            args.f64_or("from", 0.03)?,
-            args.f64_or("to", 0.25)?,
-            args.usize_or("points", 10)?,
-        ),
-        spreads: vec![3.0, 4.0, 6.0],
-    };
-    let noise = NoiseSpec {
-        reference: NoiseShape::White {
-            level: args.f64_or("ref-noise", 1e-12)?,
-        },
-        vco: NoiseShape::PowerLaw {
-            level_at_ref: args.f64_or("vco-noise", 1e-11)?,
-            w_ref: 1.0,
-            exponent: 2,
-        },
-        band: (1e-3, 0.45),
-    };
-    let best = optimize_loop(&spec, &noise).map_err(|e| e.to_string())?;
-    println!(
-        "best: ω_UG/ω₀ = {:.3}, spread = {} (PM_LTI {:.1}°, PM_eff {:.1}°)",
-        best.ratio, best.spread, best.report.phase_margin_lti_deg, best.report.phase_margin_eff_deg
-    );
-    println!(
-        "integrated output noise: {:.3e} (rms {:.3e})",
-        best.integrated_noise,
-        best.integrated_noise.sqrt()
-    );
-    Ok(())
-}
-
-/// One row of the doctor health table.
-struct DoctorRow {
-    check: &'static str,
-    verdict: String,
-    cond: Option<f64>,
-    residual: Option<f64>,
-    ok: bool,
-    note: String,
-}
-
-/// Short verdict label for the health table.
-fn verdict_label(q: &PointQuality) -> &'static str {
-    q.name()
-}
-
-/// Stress-evaluates a model at adversarial points — on-pole `s`, a loop
-/// driven to `ω_UG ≈ ω₀`, (near-)singular `I + G̃`, extreme truncation
-/// orders, NaN injection — and prints a health table. Every check must
-/// complete without panicking AND land on its expected verdict class;
-/// any surprise fails the command (exit code 2).
-fn cmd_doctor(args: &Args) -> Result<(), String> {
-    let design = if args.has("ratio") || args.has("fref") {
-        design_from(args)?
-    } else {
-        PllDesign::reference_design(0.1).map_err(|e| e.to_string())?
-    };
-    let model = PllModel::builder(design.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
-    let w0 = design.omega_ref();
-    let cache = SweepCache::new();
-    let trunc = Truncation::new(4);
-    let mut rows: Vec<DoctorRow> = Vec::new();
-
-    // A dense-solve check: evaluate at `s`, expect one of `allowed`.
-    let mut dense_check = |check: &'static str, s: Complex, k: Truncation, allowed: &[&str]| {
-        let row = match cache.dense_robust(&model, s, k) {
-            Ok(d) => DoctorRow {
-                check,
-                verdict: verdict_label(&d.quality).to_string(),
-                cond: Some(d.report.cond_estimate),
-                residual: Some(d.report.residual),
-                ok: allowed.contains(&verdict_label(&d.quality)),
-                note: format!("stages {}", d.report.stages_tried.len()),
-            },
-            Err(reason) => DoctorRow {
-                check,
-                verdict: "failed".to_string(),
-                cond: None,
-                residual: None,
-                ok: allowed.contains(&"failed"),
-                note: reason.chars().take(48).collect(),
-            },
-        };
-        rows.push(row);
-    };
-
-    // 1-2: exactly on the aliased-integrator poles of the open loop —
-    // the entries are non-finite there; the engine must fail the point
-    // gracefully, never panic or return NaN as a value.
-    dense_check("on-pole s = j*w0", Complex::from_im(w0), trunc, &["failed"]);
-    dense_check("integrator pole s = 0", Complex::ZERO, trunc, &["failed"]);
-    // 3: NaN injection through the public API.
-    dense_check(
-        "NaN Laplace point",
-        Complex::new(f64::NAN, 0.0),
-        trunc,
-        &["failed"],
-    );
-    // 4: a usable point at the band edge, where conditioning is worst.
-    dense_check(
-        "band edge s = j*0.499*w0",
-        Complex::from_im(0.499 * w0),
-        trunc,
-        &["exact", "refined", "perturbed"],
-    );
-    // 5: on a closed-loop strip pole (if one is found): I+G~ is
-    // near-singular; the ladder must still produce a usable value.
-    if let Ok(poles) = dominant_poles(&model) {
-        if let Some(p) = poles.first() {
-            dense_check(
-                "closed-loop pole s = p1",
-                *p,
-                trunc,
-                &["exact", "refined", "perturbed"],
-            );
-        }
-    }
-    // 6-7: extreme truncation orders.
-    dense_check(
-        "truncation K = 1",
-        Complex::from_im(0.3 * w0),
-        Truncation::new(1),
-        &["exact", "refined", "perturbed"],
-    );
-    dense_check(
-        "truncation K = MAX",
-        Complex::from_im(0.3 * w0),
-        Truncation::new(MAX_AUTO_TRUNCATION),
-        &["exact", "refined", "perturbed"],
-    );
-
-    // 8: exactly singular I+G~ (G~ = -I): the Tikhonov rung must kick
-    // in and mark the result perturbed.
-    let singular = Htm::identity(trunc, w0).scale(-Complex::ONE);
-    rows.push(match singular.closed_loop_factored_robust() {
-        Ok((_, cl, report)) => DoctorRow {
-            check: "singular I+G~ (G~ = -I)",
-            verdict: if report.perturbed {
-                "perturbed".into()
-            } else {
-                "unexpected".into()
-            },
-            cond: Some(report.cond_estimate),
-            residual: Some(report.residual),
-            ok: report.perturbed && cl.as_matrix().is_finite(),
-            note: format!("stages {}", report.stages_tried.len()),
-        },
-        Err(e) => DoctorRow {
-            check: "singular I+G~ (G~ = -I)",
-            verdict: "failed".into(),
-            cond: None,
-            residual: None,
-            ok: false,
-            note: e.to_string(),
-        },
-    });
-
-    // 9: structured-kernel probe — a banded open loop whose I+G~ is a
-    // tridiagonal Toeplitz matrix tuned to be singular to working
-    // precision (smallest eigenvalue a + 2·cos(π/(n+1)) = 0). The
-    // banded rung must refuse it at the conditioning gate and escalate
-    // through the dense ladder to a refined/perturbed value — never
-    // silently return a wrong structured answer.
-    let n = trunc.dim();
-    let a0 = -2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
-    let near_singular = Htm::from_repr(
-        trunc,
-        w0,
-        HtmRepr::BandedToeplitz {
-            coeffs: vec![Complex::ONE, Complex::from_re(a0 - 1.0), Complex::ONE],
-            row_scale: None,
-        },
-    );
-    rows.push(match near_singular.closed_loop_factored_robust() {
-        Ok((_, cl, report)) => {
-            let quality = PointQuality::from_report(&report);
-            let escalated = report.stages_tried.len() > 1;
-            DoctorRow {
-                check: "structured near-singular band",
-                verdict: verdict_label(&quality).to_string(),
-                cond: Some(report.cond_estimate),
-                residual: Some(report.residual),
-                ok: escalated
-                    && matches!(quality, PointQuality::Refined | PointQuality::Perturbed)
-                    && cl.as_matrix().is_finite(),
-                note: format!("stages {}", report.stages_tried.len()),
-            }
-        }
-        Err(e) => DoctorRow {
-            check: "structured near-singular band",
-            verdict: "failed".into(),
-            cond: None,
-            residual: None,
-            ok: false,
-            note: e.to_string(),
-        },
-    });
-
-    // 10: a loop pushed to the sampling limit (ω_UG ≈ ω₀ regime) must
-    // still analyze end to end and report its degraded-point counts.
-    let fast_row = match PllDesign::reference_design(0.45)
-        .map_err(|e| e.to_string())
-        .and_then(|d| PllModel::builder(d).build().map_err(|e| e.to_string()))
-        .and_then(|m| analyze_with(&m, args.threads()?).map_err(|e| e.to_string()))
-    {
-        Ok(r) => DoctorRow {
-            check: "fast loop w_UG ~ w0",
-            verdict: "completed".into(),
-            cond: Some(r.quality.worst_cond),
-            residual: Some(r.quality.worst_residual),
-            ok: true,
-            note: format!(
-                "beyond_limit={} degraded={}",
-                r.beyond_sampling_limit,
-                r.quality.degraded()
-            ),
-        },
-        Err(e) => DoctorRow {
-            check: "fast loop w_UG ~ w0",
-            verdict: "error".into(),
-            cond: None,
-            residual: None,
-            ok: false,
-            note: e.chars().take(48).collect(),
-        },
-    };
-    rows.push(fast_row);
-
-    println!("plltool doctor — numerical-resilience health check");
-    println!("design : {design}");
-    println!();
-    println!(
-        "{:<26} {:>10} {:>10} {:>10} {:>6}  note",
-        "check", "verdict", "cond", "residual", "ok"
-    );
-    let mut failures = 0usize;
-    for r in &rows {
-        let cond = r.cond.map_or("-".to_string(), |c| format!("{c:.2e}"));
-        let res = r.residual.map_or("-".to_string(), |x| format!("{x:.2e}"));
-        println!(
-            "{:<26} {:>10} {:>10} {:>10} {:>6}  {}",
-            r.check,
-            r.verdict,
-            cond,
-            res,
-            if r.ok { "ok" } else { "FAIL" },
-            r.note
-        );
-        if !r.ok {
-            failures += 1;
-        }
-    }
-    println!();
-    if failures == 0 {
-        println!(
-            "doctor: HEALTHY ({}/{} checks as expected)",
-            rows.len(),
-            rows.len()
-        );
-        Ok(())
-    } else {
-        Err(format!(
-            "doctor: {failures}/{} checks did NOT behave as expected",
-            rows.len()
-        ))
-    }
-}
-
-/// Cross-stack differential verification: runs the deterministic
-/// scenario corpus through the λ(s), z-domain and time-domain stacks
-/// and reconciles every overlapping observable. Exit 2 on any
-/// `Mismatch` verdict.
-fn cmd_xcheck(args: &Args) -> Result<(), String> {
-    let corpus = args
-        .values
-        .get("corpus")
-        .cloned()
-        .unwrap_or_else(|| "default".to_string());
-    let report = htmpll::xcheck::run_corpus(&corpus, args.threads()?).map_err(|e| e.to_string())?;
-    print!("{}", report.render_table());
-    println!();
-    println!(
-        "xcheck: corpus {} — {} agree, {} tolerated, {} mismatch ({} checks, {} scenarios)",
-        report.corpus,
-        report.agreements(),
-        report.tolerated(),
-        report.mismatches(),
-        report.total_checks(),
-        report.scenarios.len()
-    );
-    println!("digest : {}", report.digest());
-    if let Some(path) = args.values.get("json") {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    if let Some(path) = args.values.get("bench") {
-        let json = report.timings.to_bench_json(
-            &report.corpus,
-            report.scenarios.len(),
-            report.total_checks(),
-        );
-        std::fs::write(path, json).map_err(|e| format!("--bench {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    if report.mismatches() > 0 {
-        return Err(format!(
-            "xcheck: {} cross-stack mismatch(es) — the models disagree beyond every justified bound",
-            report.mismatches()
-        ));
-    }
-    Ok(())
-}
-
-/// Runs a representative slice of the whole pipeline — analysis, strip
-/// poles, truncated/dense HTM closed loop, eigenvalues, parallel
-/// frequency sweeps, behavioral simulation, lock acquisition, spectral
-/// estimation — under the obs filter, then reports every metric the run
-/// produced.
-fn cmd_metrics(args: &Args) -> Result<(), String> {
-    let spec = args
-        .values
-        .get("obs")
-        .cloned()
-        .unwrap_or_else(|| "debug".to_string());
-    htmpll::obs::override_filter(&spec);
-    htmpll::obs::reset();
-    let threads = args.threads()?;
-
-    let design = if args.has("ratio") || args.has("fref") {
-        design_from(args)?
-    } else {
-        PllDesign::reference_design(0.1).map_err(|e| e.to_string())?
-    };
-    let model = PllModel::builder(design.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
-
-    // Frequency-domain leg: margins, strip poles, λ truncation — all
-    // scan grids run on the parallel pool.
-    analyze_with(&model, threads).map_err(|e| e.to_string())?;
-    let _ = dominant_poles(&model);
-    let lam = model.lambda();
-    let k = lam.suggest_truncation(1e-6);
-    let s = Complex::from_im(0.3 * design.omega_ref());
-    let _ = lam.eval_truncated(s, k.min(1000));
-
-    // HTM leg: dense closed loop + generalized Nyquist eigenvalues.
-    let trunc = Truncation::new(k.min(10));
-    let cl = model
-        .closed_loop_htm_dense(s, trunc)
-        .map_err(|e| e.to_string())?;
-    cl.eigenvalues()
-        .map_err(|e| format!("eigensolver: {e:?}"))?;
-
-    // Parallel-sweep leg: λ grid, dense HTM grid (twice through one
-    // cache, so the second pass is all hits), folded noise PSDs and a
-    // spur table — exercises the pool and the sweep cache end to end.
-    let w0 = design.omega_ref();
-    let sweep_spec = SweepSpec::log(1e-3 * w0, 0.49 * w0, 512)
-        .map_err(|e| e.to_string())?
-        .with_threads(threads);
-    let _ = lam.eval_grid(&sweep_spec);
-    let htm_spec = SweepSpec::log(1e-2 * w0, 0.49 * w0, 96)
-        .map_err(|e| e.to_string())?
-        .with_truncation(trunc)
-        .with_threads(threads);
-    let cache = SweepCache::new();
-    model
-        .closed_loop_htm_grid_cached(&htm_spec, &cache)
-        .map_err(|e| e.to_string())?;
-    model
-        .closed_loop_htm_grid_cached(&htm_spec, &cache)
-        .map_err(|e| e.to_string())?;
-    // Robustness leg: a grid with a deliberately on-pole point (ω = ω₀)
-    // exercises the verdict/escalation path — robust.failed alongside
-    // the healthy points' robust.exact.
-    let adversarial = SweepSpec::new(vec![0.2 * w0, w0, 0.45 * w0])
-        .with_truncation(trunc)
-        .with_threads(threads);
-    let robust = model.closed_loop_htm_grid_robust(&adversarial, &cache);
-    let _ = robust.summary();
-    let noise = NoiseModel::new(&model, 8);
-    let _ = noise.output_psd_grid(&sweep_spec, &|_| 1e-12, &|f| 1e-12 / (1.0 + f * f));
-    let _ = LeakageSpurs::new(&model, 1e-3 * design.icp()).scan(16, threads);
-
-    // Time-domain leg: settle run, lock acquisition, PSD of the trace.
-    let params = SimParams::from_design(&design);
-    let config = SimConfig::default();
-    let mut sim = PllSim::new(params.clone(), config);
-    let trace = sim.run(30.0 * params.t_ref, &|_| 0.0);
-    let _ = acquire_lock(&params, &config, 5e-3, &LockOptions::default());
-    let fs = 1.0 / trace.dt;
-    periodogram(&trace.v_ctrl, fs, Window::Hann).map_err(|e| e.to_string())?;
-
-    println!("filter : {}", spec);
-    println!(
-        "levels : {}",
-        htmpll::obs::describe_targets(&["num", "htm", "core", "sim", "spectral"])
-    );
-    println!();
-    print!("{}", htmpll::obs::export_table());
-    if let Some(path) = args.values.get("json") {
-        std::fs::write(path, htmpll::obs::export_json())
-            .map_err(|e| format!("--json {path}: {e}"))?;
-        println!("\nwrote {path}");
-    }
-    Ok(())
-}
-
-/// Wraps an inner command in a trace session and exports the event
-/// timeline as Chrome Trace Format JSON (and optionally a folded-stack
-/// flamegraph). The inner command's own flags pass straight through —
-/// `plltool trace sweep --points 5 --out t.json` traces a 5-point sweep.
-fn cmd_trace(inner: &str, args: &Args) -> Result<(), String> {
-    if inner == "trace" || inner == "profile" {
-        return Err(format!("trace cannot wrap `{inner}`"));
-    }
-    let out = args
-        .values
-        .get("out")
-        .cloned()
-        .unwrap_or_else(|| "trace.json".to_string());
-    let capacity = args.usize_or("trace-capacity", htmpll::obs::DEFAULT_TRACE_CAPACITY)?;
-    // Timeline events ride on span/instant sites, so collection must be
-    // on; debug captures the per-point and solver-ladder detail.
-    let spec = args
-        .values
-        .get("obs")
-        .cloned()
-        .unwrap_or_else(|| "debug".to_string());
-    htmpll::obs::override_filter(&spec);
-    htmpll::obs::trace_start(capacity);
-    let result = dispatch(inner, args);
-    let trace = htmpll::obs::trace_stop();
-
-    let json = htmpll::obs::chrome_trace_json(&trace);
-    htmpll::obs::validate_json(&json).map_err(|e| format!("internal: trace JSON invalid: {e}"))?;
-    std::fs::write(&out, &json).map_err(|e| format!("--out {out}: {e}"))?;
-    let targets: std::collections::BTreeSet<&str> = trace.events.iter().map(|e| e.cat).collect();
-    println!(
-        "trace : {} events ({} shed) from targets [{}]",
-        trace.events.len(),
-        trace.dropped,
-        targets.into_iter().collect::<Vec<_>>().join(", ")
-    );
-    println!("wrote {out}");
-    if let Some(path) = args.values.get("folded") {
-        std::fs::write(path, htmpll::obs::flamegraph_folded(&trace))
-            .map_err(|e| format!("--folded {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    result
-}
-
-/// Runs the seeded profiling workload matrix and prints the per-phase
-/// attribution table.
-fn cmd_profile(args: &Args) -> Result<(), String> {
-    let spec = htmpll::profile::ProfileSpec {
-        ratio: args.f64_or("ratio", 0.1)?,
-        points: args.usize_or("points", 96)?,
-        trunc: args.usize_or("trunc", 8)?,
-        reps: args.usize_or("reps", 1)?,
-        threads: args.threads()?,
-        seed: args.usize_or("seed", 0)? as u64,
-    };
-    let report = htmpll::profile::run_profile(&spec)?;
-    print!("{}", report.render_table());
-    if let Some(path) = args.values.get("json") {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    Ok(())
-}
-
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile|serve> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -805,27 +52,142 @@ const USAGE: &str =
           sweep, dense kernel, adversarial robust grid, noise folding)
           and prints per-phase attribution: wall time, per-point p50/p99,
           cache hit rate, verdicts, ladder stages, worker utilization
+  serve   [--workers N] [--queue-max N] [--batch-max N] [--shed x]
+          [--response-cache N] [--log-every N] [--socket PATH]
+          long-running batched analysis service: reads JSON-lines
+          requests {\"id\":...,\"command\":...,\"params\":{...}} from stdin
+          (or a Unix socket), answers one plltool/v1 envelope line per
+          request in input order; identical specs are batched across a
+          shared warm cache; send {\"command\":\"stats\"} for live
+          latency/throughput/queue/cache figures
   every command accepts --threads N for the sweep worker pool
   (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
   PATH to dump instrumentation (enables info-level collection if
-  HTMPLL_OBS is unset)";
+  HTMPLL_OBS is unset)
+  --json PATH and --metrics-json PATH write one versioned envelope
+  {\"schema\":\"plltool/v1\",\"command\":...,\"ok\":...,\"result\":...,
+   \"quality\":...[,\"metrics\":...]} — the same document shape serve
+  emits per line";
 
-/// Routes one non-wrapper command to its handler. `trace` wraps this,
-/// so everything here is traceable.
-fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
-    match cmd {
-        "analyze" => cmd_analyze(args),
-        "sweep" => cmd_sweep(args),
-        "bode" => cmd_bode(args),
-        "step" => cmd_step(args),
-        "spur" => cmd_spur(args),
-        "optimize" => cmd_optimize(args),
-        "hop" => cmd_hop(args),
-        "doctor" => cmd_doctor(args),
-        "xcheck" => cmd_xcheck(args),
-        "metrics" => cmd_metrics(args),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+/// Parses and executes one non-wrapper command through the service
+/// layer: print the human rendering, then write the optional envelope
+/// files, then surface the command's failure (if any) for exit 2.
+/// `trace` wraps this, so everything here is traceable.
+fn run_request(cmd: &str, params: &Params) -> Result<(), String> {
+    let req = Request::parse(cmd, params).map_err(|e| {
+        if e.starts_with("unknown command") {
+            format!("{e}\n{USAGE}")
+        } else {
+            e
+        }
+    })?;
+    // `metrics` and `profile` manage the obs registry themselves;
+    // --metrics-json applies to every other command.
+    let metrics_path = if matches!(req, Request::Metrics { .. } | Request::Profile { .. }) {
+        None
+    } else {
+        params.str_opt("metrics-json")
+    };
+    if metrics_path.is_some() && std::env::var_os("HTMPLL_OBS").is_none() {
+        htmpll::obs::override_filter("info");
     }
+
+    let ctx = ServiceCtx::new();
+    let resp = handle(&req, &ctx);
+    print!("{}", resp.render_text());
+
+    if let Some(path) = params.str_opt("json") {
+        let doc = envelope(&resp, &RequestId::None, None);
+        std::fs::write(&path, &doc).map_err(|e| format!("--json {path}: {e}"))?;
+        if matches!(resp, Response::Metrics(_)) {
+            println!("\nwrote {path}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = params.str_opt("bench") {
+        if let Response::Xcheck(x) = &resp {
+            std::fs::write(&path, &x.bench_json).map_err(|e| format!("--bench {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &metrics_path {
+        let doc = envelope(&resp, &RequestId::None, Some(&htmpll::obs::export_json()));
+        std::fs::write(path, &doc).map_err(|e| format!("--metrics-json {path}: {e}"))?;
+    }
+    match resp.failure() {
+        Some(message) => Err(message),
+        None => Ok(()),
+    }
+}
+
+/// Wraps an inner command in a trace session and exports the event
+/// timeline as Chrome Trace Format JSON (and optionally a folded-stack
+/// flamegraph). The inner command's own flags pass straight through —
+/// `plltool trace sweep --points 5 --out t.json` traces a 5-point sweep.
+fn cmd_trace(inner: &str, params: &Params) -> Result<(), String> {
+    if inner == "trace" || inner == "profile" || inner == "serve" {
+        return Err(format!("trace cannot wrap `{inner}`"));
+    }
+    let out = params
+        .str_opt("out")
+        .unwrap_or_else(|| "trace.json".to_string());
+    let capacity = params.usize_or("trace-capacity", htmpll::obs::DEFAULT_TRACE_CAPACITY)?;
+    // Timeline events ride on span/instant sites, so collection must be
+    // on; debug captures the per-point and solver-ladder detail.
+    let spec = params.str_opt("obs").unwrap_or_else(|| "debug".to_string());
+    htmpll::obs::override_filter(&spec);
+    htmpll::obs::trace_start(capacity);
+    let result = run_request(inner, params);
+    let trace = htmpll::obs::trace_stop();
+
+    let json = htmpll::obs::chrome_trace_json(&trace);
+    htmpll::obs::validate_json(&json).map_err(|e| format!("internal: trace JSON invalid: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("--out {out}: {e}"))?;
+    let targets: std::collections::BTreeSet<&str> = trace.events.iter().map(|e| e.cat).collect();
+    println!(
+        "trace : {} events ({} shed) from targets [{}]",
+        trace.events.len(),
+        trace.dropped,
+        targets.into_iter().collect::<Vec<_>>().join(", ")
+    );
+    println!("wrote {out}");
+    if let Some(path) = params.str_opt("folded") {
+        std::fs::write(&path, htmpll::obs::flamegraph_folded(&trace))
+            .map_err(|e| format!("--folded {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    result
+}
+
+/// The `serve` front end: stdin→stdout JSONL by default, a Unix socket
+/// with `--socket PATH`. The summary line goes to stderr so response
+/// lines stay machine-clean on stdout.
+fn cmd_serve(params: &Params) -> Result<(), String> {
+    let opts = ServeOptions {
+        workers: params.usize_or("workers", 0)?,
+        queue_max: params.usize_or("queue-max", 256)?,
+        batch_max: params.usize_or("batch-max", 32)?,
+        shed: params.has("shed"),
+        response_cache: params.usize_or("response-cache", 1024)?,
+        log_every: params.usize_or("log-every", 0)? as u64,
+    };
+    if std::env::var_os("HTMPLL_OBS").is_none() {
+        htmpll::obs::override_filter("serve=info");
+    }
+    if let Some(path) = params.str_opt("socket") {
+        #[cfg(unix)]
+        return htmpll::service::serve_unix(&path, &opts);
+        #[cfg(not(unix))]
+        return Err(format!(
+            "--socket {path}: unix sockets unavailable on this platform"
+        ));
+    }
+    let reader = std::io::BufReader::new(std::io::stdin());
+    let mut writer = std::io::BufWriter::new(std::io::stdout());
+    let summary = serve_lines(reader, &mut writer, &opts)?;
+    eprintln!("serve: {}", summary.render_line());
+    Ok(())
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -840,37 +202,21 @@ fn run(argv: &[String]) -> Result<(), String> {
     } else {
         (None, &argv[1..])
     };
-    let args = Args::parse(flags)?;
+    let params = Params::from_argv(flags).map_err(|e| format!("{e}\n{USAGE}"))?;
     // Bridge --threads into the process-wide budget so code paths that
     // use ThreadBudget::Auto internally (optimizer, library defaults)
     // honor the flag too.
-    if let Some(n) = args.values.get("threads") {
-        let n: usize = n
-            .parse()
-            .map_err(|_| format!("--threads: `{n}` is not an integer"))?;
-        if n > 0 {
-            std::env::set_var(htmpll::par::THREADS_ENV, n.to_string());
-        }
+    let threads = params.threads()?;
+    if threads > 0 {
+        std::env::set_var(htmpll::par::THREADS_ENV, threads.to_string());
     }
     if let Some(inner) = inner {
-        return cmd_trace(inner, &args);
+        return cmd_trace(inner, &params);
     }
-    if cmd == "metrics" {
-        return cmd_metrics(&args);
+    if cmd == "serve" {
+        return cmd_serve(&params);
     }
-    if cmd == "profile" {
-        return cmd_profile(&args);
-    }
-    let metrics_path = args.values.get("metrics-json").cloned();
-    if metrics_path.is_some() && std::env::var_os("HTMPLL_OBS").is_none() {
-        htmpll::obs::override_filter("info");
-    }
-    let result = dispatch(cmd, &args);
-    if let Some(path) = &metrics_path {
-        std::fs::write(path, htmpll::obs::export_json())
-            .map_err(|e| format!("--metrics-json {path}: {e}"))?;
-    }
-    result
+    run_request(cmd, &params)
 }
 
 fn main() -> ExitCode {
@@ -887,10 +233,15 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use htmpll::requests::DesignSpec;
     use std::sync::{Mutex, MutexGuard};
 
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn params(v: &[&str]) -> Params {
+        Params::from_argv(&strs(v)).unwrap()
     }
 
     /// Serializes tests that mutate the process-global obs filter or
@@ -903,7 +254,7 @@ mod tests {
 
     #[test]
     fn parses_key_value_pairs() {
-        let a = Args::parse(&strs(&["--ratio", "0.1", "--points", "7"])).unwrap();
+        let a = params(&["--ratio", "0.1", "--points", "7"]);
         assert_eq!(a.f64_opt("ratio").unwrap(), Some(0.1));
         assert_eq!(a.usize_or("points", 3).unwrap(), 7);
         assert_eq!(a.f64_or("missing", 2.5).unwrap(), 2.5);
@@ -912,30 +263,47 @@ mod tests {
 
     #[test]
     fn rejects_malformed_args() {
-        assert!(Args::parse(&strs(&["ratio", "0.1"])).is_err());
-        assert!(Args::parse(&strs(&["--ratio"])).is_err());
-        let a = Args::parse(&strs(&["--ratio", "abc"])).unwrap();
+        assert!(Params::from_argv(&strs(&["ratio", "0.1"])).is_err());
+        assert!(Params::from_argv(&strs(&["--ratio"])).is_err());
+        let a = params(&["--ratio", "abc"]);
         assert!(a.f64_opt("ratio").is_err());
-        let b = Args::parse(&strs(&["--points", "1.5"])).unwrap();
+        let b = params(&["--points", "1.5"]);
         assert!(b.usize_or("points", 1).is_err());
     }
 
     #[test]
+    fn malformed_input_reports_usage_and_exit_code_2_path() {
+        // Unknown command and malformed flags both route through
+        // `run`'s Err branch (exit 2 in main) and carry the usage text.
+        let e1 = run(&strs(&["frobnicate"])).unwrap_err();
+        assert!(e1.contains("unknown command `frobnicate`"));
+        assert!(e1.contains("usage: plltool"));
+        let e2 = run(&strs(&["analyze", "ratio", "0.1"])).unwrap_err();
+        assert!(e2.contains("expected --flag"));
+        assert!(e2.contains("usage: plltool"));
+        let e3 = run(&strs(&["analyze", "--ratio"])).unwrap_err();
+        assert!(e3.contains("flag --ratio needs a value"));
+        assert!(e3.contains("usage: plltool"));
+    }
+
+    #[test]
     fn design_from_ratio_and_physical() {
-        let a = Args::parse(&strs(&["--ratio", "0.1"])).unwrap();
-        let d = design_from(&a).unwrap();
+        let d = DesignSpec::required(&params(&["--ratio", "0.1"]))
+            .unwrap()
+            .build()
+            .unwrap();
         assert!((d.omega_ref() - 10.0).abs() < 1e-9);
 
-        let b = Args::parse(&strs(&[
+        let d2 = DesignSpec::required(&params(&[
             "--fref", "10e6", "--n", "64", "--kvco", "6.283e8", "--bw", "500e3",
         ]))
+        .unwrap()
+        .build()
         .unwrap();
-        let d2 = design_from(&b).unwrap();
         assert!((d2.f_ref() - 10e6).abs() < 1.0);
         assert_eq!(d2.divider(), 64.0);
 
-        let c = Args::parse(&strs(&["--fref", "10e6"])).unwrap();
-        assert!(design_from(&c).is_err());
+        assert!(DesignSpec::required(&params(&["--fref", "10e6"])).is_err());
     }
 
     #[test]
@@ -967,6 +335,20 @@ mod tests {
     }
 
     #[test]
+    fn json_flag_writes_envelope_for_any_command() {
+        let path = std::env::temp_dir().join("plltool_envelope_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&strs(&["analyze", "--ratio", "0.1", "--json", &path_s])).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with("{\"schema\":\"plltool/v1\""));
+        assert!(doc.contains("\"command\":\"analyze\""));
+        assert!(doc.contains("\"ok\":true"));
+        assert!(doc.contains("\"quality\":"));
+        htmpll::obs::validate_json(&doc).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn doctor_reports_healthy_and_dumps_robust_metrics() {
         let _guard = obs_lock();
         let path = std::env::temp_dir().join("plltool_doctor_test.json");
@@ -985,6 +367,9 @@ mod tests {
             "robust.* counters missing: {json}"
         );
         assert!(json.contains("num.robust.factor"), "{json}");
+        // The dump now rides in the envelope's `metrics` member.
+        assert!(json.starts_with("{\"schema\":\"plltool/v1\""));
+        assert!(json.contains("\"metrics\":{"));
         htmpll::obs::override_filter("off");
         std::fs::remove_file(&path).ok();
     }
@@ -1009,6 +394,7 @@ mod tests {
             "mismatches in quick corpus: {json}"
         );
         assert!(json.contains("\"digest\":\""), "digest missing: {json}");
+        assert!(json.starts_with("{\"schema\":\"plltool/v1\""));
         std::fs::remove_file(&path).ok();
 
         assert!(run(&strs(&["xcheck", "--corpus", "nonsense"])).is_err());
@@ -1071,6 +457,7 @@ mod tests {
         assert!(run(&strs(&["trace"])).is_err());
         assert!(run(&strs(&["trace", "trace", "--ratio", "0.1"])).is_err());
         assert!(run(&strs(&["trace", "profile"])).is_err());
+        assert!(run(&strs(&["trace", "serve"])).is_err());
     }
 
     #[test]

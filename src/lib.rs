@@ -71,6 +71,16 @@ pub use htmpll_xcheck as xcheck;
 /// `plltool profile`).
 pub mod profile;
 
+/// Typed request layer: every `plltool` subcommand as a parsed,
+/// canonicalizable [`requests::Request`] value (argv and JSON share one
+/// parser).
+pub mod requests;
+
+/// Execution + rendering layer: [`service::handle`] runs a request
+/// against a shared [`service::ServiceCtx`], [`service::serve_lines`]
+/// batches a JSONL stream of them across a worker pool.
+pub mod service;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{

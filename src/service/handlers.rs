@@ -1,0 +1,605 @@
+//! Command handlers: the former `plltool` subcommand bodies, extracted
+//! into pure(ish) functions from typed [`Request`] parameters to typed
+//! response payloads. No handler prints, reads argv, or writes files —
+//! that is front-end work — and every fallible step surfaces as a
+//! `Result`, so a batch service can absorb failures per request.
+
+use super::response::{
+    AnalyzeOut, BodeOut, BodeRow, DoctorCheck, DoctorOut, MetricsOut, OptimizeOut, ProfileOut,
+    Response, ServiceError, ShMargins, SpurOut, SweepOut, SweepRow, TransientOut, XcheckOut,
+};
+use super::ServiceCtx;
+use crate::core::{
+    analyze_cached, bode_grid, dominant_poles, optimize_loop, transient, EffectiveGain,
+    LeakageSpurs, NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel,
+    PointQuality, QualitySummary, SampleHoldModel, SweepSpec, MAX_AUTO_TRUNCATION,
+};
+use crate::htm::{Htm, HtmRepr, Truncation};
+use crate::lti::FrequencyGrid;
+use crate::num::optim::lin_grid;
+use crate::num::Complex;
+use crate::par::ThreadBudget;
+use crate::requests::{DesignSpec, Request};
+use crate::sim::{acquire_lock, LockOptions, PllSim, SimConfig, SimParams};
+use crate::spectral::{periodogram, Window};
+
+/// Executes one request against the shared service context. Never
+/// panics on request-level failures: they come back as
+/// [`Response::Error`].
+pub fn handle(req: &Request, ctx: &ServiceCtx) -> Response {
+    let budget = req.budget();
+    let result = match req {
+        Request::Analyze {
+            design,
+            pfd_sh,
+            symbolic,
+            ..
+        } => analyze(design, budget, *pfd_sh, *symbolic, ctx).map(Response::Analyze),
+        Request::Sweep {
+            from, to, points, ..
+        } => sweep(*from, *to, *points, budget, ctx).map(Response::Sweep),
+        Request::Bode {
+            design,
+            points,
+            lambda,
+            ..
+        } => bode(design, *points, *lambda, budget, ctx).map(Response::Bode),
+        Request::Step {
+            design,
+            until,
+            points,
+        } => transient_out(design, *until, *points, false).map(Response::Step),
+        Request::Hop {
+            design,
+            until,
+            points,
+        } => transient_out(design, *until, *points, true).map(Response::Hop),
+        Request::Spur {
+            design,
+            leakage_frac,
+            kmax,
+            ..
+        } => spur(design, *leakage_frac, *kmax, budget).map(Response::Spur),
+        Request::Optimize {
+            min_pm,
+            from,
+            to,
+            points,
+            ref_noise,
+            vco_noise,
+        } => optimize(*min_pm, *from, *to, *points, *ref_noise, *vco_noise).map(Response::Optimize),
+        Request::Doctor { design, .. } => {
+            doctor(design.as_ref(), budget, ctx).map(Response::Doctor)
+        }
+        Request::Xcheck { corpus, .. } => xcheck(corpus, budget).map(Response::Xcheck),
+        Request::Metrics {
+            design, obs_spec, ..
+        } => metrics(design.as_ref(), obs_spec, budget).map(Response::Metrics),
+        Request::Profile {
+            ratio,
+            points,
+            trunc,
+            reps,
+            seed,
+            ..
+        } => profile(*ratio, *points, *trunc, *reps, *seed, budget).map(Response::Profile),
+        Request::Stats => Err("stats is only available under `plltool serve`".to_string()),
+    };
+    result.unwrap_or_else(|message| Response::Error(ServiceError::failed(req.command(), message)))
+}
+
+fn build_model(spec: &DesignSpec) -> Result<(PllDesign, PllModel), String> {
+    let design = spec.build()?;
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    Ok((design, model))
+}
+
+fn analyze(
+    spec: &DesignSpec,
+    threads: ThreadBudget,
+    pfd_sh: bool,
+    symbolic: bool,
+    ctx: &ServiceCtx,
+) -> Result<AnalyzeOut, String> {
+    let (design, model) = build_model(spec)?;
+    let report = analyze_cached(&model, threads, &ctx.cache).map_err(|e| e.to_string())?;
+    let strip_poles = dominant_poles(&model)
+        .ok()
+        .map(|ps| ps.iter().map(|p| (p.re, p.im)).collect());
+    let sample_hold = if pfd_sh {
+        let sh = SampleHoldModel::new(model.design().clone()).map_err(|e| e.to_string())?;
+        Some(match sh.margins() {
+            Ok(m) => Ok(ShMargins {
+                omega_ug: m.omega_ug,
+                phase_margin_deg: m.phase_margin_deg,
+            }),
+            Err(e) => Err(e.to_string()),
+        })
+    } else {
+        None
+    };
+    let symbolic = if symbolic {
+        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
+            .map_err(|e| e.to_string())?;
+        Some(lam.symbolic())
+    } else {
+        None
+    };
+    Ok(AnalyzeOut {
+        design_display: design.to_string(),
+        omega_ref: design.omega_ref(),
+        report,
+        strip_poles,
+        sample_hold,
+        symbolic,
+    })
+}
+
+fn merge_quality(into: &mut QualitySummary, q: &QualitySummary) {
+    into.exact += q.exact;
+    into.refined += q.refined;
+    into.perturbed += q.perturbed;
+    into.failed += q.failed;
+    if q.worst_cond > into.worst_cond {
+        into.worst_cond = q.worst_cond;
+    }
+    if q.worst_residual > into.worst_residual {
+        into.worst_residual = q.worst_residual;
+    }
+}
+
+fn sweep(
+    from: f64,
+    to: f64,
+    points: usize,
+    threads: ThreadBudget,
+    ctx: &ServiceCtx,
+) -> Result<SweepOut, String> {
+    let mut rows = Vec::new();
+    let mut quality = QualitySummary::default();
+    for ratio in lin_grid(from, to, points.max(2)) {
+        let model =
+            PllModel::builder(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
+                .build()
+                .map_err(|e| e.to_string())?;
+        let r = analyze_cached(&model, threads, &ctx.cache).map_err(|e| e.to_string())?;
+        merge_quality(&mut quality, &r.quality);
+        rows.push(SweepRow {
+            ratio,
+            ug_ratio: r.omega_ug_eff / r.omega_ug_lti,
+            pm_eff_deg: r.phase_margin_eff_deg,
+            pm_lti_deg: r.phase_margin_lti_deg,
+            beyond_limit: r.beyond_sampling_limit,
+        });
+    }
+    Ok(SweepOut { rows, quality })
+}
+
+fn bode(
+    spec: &DesignSpec,
+    points: usize,
+    lambda: bool,
+    threads: ThreadBudget,
+    ctx: &ServiceCtx,
+) -> Result<BodeOut, String> {
+    let (design, model) = build_model(spec)?;
+    let wug = analyze_cached(&model, threads, &ctx.cache)
+        .map_err(|e| e.to_string())?
+        .omega_ug_lti;
+    let grid =
+        FrequencyGrid::log(1e-2 * wug, 1e2 * wug, points.max(2)).map_err(|e| e.to_string())?;
+    let pts = if lambda {
+        let lam = EffectiveGain::new(&design.open_loop_gain(), design.omega_ref())
+            .map_err(|e| e.to_string())?;
+        // λ is only meaningful inside the first band.
+        let spec =
+            SweepSpec::new(grid.retain(|w| w < 0.4999 * design.omega_ref())).with_threads(threads);
+        bode_grid(|w| lam.eval_jw(w), &spec)
+    } else {
+        let a = design.open_loop_gain();
+        let spec = SweepSpec::new(grid).with_threads(threads);
+        bode_grid(|w| a.eval_jw(w), &spec)
+    };
+    Ok(BodeOut {
+        rows: pts
+            .iter()
+            .map(|p| BodeRow {
+                omega: p.omega,
+                mag_db: p.mag_db,
+                phase_deg: p.phase_deg,
+            })
+            .collect(),
+    })
+}
+
+fn transient_out(
+    spec: &DesignSpec,
+    until: f64,
+    points: usize,
+    hop: bool,
+) -> Result<TransientOut, String> {
+    let (_, model) = build_model(spec)?;
+    let ts = lin_grid(until / points as f64, until, points.max(2));
+    let ys = if hop {
+        transient::frequency_step_error(&model, &ts)
+    } else {
+        transient::step_response(&model, &ts)
+    };
+    Ok(TransientOut { ts, ys })
+}
+
+fn spur(
+    spec: &DesignSpec,
+    leakage_frac: f64,
+    kmax: usize,
+    threads: ThreadBudget,
+) -> Result<SpurOut, String> {
+    let (design, model) = build_model(spec)?;
+    let spurs = LeakageSpurs::new(&model, leakage_frac * design.icp());
+    Ok(SpurOut {
+        leakage_frac,
+        static_offset: spurs.static_offset(),
+        f_ref: design.f_ref(),
+        lines: spurs.scan(kmax as i64, threads),
+    })
+}
+
+fn optimize(
+    min_pm: f64,
+    from: f64,
+    to: f64,
+    points: usize,
+    ref_noise: f64,
+    vco_noise: f64,
+) -> Result<OptimizeOut, String> {
+    let spec = OptimizeSpec {
+        min_pm_eff_deg: min_pm,
+        ratios: (from, to, points),
+        spreads: vec![3.0, 4.0, 6.0],
+    };
+    let noise = NoiseSpec {
+        reference: NoiseShape::White { level: ref_noise },
+        vco: NoiseShape::PowerLaw {
+            level_at_ref: vco_noise,
+            w_ref: 1.0,
+            exponent: 2,
+        },
+        band: (1e-3, 0.45),
+    };
+    let best = optimize_loop(&spec, &noise).map_err(|e| e.to_string())?;
+    Ok(OptimizeOut {
+        ratio: best.ratio,
+        spread: best.spread,
+        pm_lti_deg: best.report.phase_margin_lti_deg,
+        pm_eff_deg: best.report.phase_margin_eff_deg,
+        integrated_noise: best.integrated_noise,
+    })
+}
+
+/// Stress-evaluates a model at adversarial points — on-pole `s`, a loop
+/// driven to `ω_UG ≈ ω₀`, (near-)singular `I + G̃`, extreme truncation
+/// orders, NaN injection — and returns the health table. Every check
+/// must complete without panicking AND land on its expected verdict
+/// class; surprises surface through [`DoctorOut::failures`].
+fn doctor(
+    spec: Option<&DesignSpec>,
+    threads: ThreadBudget,
+    ctx: &ServiceCtx,
+) -> Result<DoctorOut, String> {
+    let design = match spec {
+        Some(spec) => spec.build()?,
+        None => PllDesign::reference_design(0.1).map_err(|e| e.to_string())?,
+    };
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let w0 = design.omega_ref();
+    let cache = &ctx.cache;
+    let trunc = Truncation::new(4);
+    let mut checks: Vec<DoctorCheck> = Vec::new();
+
+    // A dense-solve check: evaluate at `s`, expect one of `allowed`.
+    let mut dense_check = |check: &'static str, s: Complex, k: Truncation, allowed: &[&str]| {
+        let row = match cache.dense_robust(&model, s, k) {
+            Ok(d) => DoctorCheck {
+                check: check.to_string(),
+                verdict: d.quality.name().to_string(),
+                cond: Some(d.report.cond_estimate),
+                residual: Some(d.report.residual),
+                ok: allowed.contains(&d.quality.name()),
+                note: format!("stages {}", d.report.stages_tried.len()),
+            },
+            Err(reason) => DoctorCheck {
+                check: check.to_string(),
+                verdict: "failed".to_string(),
+                cond: None,
+                residual: None,
+                ok: allowed.contains(&"failed"),
+                note: reason.chars().take(48).collect(),
+            },
+        };
+        checks.push(row);
+    };
+
+    // 1-2: exactly on the aliased-integrator poles of the open loop —
+    // the entries are non-finite there; the engine must fail the point
+    // gracefully, never panic or return NaN as a value.
+    dense_check("on-pole s = j*w0", Complex::from_im(w0), trunc, &["failed"]);
+    dense_check("integrator pole s = 0", Complex::ZERO, trunc, &["failed"]);
+    // 3: NaN injection through the public API.
+    dense_check(
+        "NaN Laplace point",
+        Complex::new(f64::NAN, 0.0),
+        trunc,
+        &["failed"],
+    );
+    // 4: a usable point at the band edge, where conditioning is worst.
+    dense_check(
+        "band edge s = j*0.499*w0",
+        Complex::from_im(0.499 * w0),
+        trunc,
+        &["exact", "refined", "perturbed"],
+    );
+    // 5: on a closed-loop strip pole (if one is found): I+G~ is
+    // near-singular; the ladder must still produce a usable value.
+    if let Ok(poles) = dominant_poles(&model) {
+        if let Some(p) = poles.first() {
+            dense_check(
+                "closed-loop pole s = p1",
+                *p,
+                trunc,
+                &["exact", "refined", "perturbed"],
+            );
+        }
+    }
+    // 6-7: extreme truncation orders.
+    dense_check(
+        "truncation K = 1",
+        Complex::from_im(0.3 * w0),
+        Truncation::new(1),
+        &["exact", "refined", "perturbed"],
+    );
+    dense_check(
+        "truncation K = MAX",
+        Complex::from_im(0.3 * w0),
+        Truncation::new(MAX_AUTO_TRUNCATION),
+        &["exact", "refined", "perturbed"],
+    );
+
+    // 8: exactly singular I+G~ (G~ = -I): the Tikhonov rung must kick
+    // in and mark the result perturbed.
+    let singular = Htm::identity(trunc, w0).scale(-Complex::ONE);
+    checks.push(match singular.closed_loop_factored_robust() {
+        Ok((_, cl, report)) => DoctorCheck {
+            check: "singular I+G~ (G~ = -I)".to_string(),
+            verdict: if report.perturbed {
+                "perturbed".into()
+            } else {
+                "unexpected".into()
+            },
+            cond: Some(report.cond_estimate),
+            residual: Some(report.residual),
+            ok: report.perturbed && cl.as_matrix().is_finite(),
+            note: format!("stages {}", report.stages_tried.len()),
+        },
+        Err(e) => DoctorCheck {
+            check: "singular I+G~ (G~ = -I)".to_string(),
+            verdict: "failed".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.to_string(),
+        },
+    });
+
+    // 9: structured-kernel probe — a banded open loop whose I+G~ is a
+    // tridiagonal Toeplitz matrix tuned to be singular to working
+    // precision (smallest eigenvalue a + 2·cos(π/(n+1)) = 0). The
+    // banded rung must refuse it at the conditioning gate and escalate
+    // through the dense ladder to a refined/perturbed value — never
+    // silently return a wrong structured answer.
+    let n = trunc.dim();
+    let a0 = -2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+    let near_singular = Htm::from_repr(
+        trunc,
+        w0,
+        HtmRepr::BandedToeplitz {
+            coeffs: vec![Complex::ONE, Complex::from_re(a0 - 1.0), Complex::ONE],
+            row_scale: None,
+        },
+    );
+    checks.push(match near_singular.closed_loop_factored_robust() {
+        Ok((_, cl, report)) => {
+            let quality = PointQuality::from_report(&report);
+            let escalated = report.stages_tried.len() > 1;
+            DoctorCheck {
+                check: "structured near-singular band".to_string(),
+                verdict: quality.name().to_string(),
+                cond: Some(report.cond_estimate),
+                residual: Some(report.residual),
+                ok: escalated
+                    && matches!(quality, PointQuality::Refined | PointQuality::Perturbed)
+                    && cl.as_matrix().is_finite(),
+                note: format!("stages {}", report.stages_tried.len()),
+            }
+        }
+        Err(e) => DoctorCheck {
+            check: "structured near-singular band".to_string(),
+            verdict: "failed".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.to_string(),
+        },
+    });
+
+    // 10: a loop pushed to the sampling limit (ω_UG ≈ ω₀ regime) must
+    // still analyze end to end and report its degraded-point counts.
+    let fast_row = match PllDesign::reference_design(0.45)
+        .map_err(|e| e.to_string())
+        .and_then(|d| PllModel::builder(d).build().map_err(|e| e.to_string()))
+        .and_then(|m| analyze_cached(&m, threads, &ctx.cache).map_err(|e| e.to_string()))
+    {
+        Ok(r) => DoctorCheck {
+            check: "fast loop w_UG ~ w0".to_string(),
+            verdict: "completed".into(),
+            cond: Some(r.quality.worst_cond),
+            residual: Some(r.quality.worst_residual),
+            ok: true,
+            note: format!(
+                "beyond_limit={} degraded={}",
+                r.beyond_sampling_limit,
+                r.quality.degraded()
+            ),
+        },
+        Err(e) => DoctorCheck {
+            check: "fast loop w_UG ~ w0".to_string(),
+            verdict: "error".into(),
+            cond: None,
+            residual: None,
+            ok: false,
+            note: e.chars().take(48).collect(),
+        },
+    };
+    checks.push(fast_row);
+
+    Ok(DoctorOut {
+        design_display: design.to_string(),
+        checks,
+    })
+}
+
+/// Cross-stack differential verification over the deterministic
+/// scenario corpus.
+fn xcheck(corpus: &str, threads: ThreadBudget) -> Result<XcheckOut, String> {
+    let report = crate::xcheck::run_corpus(corpus, threads).map_err(|e| e.to_string())?;
+    Ok(XcheckOut {
+        corpus: report.corpus.clone(),
+        table: report.render_table(),
+        agreements: report.agreements(),
+        tolerated: report.tolerated(),
+        mismatches: report.mismatches(),
+        total_checks: report.total_checks(),
+        scenarios: report.scenarios.len(),
+        digest: report.digest(),
+        report_json: report.to_json(),
+        bench_json: report.timings.to_bench_json(
+            &report.corpus,
+            report.scenarios.len(),
+            report.total_checks(),
+        ),
+    })
+}
+
+/// Runs a representative slice of the whole pipeline — analysis, strip
+/// poles, truncated/dense HTM closed loop, eigenvalues, parallel
+/// frequency sweeps, behavioral simulation, lock acquisition, spectral
+/// estimation — under the obs filter, then snapshots every metric the
+/// run produced. Mutates the process-global obs filter and registry,
+/// which is why this request is not servable.
+fn metrics(
+    spec: Option<&DesignSpec>,
+    obs_spec: &str,
+    threads: ThreadBudget,
+) -> Result<MetricsOut, String> {
+    crate::obs::override_filter(obs_spec);
+    crate::obs::reset();
+
+    let design = match spec {
+        Some(spec) => spec.build()?,
+        None => PllDesign::reference_design(0.1).map_err(|e| e.to_string())?,
+    };
+    let model = PllModel::builder(design.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    // Frequency-domain leg: margins, strip poles, λ truncation — all
+    // scan grids run on the parallel pool.
+    crate::core::analyze_with(&model, threads).map_err(|e| e.to_string())?;
+    let _ = dominant_poles(&model);
+    let lam = model.lambda();
+    let k = lam.suggest_truncation(1e-6);
+    let s = Complex::from_im(0.3 * design.omega_ref());
+    let _ = lam.eval_truncated(s, k.min(1000));
+
+    // HTM leg: dense closed loop + generalized Nyquist eigenvalues.
+    let trunc = Truncation::new(k.min(10));
+    let cl = model
+        .closed_loop_htm_dense(s, trunc)
+        .map_err(|e| e.to_string())?;
+    cl.eigenvalues()
+        .map_err(|e| format!("eigensolver: {e:?}"))?;
+
+    // Parallel-sweep leg: λ grid, dense HTM grid (twice through one
+    // cache, so the second pass is all hits), folded noise PSDs and a
+    // spur table — exercises the pool and the sweep cache end to end.
+    let w0 = design.omega_ref();
+    let sweep_spec = SweepSpec::log(1e-3 * w0, 0.49 * w0, 512)
+        .map_err(|e| e.to_string())?
+        .with_threads(threads);
+    let _ = lam.eval_grid(&sweep_spec);
+    let htm_spec = SweepSpec::log(1e-2 * w0, 0.49 * w0, 96)
+        .map_err(|e| e.to_string())?
+        .with_truncation(trunc)
+        .with_threads(threads);
+    let cache = crate::core::SweepCache::new();
+    model
+        .closed_loop_htm_grid_cached(&htm_spec, &cache)
+        .map_err(|e| e.to_string())?;
+    model
+        .closed_loop_htm_grid_cached(&htm_spec, &cache)
+        .map_err(|e| e.to_string())?;
+    // Robustness leg: a grid with a deliberately on-pole point (ω = ω₀)
+    // exercises the verdict/escalation path — robust.failed alongside
+    // the healthy points' robust.exact.
+    let adversarial = SweepSpec::new(vec![0.2 * w0, w0, 0.45 * w0])
+        .with_truncation(trunc)
+        .with_threads(threads);
+    let robust = model.closed_loop_htm_grid_robust(&adversarial, &cache);
+    let _ = robust.summary();
+    let noise = NoiseModel::new(&model, 8);
+    let _ = noise.output_psd_grid(&sweep_spec, &|_| 1e-12, &|f| 1e-12 / (1.0 + f * f));
+    let _ = LeakageSpurs::new(&model, 1e-3 * design.icp()).scan(16, threads);
+
+    // Time-domain leg: settle run, lock acquisition, PSD of the trace.
+    let params = SimParams::from_design(&design);
+    let config = SimConfig::default();
+    let mut sim = PllSim::new(params.clone(), config);
+    let trace = sim.run(30.0 * params.t_ref, &|_| 0.0);
+    let _ = acquire_lock(&params, &config, 5e-3, &LockOptions::default());
+    let fs = 1.0 / trace.dt;
+    periodogram(&trace.v_ctrl, fs, Window::Hann).map_err(|e| e.to_string())?;
+
+    Ok(MetricsOut {
+        filter: obs_spec.to_string(),
+        levels: crate::obs::describe_targets(&["num", "htm", "core", "sim", "spectral"]),
+        table: crate::obs::export_table(),
+        export_json: crate::obs::export_json(),
+    })
+}
+
+/// Runs the seeded profiling workload matrix.
+fn profile(
+    ratio: f64,
+    points: usize,
+    trunc: usize,
+    reps: usize,
+    seed: u64,
+    threads: ThreadBudget,
+) -> Result<ProfileOut, String> {
+    let spec = crate::profile::ProfileSpec {
+        ratio,
+        points,
+        trunc,
+        reps,
+        threads,
+        seed,
+    };
+    let report = crate::profile::run_profile(&spec)?;
+    Ok(ProfileOut {
+        table: report.render_table(),
+        report_json: report.to_json(),
+    })
+}

@@ -1,0 +1,66 @@
+//! Minimal JSON emission helpers for the response envelope.
+//!
+//! The workspace already hand-rolls JSON in `htmpll-obs` (parser) and
+//! the per-crate exporters; this module is the service layer's writing
+//! half: string escaping and deterministic number formatting. `Display`
+//! for `f64` is shortest-roundtrip in Rust, so values re-parse to the
+//! identical bits and responses are byte-stable across runs and worker
+//! counts.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number: `Display` (shortest roundtrip) for finite values,
+/// `null` for NaN/±∞ (JSON has no representation for them).
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        x.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An optional JSON number (`null` when absent or non-finite).
+pub fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+/// A JSON string literal.
+pub fn str_lit(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_numbers() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(num(0.1), "0.1");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(opt_num(None), "null");
+        assert_eq!(str_lit("x"), "\"x\"");
+        // Round-trip: Display → parse is bit-exact.
+        let x = 1.0 / 3.0;
+        assert_eq!(num(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
+    }
+}

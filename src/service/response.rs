@@ -1,0 +1,837 @@
+//! Typed responses — one variant per command — plus the two render
+//! paths every front end shares:
+//!
+//! * [`Response::render_text`] reproduces the historical `plltool`
+//!   stdout **byte for byte** (the CLI refactor is observable only
+//!   through `--json`/serve, never through plain output), and
+//! * [`envelope`]/[`envelope_tail`] produce the versioned JSON envelope
+//!   `{"schema":"plltool/v1","command":...,"ok":...,"result":...,
+//!   "quality":...}` used by `--json`, `--metrics-json`, and every
+//!   `plltool serve` response line.
+
+use super::json::{num, opt_num, str_lit};
+use crate::requests::RequestId;
+use htmpll_core::{AnalysisReport, QualitySummary, SpurLine};
+use std::fmt::Write as _;
+
+/// Sample-and-hold PFD margins for the `--pfd sh` report line.
+#[derive(Debug, Clone)]
+pub struct ShMargins {
+    /// Unity-gain frequency, rad/s.
+    pub omega_ug: f64,
+    /// Phase margin, degrees.
+    pub phase_margin_deg: f64,
+}
+
+/// `analyze` result.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOut {
+    /// `Display` form of the design.
+    pub design_display: String,
+    /// Reference frequency ω₀, rad/s.
+    pub omega_ref: f64,
+    /// The full analysis report.
+    pub report: AnalysisReport,
+    /// Dominant strip poles `(re, im)`, when the solver found them.
+    pub strip_poles: Option<Vec<(f64, f64)>>,
+    /// Sample-and-hold margins (requested via `pfd_sh`); `Err` carries
+    /// the no-margin explanation.
+    pub sample_hold: Option<Result<ShMargins, String>>,
+    /// Symbolic λ(s) expansion (requested via `symbolic`).
+    pub symbolic: Option<String>,
+}
+
+/// One `sweep` table row.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Crossover ratio ω_UG/ω₀.
+    pub ratio: f64,
+    /// ω_UG,eff / ω_UG.
+    pub ug_ratio: f64,
+    /// Effective phase margin, degrees.
+    pub pm_eff_deg: f64,
+    /// LTI phase margin, degrees.
+    pub pm_lti_deg: f64,
+    /// At/beyond the sampling stability limit.
+    pub beyond_limit: bool,
+}
+
+/// `sweep` result.
+#[derive(Debug, Clone)]
+pub struct SweepOut {
+    /// Table rows in ratio order.
+    pub rows: Vec<SweepRow>,
+    /// Aggregate point quality over every row's analysis.
+    pub quality: QualitySummary,
+}
+
+/// One `bode` table row.
+#[derive(Debug, Clone)]
+pub struct BodeRow {
+    /// Angular frequency, rad/s.
+    pub omega: f64,
+    /// Magnitude, dB.
+    pub mag_db: f64,
+    /// Unwrapped phase, degrees.
+    pub phase_deg: f64,
+}
+
+/// `bode` result.
+#[derive(Debug, Clone)]
+pub struct BodeOut {
+    /// Table rows in frequency order.
+    pub rows: Vec<BodeRow>,
+}
+
+/// `step` / `hop` result: a time series.
+#[derive(Debug, Clone)]
+pub struct TransientOut {
+    /// Sample times.
+    pub ts: Vec<f64>,
+    /// Response values (step response or tracking error).
+    pub ys: Vec<f64>,
+}
+
+/// `spur` result.
+#[derive(Debug, Clone)]
+pub struct SpurOut {
+    /// Leakage as a fraction of the charge-pump current.
+    pub leakage_frac: f64,
+    /// Static phase offset, seconds.
+    pub static_offset: f64,
+    /// Reference frequency, Hz (for the `·T` rendering).
+    pub f_ref: f64,
+    /// Predicted spur lines.
+    pub lines: Vec<SpurLine>,
+}
+
+/// `optimize` result.
+#[derive(Debug, Clone)]
+pub struct OptimizeOut {
+    /// Winning crossover ratio.
+    pub ratio: f64,
+    /// Winning zero/pole spread.
+    pub spread: f64,
+    /// LTI phase margin of the winner, degrees.
+    pub pm_lti_deg: f64,
+    /// Effective phase margin of the winner, degrees.
+    pub pm_eff_deg: f64,
+    /// Integrated output noise of the winner.
+    pub integrated_noise: f64,
+}
+
+/// One `doctor` health-table row.
+#[derive(Debug, Clone)]
+pub struct DoctorCheck {
+    /// Check name.
+    pub check: String,
+    /// Verdict label.
+    pub verdict: String,
+    /// Condition estimate, when the solve produced one.
+    pub cond: Option<f64>,
+    /// Backward residual, when the solve produced one.
+    pub residual: Option<f64>,
+    /// Whether the check behaved as expected.
+    pub ok: bool,
+    /// Free-form note.
+    pub note: String,
+}
+
+/// `doctor` result.
+#[derive(Debug, Clone)]
+pub struct DoctorOut {
+    /// `Display` form of the design under test.
+    pub design_display: String,
+    /// All health checks, in execution order.
+    pub checks: Vec<DoctorCheck>,
+}
+
+impl DoctorOut {
+    /// Number of checks that did not behave as expected.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.ok).count()
+    }
+}
+
+/// `xcheck` result.
+#[derive(Debug, Clone)]
+pub struct XcheckOut {
+    /// Corpus name.
+    pub corpus: String,
+    /// Rendered reconciliation table.
+    pub table: String,
+    /// Agreeing checks.
+    pub agreements: usize,
+    /// Tolerated deviations.
+    pub tolerated: usize,
+    /// Hard mismatches.
+    pub mismatches: usize,
+    /// Total checks.
+    pub total_checks: usize,
+    /// Scenario count.
+    pub scenarios: usize,
+    /// Report digest.
+    pub digest: String,
+    /// Full report JSON (the `--json` payload).
+    pub report_json: String,
+    /// Bench-timing JSON (the `--bench` payload).
+    pub bench_json: String,
+}
+
+/// `metrics` result.
+#[derive(Debug, Clone)]
+pub struct MetricsOut {
+    /// Active obs filter spec.
+    pub filter: String,
+    /// `describe_targets` summary line.
+    pub levels: String,
+    /// Rendered metric table.
+    pub table: String,
+    /// Full obs export JSON.
+    pub export_json: String,
+}
+
+/// `profile` result.
+#[derive(Debug, Clone)]
+pub struct ProfileOut {
+    /// Rendered attribution table.
+    pub table: String,
+    /// Full report JSON.
+    pub report_json: String,
+}
+
+/// A structured request failure: carried in-band so a serve batch never
+/// dies on one bad request, and mapped to stderr + exit 2 by the CLI.
+#[derive(Debug, Clone)]
+pub struct ServiceError {
+    /// Command the failure belongs to (empty when unknown — e.g. an
+    /// unparseable request line).
+    pub command: String,
+    /// Stable machine-readable code: `bad_request`, `failed`,
+    /// `unsupported`, `shed`, or `panic`.
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A handler-level failure of a known command.
+    pub fn failed(command: &str, message: String) -> ServiceError {
+        ServiceError {
+            command: command.to_string(),
+            code: "failed",
+            message,
+        }
+    }
+
+    /// A malformed or unparseable request.
+    pub fn bad_request(message: String) -> ServiceError {
+        ServiceError {
+            command: String::new(),
+            code: "bad_request",
+            message,
+        }
+    }
+
+    /// A well-formed request the current front end cannot execute.
+    pub fn unsupported(command: &str, message: String) -> ServiceError {
+        ServiceError {
+            command: command.to_string(),
+            code: "unsupported",
+            message,
+        }
+    }
+}
+
+/// One command's structured result — the single type every `plltool`
+/// front end consumes.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `analyze` output.
+    Analyze(AnalyzeOut),
+    /// `sweep` output.
+    Sweep(SweepOut),
+    /// `bode` output.
+    Bode(BodeOut),
+    /// `step` output.
+    Step(TransientOut),
+    /// `hop` output.
+    Hop(TransientOut),
+    /// `spur` output.
+    Spur(SpurOut),
+    /// `optimize` output.
+    Optimize(OptimizeOut),
+    /// `doctor` output.
+    Doctor(DoctorOut),
+    /// `xcheck` output.
+    Xcheck(XcheckOut),
+    /// `metrics` output.
+    Metrics(MetricsOut),
+    /// `profile` output.
+    Profile(ProfileOut),
+    /// A structured failure.
+    Error(ServiceError),
+}
+
+impl Response {
+    /// The command this response answers (`None` when even the command
+    /// was unparseable).
+    pub fn command(&self) -> Option<&str> {
+        match self {
+            Response::Analyze(_) => Some("analyze"),
+            Response::Sweep(_) => Some("sweep"),
+            Response::Bode(_) => Some("bode"),
+            Response::Step(_) => Some("step"),
+            Response::Hop(_) => Some("hop"),
+            Response::Spur(_) => Some("spur"),
+            Response::Optimize(_) => Some("optimize"),
+            Response::Doctor(_) => Some("doctor"),
+            Response::Xcheck(_) => Some("xcheck"),
+            Response::Metrics(_) => Some("metrics"),
+            Response::Profile(_) => Some("profile"),
+            Response::Error(e) => {
+                if e.command.is_empty() {
+                    None
+                } else {
+                    Some(&e.command)
+                }
+            }
+        }
+    }
+
+    /// The CLI failure for this response: `Some(message)` means stderr
+    /// and exit 2 after the text has been printed (doctor failures and
+    /// xcheck mismatches still print their tables first).
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            Response::Doctor(d) => {
+                let failures = d.failures();
+                (failures > 0).then(|| {
+                    format!(
+                        "doctor: {failures}/{} checks did NOT behave as expected",
+                        d.checks.len()
+                    )
+                })
+            }
+            Response::Xcheck(x) => (x.mismatches > 0).then(|| {
+                format!(
+                    "xcheck: {} cross-stack mismatch(es) — the models disagree beyond every justified bound",
+                    x.mismatches
+                )
+            }),
+            Response::Error(e) => Some(e.message.clone()),
+            _ => None,
+        }
+    }
+
+    /// Renders the historical `plltool` stdout for this response,
+    /// byte-identical to the pre-refactor per-command `println!` bodies.
+    pub fn render_text(&self) -> String {
+        let mut t = String::new();
+        match self {
+            Response::Analyze(a) => render_analyze(&mut t, a),
+            Response::Sweep(s) => render_sweep(&mut t, s),
+            Response::Bode(b) => {
+                let _ = writeln!(t, "{:>14} {:>12} {:>12}", "omega", "mag_dB", "phase_deg");
+                for p in &b.rows {
+                    let _ = writeln!(
+                        t,
+                        "{:14.6e} {:12.3} {:12.2}",
+                        p.omega, p.mag_db, p.phase_deg
+                    );
+                }
+            }
+            Response::Step(s) => {
+                let _ = writeln!(t, "{:>12} {:>12}", "t", "theta/step");
+                for (tt, y) in s.ts.iter().zip(&s.ys) {
+                    let _ = writeln!(t, "{tt:12.4} {y:12.5}");
+                }
+            }
+            Response::Hop(h) => {
+                let _ = writeln!(t, "{:>12} {:>14}", "t", "tracking error");
+                for (tt, e) in h.ts.iter().zip(&h.ys) {
+                    let _ = writeln!(t, "{tt:12.4} {e:14.5e}");
+                }
+            }
+            Response::Spur(s) => render_spur(&mut t, s),
+            Response::Optimize(o) => {
+                let _ = writeln!(
+                    t,
+                    "best: ω_UG/ω₀ = {:.3}, spread = {} (PM_LTI {:.1}°, PM_eff {:.1}°)",
+                    o.ratio, o.spread, o.pm_lti_deg, o.pm_eff_deg
+                );
+                let _ = writeln!(
+                    t,
+                    "integrated output noise: {:.3e} (rms {:.3e})",
+                    o.integrated_noise,
+                    o.integrated_noise.sqrt()
+                );
+            }
+            Response::Doctor(d) => render_doctor(&mut t, d),
+            Response::Xcheck(x) => {
+                t.push_str(&x.table);
+                t.push('\n');
+                let _ = writeln!(
+                    t,
+                    "xcheck: corpus {} — {} agree, {} tolerated, {} mismatch ({} checks, {} scenarios)",
+                    x.corpus, x.agreements, x.tolerated, x.mismatches, x.total_checks, x.scenarios
+                );
+                let _ = writeln!(t, "digest : {}", x.digest);
+            }
+            Response::Metrics(m) => {
+                let _ = writeln!(t, "filter : {}", m.filter);
+                let _ = writeln!(t, "levels : {}", m.levels);
+                t.push('\n');
+                t.push_str(&m.table);
+            }
+            Response::Profile(p) => t.push_str(&p.table),
+            Response::Error(_) => {}
+        }
+        t
+    }
+
+    /// The envelope `result` member as a JSON fragment (`None` for
+    /// error responses).
+    pub fn result_json(&self) -> Option<String> {
+        match self {
+            Response::Analyze(a) => Some(analyze_result_json(a)),
+            Response::Sweep(s) => Some(format!(
+                "{{\"rows\":[{}]}}",
+                s.rows
+                    .iter()
+                    .map(|r| format!(
+                        "{{\"ratio\":{},\"ug_ratio\":{},\"pm_eff_deg\":{},\"pm_lti_deg\":{},\"beyond_limit\":{}}}",
+                        num(r.ratio),
+                        num(r.ug_ratio),
+                        num(r.pm_eff_deg),
+                        num(r.pm_lti_deg),
+                        r.beyond_limit
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            Response::Bode(b) => Some(format!(
+                "{{\"points\":[{}]}}",
+                b.rows
+                    .iter()
+                    .map(|p| format!(
+                        "{{\"omega\":{},\"mag_db\":{},\"phase_deg\":{}}}",
+                        num(p.omega),
+                        num(p.mag_db),
+                        num(p.phase_deg)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            Response::Step(s) | Response::Hop(s) => Some(format!(
+                "{{\"points\":[{}]}}",
+                s.ts.iter()
+                    .zip(&s.ys)
+                    .map(|(t, y)| format!("{{\"t\":{},\"y\":{}}}", num(*t), num(*y)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            Response::Spur(s) => Some(format!(
+                "{{\"leakage_frac\":{},\"static_offset_s\":{},\"static_offset_periods\":{},\"lines\":[{}]}}",
+                num(s.leakage_frac),
+                num(s.static_offset),
+                num(s.static_offset * s.f_ref),
+                s.lines
+                    .iter()
+                    .map(|l| format!(
+                        "{{\"k\":{},\"sideband_abs\":{},\"level_dbc\":{}}}",
+                        l.k,
+                        num(l.sideband.abs()),
+                        num(l.level_dbc)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            Response::Optimize(o) => Some(format!(
+                "{{\"ratio\":{},\"spread\":{},\"pm_lti_deg\":{},\"pm_eff_deg\":{},\"integrated_noise\":{},\"rms\":{}}}",
+                num(o.ratio),
+                num(o.spread),
+                num(o.pm_lti_deg),
+                num(o.pm_eff_deg),
+                num(o.integrated_noise),
+                num(o.integrated_noise.sqrt())
+            )),
+            Response::Doctor(d) => Some(format!(
+                "{{\"design\":{},\"failures\":{},\"total\":{},\"checks\":[{}]}}",
+                str_lit(&d.design_display),
+                d.failures(),
+                d.checks.len(),
+                d.checks
+                    .iter()
+                    .map(|c| format!(
+                        "{{\"check\":{},\"verdict\":{},\"cond\":{},\"residual\":{},\"ok\":{},\"note\":{}}}",
+                        str_lit(&c.check),
+                        str_lit(&c.verdict),
+                        opt_num(c.cond),
+                        opt_num(c.residual),
+                        c.ok,
+                        str_lit(&c.note)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            // These three already emit complete JSON documents; splice
+            // them raw so every historical substring survives the
+            // envelope migration.
+            Response::Xcheck(x) => Some(x.report_json.clone()),
+            Response::Metrics(m) => Some(m.export_json.clone()),
+            Response::Profile(p) => Some(p.report_json.clone()),
+            Response::Error(_) => None,
+        }
+    }
+
+    /// The envelope `quality` member (`null` for commands without a
+    /// quality roll-up).
+    pub fn quality_json(&self) -> String {
+        let q = match self {
+            Response::Analyze(a) => Some(&a.report.quality),
+            Response::Sweep(s) => Some(&s.quality),
+            _ => None,
+        };
+        match q {
+            None => "null".to_string(),
+            Some(q) => format!(
+                "{{\"exact\":{},\"refined\":{},\"perturbed\":{},\"failed\":{},\"worst_cond\":{},\"worst_residual\":{}}}",
+                q.exact,
+                q.refined,
+                q.perturbed,
+                q.failed,
+                num(q.worst_cond),
+                num(q.worst_residual)
+            ),
+        }
+    }
+}
+
+fn render_analyze(t: &mut String, a: &AnalyzeOut) {
+    let r = &a.report;
+    let _ = writeln!(t, "design             : {}", a.design_display);
+    let _ = writeln!(t, "ω₀ (reference)     : {:.6e} rad/s", a.omega_ref);
+    let _ = writeln!(
+        t,
+        "ω_UG (LTI)         : {:.6e} rad/s  (ω_UG/ω₀ = {:.4})",
+        r.omega_ug_lti, r.omega_ug_ratio
+    );
+    let _ = writeln!(t, "phase margin (LTI) : {:.2}°", r.phase_margin_lti_deg);
+    let _ = writeln!(
+        t,
+        "ω_UG,eff           : {:.6e} rad/s  ({:.3}× LTI)",
+        r.omega_ug_eff,
+        r.omega_ug_eff / r.omega_ug_lti
+    );
+    let _ = writeln!(
+        t,
+        "phase margin (eff) : {:.2}°  ({:.1} % degradation)",
+        r.phase_margin_eff_deg,
+        100.0 * r.phase_margin_degradation_rel()
+    );
+    match r.bandwidth_3db {
+        Some(bw) => {
+            let _ = writeln!(t, "−3 dB bandwidth    : {bw:.6e} rad/s");
+        }
+        None => {
+            let _ = writeln!(t, "−3 dB bandwidth    : (none in scan window)");
+        }
+    }
+    let _ = writeln!(
+        t,
+        "peaking            : {:.2} dB (LTI predicted {:.2} dB)",
+        r.peaking_db, r.peaking_lti_db
+    );
+    let _ = writeln!(
+        t,
+        "stable (HTM)       : {}{}",
+        r.nyquist_stable,
+        if r.beyond_sampling_limit {
+            "  [beyond sampling limit]"
+        } else {
+            ""
+        }
+    );
+    if let Some(poles) = &a.strip_poles {
+        let _ = writeln!(t, "strip poles        :");
+        for &(re, im) in poles {
+            let _ = writeln!(
+                t,
+                "    {:.4} {:+.4}j   (Im/(ω₀/2) = {:.3})",
+                re,
+                im,
+                im / (0.5 * a.omega_ref)
+            );
+        }
+    }
+    match &a.sample_hold {
+        Some(Ok(m)) => {
+            let _ = writeln!(
+                t,
+                "sample-and-hold PFD: ω_UG,eff = {:.4e} rad/s, PM = {:.2}°",
+                m.omega_ug, m.phase_margin_deg
+            );
+        }
+        Some(Err(e)) => {
+            let _ = writeln!(t, "sample-and-hold PFD: no margin ({e})");
+        }
+        None => {}
+    }
+    if let Some(sym) = &a.symbolic {
+        let _ = writeln!(t, "\n{sym}");
+    }
+}
+
+fn render_sweep(t: &mut String, s: &SweepOut) {
+    let _ = writeln!(
+        t,
+        "{:>8} {:>14} {:>12} {:>12} {:>8}",
+        "ratio", "wUG_eff/wUG", "PM_eff", "PM_LTI", "limit?"
+    );
+    for r in &s.rows {
+        let _ = writeln!(
+            t,
+            "{:8.3} {:14.4} {:12.2} {:12.2} {:>8}",
+            r.ratio,
+            r.ug_ratio,
+            r.pm_eff_deg,
+            r.pm_lti_deg,
+            if r.beyond_limit { "YES" } else { "" }
+        );
+    }
+}
+
+fn render_spur(t: &mut String, s: &SpurOut) {
+    let _ = writeln!(t, "leakage            : {:.3e} × I_cp", s.leakage_frac);
+    let _ = writeln!(
+        t,
+        "static offset      : {:.4e} s ({:.3e}·T)",
+        s.static_offset,
+        s.static_offset * s.f_ref
+    );
+    let _ = writeln!(t, "{:>6} {:>16} {:>12}", "k", "|sideband| (s)", "dBc");
+    for line in &s.lines {
+        let _ = writeln!(
+            t,
+            "{:>6} {:16.4e} {:12.2}",
+            line.k,
+            line.sideband.abs(),
+            line.level_dbc
+        );
+    }
+}
+
+fn render_doctor(t: &mut String, d: &DoctorOut) {
+    let _ = writeln!(t, "plltool doctor — numerical-resilience health check");
+    let _ = writeln!(t, "design : {}", d.design_display);
+    t.push('\n');
+    let _ = writeln!(
+        t,
+        "{:<26} {:>10} {:>10} {:>10} {:>6}  note",
+        "check", "verdict", "cond", "residual", "ok"
+    );
+    for r in &d.checks {
+        let cond = r.cond.map_or("-".to_string(), |c| format!("{c:.2e}"));
+        let res = r.residual.map_or("-".to_string(), |x| format!("{x:.2e}"));
+        let _ = writeln!(
+            t,
+            "{:<26} {:>10} {:>10} {:>10} {:>6}  {}",
+            r.check,
+            r.verdict,
+            cond,
+            res,
+            if r.ok { "ok" } else { "FAIL" },
+            r.note
+        );
+    }
+    t.push('\n');
+    if d.failures() == 0 {
+        let _ = writeln!(
+            t,
+            "doctor: HEALTHY ({}/{} checks as expected)",
+            d.checks.len(),
+            d.checks.len()
+        );
+    }
+}
+
+/// The analyze `result` member: the full report plus whatever optional
+/// sections (`strip_poles`, `sample_hold`, `symbolic`) the request
+/// asked for.
+fn analyze_result_json(a: &AnalyzeOut) -> String {
+    let mut r = format!(
+        "{{\"design\":{},\"omega_ref\":{},\"omega_ug_ratio\":{},\"omega_ug_lti\":{},\
+         \"phase_margin_lti_deg\":{},\"omega_ug_eff\":{},\"phase_margin_eff_deg\":{},\
+         \"pm_degradation_deg\":{},\"bandwidth_3db\":{},\"peaking_db\":{},\"peaking_lti_db\":{},\
+         \"nyquist_stable\":{},\"beyond_sampling_limit\":{}",
+        str_lit(&a.design_display),
+        num(a.omega_ref),
+        num(a.report.omega_ug_ratio),
+        num(a.report.omega_ug_lti),
+        num(a.report.phase_margin_lti_deg),
+        num(a.report.omega_ug_eff),
+        num(a.report.phase_margin_eff_deg),
+        num(a.report.phase_margin_degradation_deg()),
+        opt_num(a.report.bandwidth_3db),
+        num(a.report.peaking_db),
+        num(a.report.peaking_lti_db),
+        a.report.nyquist_stable,
+        a.report.beyond_sampling_limit,
+    );
+    if let Some(poles) = &a.strip_poles {
+        let _ = write!(
+            r,
+            ",\"strip_poles\":[{}]",
+            poles
+                .iter()
+                .map(|(re, im)| format!("{{\"re\":{},\"im\":{}}}", num(*re), num(*im)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    if let Some(sh) = &a.sample_hold {
+        match sh {
+            Ok(m) => {
+                let _ = write!(
+                    r,
+                    ",\"sample_hold\":{{\"omega_ug\":{},\"phase_margin_deg\":{}}}",
+                    num(m.omega_ug),
+                    num(m.phase_margin_deg)
+                );
+            }
+            Err(e) => {
+                let _ = write!(r, ",\"sample_hold\":{{\"error\":{}}}", str_lit(e));
+            }
+        }
+    }
+    if let Some(sym) = &a.symbolic {
+        let _ = write!(r, ",\"symbolic\":{}", str_lit(sym));
+    }
+    r.push('}');
+    r
+}
+
+/// The envelope minus the `{"schema":...,` prefix and the optional id:
+/// `"command":...,"ok":...,...}`. Serve caches this tail so one
+/// computation can answer many ids.
+pub fn envelope_tail(resp: &Response, metrics_json: Option<&str>) -> String {
+    let command = match resp.command() {
+        Some(c) => str_lit(c),
+        None => "null".to_string(),
+    };
+    let mut tail = format!("\"command\":{command},\"ok\":{}", resp.failure().is_none());
+    if let Some(result) = resp.result_json() {
+        let _ = write!(
+            tail,
+            ",\"result\":{result},\"quality\":{}",
+            resp.quality_json()
+        );
+    }
+    match resp {
+        Response::Error(e) => {
+            let _ = write!(
+                tail,
+                ",\"error\":{{\"code\":\"{}\",\"message\":{}}}",
+                e.code,
+                str_lit(&e.message)
+            );
+        }
+        _ => {
+            if let Some(message) = resp.failure() {
+                let _ = write!(
+                    tail,
+                    ",\"error\":{{\"code\":\"failed\",\"message\":{}}}",
+                    str_lit(&message)
+                );
+            }
+        }
+    }
+    if let Some(m) = metrics_json {
+        let _ = write!(tail, ",\"metrics\":{m}");
+    }
+    tail.push('}');
+    tail
+}
+
+/// The full versioned envelope for one response.
+pub fn envelope(resp: &Response, id: &RequestId, metrics_json: Option<&str>) -> String {
+    format!(
+        "{{\"schema\":\"plltool/v1\",{}{}",
+        id.json_fragment(),
+        envelope_tail(resp, metrics_json)
+    )
+}
+
+/// An envelope for a failure that never produced a [`Response`]
+/// (malformed line, shed request): same shape, built directly.
+pub fn error_envelope(id: &RequestId, err: &ServiceError) -> String {
+    let command = if err.command.is_empty() {
+        "null".to_string()
+    } else {
+        str_lit(&err.command)
+    };
+    format!(
+        "{{\"schema\":\"plltool/v1\",{}\"command\":{command},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}",
+        id.json_fragment(),
+        err.code,
+        str_lit(&err.message)
+    )
+}
+
+#[allow(clippy::unwrap_used)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shapes_are_valid_json() {
+        let resp = Response::Error(ServiceError::bad_request("no `command`".to_string()));
+        let line = envelope(&resp, &RequestId::Str("r\"1".to_string()), None);
+        let doc = crate::obs::parse_json(&line).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("plltool/v1")
+        );
+        assert_eq!(doc.get("id").and_then(|v| v.as_str()), Some("r\"1"));
+        assert_eq!(doc.get("ok"), Some(&crate::obs::JsonValue::Bool(false)));
+        assert!(doc.get("command").is_some());
+
+        let ok = Response::Optimize(OptimizeOut {
+            ratio: 0.1,
+            spread: 4.0,
+            pm_lti_deg: 50.0,
+            pm_eff_deg: 45.0,
+            integrated_noise: 1e-9,
+        });
+        let line = envelope(&ok, &RequestId::None, Some("{\"version\": 1}"));
+        let doc = crate::obs::parse_json(&line).unwrap();
+        assert!(doc.get("id").is_none());
+        assert_eq!(doc.get("ok"), Some(&crate::obs::JsonValue::Bool(true)));
+        assert!(doc.get("result").is_some());
+        assert!(doc.get("metrics").is_some());
+        assert_eq!(doc.get("quality"), Some(&crate::obs::JsonValue::Null));
+    }
+
+    #[test]
+    fn doctor_failure_keeps_result_and_reports_error() {
+        let d = Response::Doctor(DoctorOut {
+            design_display: "d".to_string(),
+            checks: vec![DoctorCheck {
+                check: "c".to_string(),
+                verdict: "failed".to_string(),
+                cond: None,
+                residual: None,
+                ok: false,
+                note: String::new(),
+            }],
+        });
+        assert!(d.failure().unwrap().contains("1/1 checks"));
+        let line = envelope(&d, &RequestId::Num(7.0), None);
+        let doc = crate::obs::parse_json(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&crate::obs::JsonValue::Bool(false)));
+        assert!(doc.get("result").is_some());
+        assert!(doc.get("error").is_some());
+        assert_eq!(doc.get("id").and_then(|v| v.as_f64()), Some(7.0));
+    }
+}

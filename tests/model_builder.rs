@@ -1,6 +1,6 @@
 //! `PllModelBuilder` contract: every construction path (bare, delayed,
 //! time-varying VCO, and their combination), every validation error,
-//! and exact equivalence with the deprecated one-shot constructors.
+//! and the model-fingerprint identity used for cross-request caching.
 
 use htmpll::core::{CoreError, PllDesign, PllModel, MAX_AUTO_TRUNCATION};
 use htmpll::htm::Truncation;
@@ -90,36 +90,38 @@ fn zero_delay_is_accepted() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_constructors_match_builder_bitwise() {
+fn fingerprint_identifies_model_structure() {
     let d = design();
-    let pairs: [(PllModel, PllModel); 3] = [
-        (
-            PllModel::new(d.clone()).unwrap(),
-            PllModel::builder(d.clone()).build().unwrap(),
-        ),
-        (
-            PllModel::with_loop_delay(d.clone(), 0.01 / d.omega_ref(), 4).unwrap(),
-            PllModel::builder(d.clone())
-                .loop_delay(0.01 / d.omega_ref(), 4)
-                .build()
-                .unwrap(),
-        ),
-        (
-            PllModel::with_vco_isf(d.clone(), isf(&d)).unwrap(),
-            PllModel::builder(d.clone())
-                .vco_isf(isf(&d))
-                .build()
-                .unwrap(),
-        ),
+    // Identical build recipes agree — the fingerprint is a pure function
+    // of the model's defining coefficients, so two independently built
+    // models may share one `SweepCache`.
+    let a = PllModel::builder(d.clone()).build().unwrap();
+    let b = PllModel::builder(d.clone()).build().unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+
+    // Any structural change — crossover ratio, loop delay, or a
+    // time-varying VCO — must move the fingerprint, otherwise cached
+    // factorizations would leak across distinct models.
+    let other = PllModel::builder(PllDesign::reference_design(0.2).unwrap())
+        .build()
+        .unwrap();
+    let delayed = PllModel::builder(d.clone())
+        .loop_delay(0.01 / d.omega_ref(), 4)
+        .build()
+        .unwrap();
+    let varying = PllModel::builder(d.clone())
+        .vco_isf(isf(&d))
+        .build()
+        .unwrap();
+    let fps = [
+        a.fingerprint(),
+        other.fingerprint(),
+        delayed.fingerprint(),
+        varying.fingerprint(),
     ];
-    for (legacy, built) in &pairs {
-        for i in 1..=16 {
-            let w = 0.03 * i as f64 * legacy.design().omega_ref();
-            let a = legacy.h00(w);
-            let b = built.h00(w);
-            assert_eq!(a.re.to_bits(), b.re.to_bits(), "h00 re at {w}");
-            assert_eq!(a.im.to_bits(), b.im.to_bits(), "h00 im at {w}");
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            assert_ne!(fps[i], fps[j], "models {i} and {j} collide");
         }
     }
 }
