@@ -29,7 +29,7 @@ use htmpll_lti::{
     stability_margins_precomputed, MarginError, Margins,
 };
 use htmpll_num::Complex;
-use htmpll_par::{par_map, ThreadBudget};
+use htmpll_par::{par_map_cancellable, Deadline, ThreadBudget};
 
 /// Analysis products for one PLL model.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -133,6 +133,45 @@ pub fn analyze_cached(
     threads: ThreadBudget,
     cache: &SweepCache,
 ) -> Result<AnalysisReport, CoreError> {
+    analyze_deadline(model, threads, cache, &Deadline::none())
+}
+
+/// Collapses one cancellable scan into its values, or the deadline
+/// error naming the phase that ran out of budget.
+fn scan_or_deadline(
+    slots: Vec<Option<Complex>>,
+    phase: &'static str,
+) -> Result<Vec<Complex>, CoreError> {
+    let n = slots.len();
+    let vals: Vec<Complex> = slots.into_iter().flatten().collect();
+    if vals.len() < n {
+        Err(CoreError::DeadlineExceeded { phase })
+    } else {
+        Ok(vals)
+    }
+}
+
+/// [`analyze_cached`] under a cooperative [`Deadline`]: every scan grid
+/// is cancellable, so an expired budget surfaces as
+/// [`CoreError::DeadlineExceeded`] (naming the scan phase) instead of
+/// running the remaining grids to completion. With
+/// [`Deadline::none`] this is exactly [`analyze_cached`] — same scans,
+/// same bits.
+///
+/// The margin extractors need the *whole* scan to bracket crossings, so
+/// analysis has no partial-result mode: the deadline either leaves
+/// enough budget for a full report or the analysis fails retryably.
+///
+/// # Errors
+///
+/// [`CoreError::DeadlineExceeded`] when the budget expires mid-scan;
+/// otherwise as [`analyze_cached`].
+pub fn analyze_deadline(
+    model: &PllModel,
+    threads: ThreadBudget,
+    cache: &SweepCache,
+    deadline: &Deadline,
+) -> Result<AnalysisReport, CoreError> {
     let _span = htmpll_obs::span("core", "analyze");
     let a = model.open_loop().clone();
     let w0 = model.design().omega_ref();
@@ -141,14 +180,20 @@ pub fn analyze_cached(
     // physical units (MHz references) and normalized units both work:
     // any practical loop crossover sits within [1e-7, 1e2]·ω₀.
     let lti_grid = margin_scan_grid(1e-7 * w0, 100.0 * w0);
-    let lti_vals = par_map(threads, &lti_grid, |_, &w| a.eval_jw(w));
+    let lti_vals = scan_or_deadline(
+        par_map_cancellable(threads, &lti_grid, deadline, |_, &w| a.eval_jw(w)),
+        "LTI margin",
+    )?;
     let lti = stability_margins_precomputed(|w| a.eval_jw(w), &lti_grid, &lti_vals)?;
     // λ has a pole at every multiple of ω₀ on the jω axis (the aliased
     // integrators); stay strictly inside the first band.
     let lam = model.lambda();
     let band_edge = 0.499_999 * w0;
     let lam_grid = margin_scan_grid(lti.omega_ug * SCAN_DECADES_DOWN, band_edge);
-    let lam_vals = par_map(threads, &lam_grid, |_, &w| lam.eval_jw(w));
+    let lam_vals = scan_or_deadline(
+        par_map_cancellable(threads, &lam_grid, deadline, |_, &w| lam.eval_jw(w)),
+        "effective-gain margin",
+    )?;
     let (eff, beyond_limit) =
         match stability_margins_precomputed(|w| lam.eval_jw(w), &lam_grid, &lam_vals) {
             Ok(m) => (m, false),
@@ -180,17 +225,26 @@ pub fn analyze_cached(
     let w_ref = lti.omega_ug * SCAN_DECADES_DOWN;
     let h00_scan_hi = 100.0 * lti.omega_ug;
     let h_grid = margin_scan_grid(w_ref, h00_scan_hi);
-    let h_vals = par_map(threads, &h_grid, |_, &w| model.h00(w));
+    let h_vals = scan_or_deadline(
+        par_map_cancellable(threads, &h_grid, deadline, |_, &w| model.h00(w)),
+        "closed-loop",
+    )?;
     let bw = bandwidth_3db_precomputed(|w| model.h00(w), w_ref, &h_grid, &h_vals);
     let pk = peaking_db_precomputed(|w| model.h00(w), w_ref, &h_vals);
-    let hlti_vals = par_map(threads, &h_grid, |_, &w| model.h00_lti(w));
+    let hlti_vals = scan_or_deadline(
+        par_map_cancellable(threads, &h_grid, deadline, |_, &w| model.h00_lti(w)),
+        "LTI closed-loop",
+    )?;
     let pk_lti = peaking_db_precomputed(|w| model.h00_lti(w), w_ref, &hlti_vals);
     // Zeros of 1 + λ in the right-half period strip, counted on a
     // contour offset slightly right of the jω-axis integrator poles.
     // The contour gains are evaluated on the pool; the winding count
     // depends only on the value sequence.
     let contour = strip_contour(w0, 1e-4 * lti.omega_ug, 4096);
-    let contour_vals = par_map(threads, &contour, |_, &s| lam.eval(s));
+    let contour_vals = scan_or_deadline(
+        par_map_cancellable(threads, &contour, deadline, |_, &s| lam.eval(s)),
+        "Nyquist contour",
+    )?;
     let stable = strip_zero_count_from_values(&contour_vals) == 0;
 
     // Quality roll-up: every scalar scan point (non-finite → failed),
@@ -319,6 +373,29 @@ mod tests {
         assert!((r.phase_margin_lti_deg - r.phase_margin_eff_deg - d).abs() < 1e-12);
         assert!(r.phase_margin_degradation_rel() > 0.0);
         assert!(r.phase_margin_degradation_rel() < 1.5);
+    }
+
+    #[test]
+    fn deadline_surfaces_as_retryable_error() {
+        let m = PllModel::builder(PllDesign::reference_design(0.1).unwrap())
+            .build()
+            .unwrap();
+        let err = analyze_deadline(
+            &m,
+            ThreadBudget::Fixed(1),
+            &SweepCache::new(),
+            &Deadline::after_checks(10),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().starts_with(crate::quality::DEADLINE_REASON),
+            "{err}"
+        );
+        // An unbounded deadline is exactly analyze_cached.
+        let cache = SweepCache::new();
+        let a = analyze_cached(&m, ThreadBudget::Fixed(2), &cache).unwrap();
+        let b = analyze_deadline(&m, ThreadBudget::Fixed(2), &cache, &Deadline::none()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

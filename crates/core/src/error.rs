@@ -32,6 +32,14 @@ pub enum CoreError {
         /// The first failed point, in grid order, with its verdict.
         reason: String,
     },
+    /// The analysis's cooperative deadline expired before a scan
+    /// completed. The `Display` form starts with
+    /// [`DEADLINE_REASON`](crate::quality::DEADLINE_REASON) so callers
+    /// can classify it as retryable without a dedicated error channel.
+    DeadlineExceeded {
+        /// The scan phase that ran out of budget.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +62,13 @@ impl fmt::Display for CoreError {
             CoreError::Margin(e) => write!(f, "margin extraction error: {e}"),
             CoreError::Solve(e) => write!(f, "linear solve error: {e}"),
             CoreError::SweepFailed { reason } => write!(f, "sweep point failed: {reason}"),
+            CoreError::DeadlineExceeded { phase } => {
+                write!(
+                    f,
+                    "{} during the {phase} scan",
+                    crate::quality::DEADLINE_REASON
+                )
+            }
         }
     }
 }

@@ -52,7 +52,7 @@ pub mod spurs;
 pub mod sweep;
 pub mod transient;
 
-pub use analysis::{analyze, analyze_cached, analyze_with, AnalysisReport};
+pub use analysis::{analyze, analyze_cached, analyze_deadline, analyze_with, AnalysisReport};
 pub use closed_loop::{PllModel, PllModelBuilder};
 pub use design::{LoopFilter, PllDesign, PllDesignBuilder};
 pub use error::CoreError;
@@ -61,7 +61,7 @@ pub use lambda::EffectiveGain;
 pub use noise::{NoiseModel, NoiseShape};
 pub use optimize::{optimize_loop, Candidate, NoiseSpec, OptimizeSpec};
 pub use poles::{damping_ratio, dominant_poles};
-pub use quality::{GridOutcome, PointOutcome, PointQuality, QualitySummary};
+pub use quality::{GridOutcome, PointOutcome, PointQuality, QualitySummary, DEADLINE_REASON};
 pub use spurs::LeakageSpurs;
 pub use sweep::{
     bode_grid, CacheStats, DenseSolve, KernelPolicy, SpurLine, SweepCache, SweepSpec,

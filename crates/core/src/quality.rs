@@ -12,6 +12,13 @@ use crate::error::CoreError;
 use htmpll_num::SolveReport;
 use std::fmt;
 
+/// Failure-reason prefix for points (and whole analyses) that ran out
+/// of budget: every deadline-induced `Failed` verdict starts with this
+/// string, so the service layer can distinguish "the budget expired"
+/// (retryable with a larger `--deadline-ms`) from genuine numerical
+/// failure.
+pub const DEADLINE_REASON: &str = "deadline exceeded";
+
 /// How trustworthy one grid point is.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +130,18 @@ impl<T> PointOutcome<T> {
             cond: 0.0,
             residual: 0.0,
         }
+    }
+
+    /// A point skipped because the sweep's budget expired before it was
+    /// evaluated ([`DEADLINE_REASON`] as the failure reason).
+    pub fn deadline_exceeded() -> PointOutcome<T> {
+        PointOutcome::failed(DEADLINE_REASON)
+    }
+
+    /// True when this point failed because the budget expired rather
+    /// than for a numerical reason.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(&self.quality, PointQuality::Failed { reason } if reason.starts_with(DEADLINE_REASON))
     }
 }
 

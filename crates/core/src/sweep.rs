@@ -50,7 +50,7 @@ use htmpll_htm::{ClosedLoopFactor, Htm, SolveScratch, Truncation, TruncationSpec
 use htmpll_lti::{bode_from_values, BodePoint, FrequencyGrid, GridError};
 use htmpll_num::hash::Fnv1a;
 use htmpll_num::{Complex, SolveReport};
-use htmpll_par::{par_map, par_map_with, ThreadBudget};
+use htmpll_par::{par_map, par_map_with_cancel, Deadline, ThreadBudget};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -154,6 +154,12 @@ pub struct SweepSpec {
     /// Which closed-loop kernels dense sweeps use; defaults to
     /// [`KernelPolicy::Structured`].
     pub kernel: KernelPolicy,
+    /// Cooperative budget for robust grid sweeps: once it expires, the
+    /// remaining points are skipped with a
+    /// [`DEADLINE_REASON`](crate::quality::DEADLINE_REASON)-prefixed
+    /// `Failed` verdict instead of wedging a worker. Defaults to
+    /// [`Deadline::none`] (no budget, zero overhead).
+    pub deadline: Deadline,
 }
 
 impl SweepSpec {
@@ -164,6 +170,7 @@ impl SweepSpec {
             trunc: TruncationSpec::default(),
             threads: ThreadBudget::Auto,
             kernel: KernelPolicy::default(),
+            deadline: Deadline::none(),
         }
     }
 
@@ -211,6 +218,14 @@ impl SweepSpec {
     #[must_use]
     pub fn with_kernel(mut self, kernel: KernelPolicy) -> SweepSpec {
         self.kernel = kernel;
+        self
+    }
+
+    /// Sets the cooperative deadline (clones share the caller's budget,
+    /// so one request-level deadline can bound several sweeps).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> SweepSpec {
+        self.deadline = deadline;
         self
     }
 }
@@ -282,6 +297,16 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
     }
 
     fn insert(&mut self, k: K, v: V) {
+        // Fault site `cache.evict`: an eviction storm drops the whole
+        // shard. Harmless by construction — eviction only changes which
+        // points recompute, and recomputation is bit-reproducible — so
+        // chaos runs use it to stress the recompute path.
+        if htmpll_fault::fires("cache.evict", self.tick) && !self.map.is_empty() {
+            let n = self.map.len() as u64;
+            self.map.clear();
+            self.evicted += n;
+            htmpll_obs::counter!("core", "sweep.cache_evictions").add(n);
+        }
         if self.map.len() >= self.cap && !self.map.contains_key(&k) {
             let drop_n = (self.cap / 8).max(1);
             let mut stamps: Vec<(u64, K)> = self
@@ -725,9 +750,17 @@ impl PllModel {
         kernel: KernelPolicy,
         cache: &SweepCache,
         ws: &mut SweepWorkspace,
+        deadline: &Deadline,
     ) -> PointOutcome<Htm> {
         let mut best: Option<PointOutcome<Htm>> = None;
         for (attempt, &k) in Self::truncation_ladder(trunc.order()).iter().enumerate() {
+            // First rung of the degradation ladder: under deadline
+            // pressure, settle for the starting order's verdict instead
+            // of burning the remaining budget on higher-K retries.
+            if attempt > 0 && deadline.pressed(0.5) {
+                htmpll_obs::counter!("core", "robust.trunc_capped").inc();
+                break;
+            }
             let outcome = match cache.dense_robust_with(self, s, Truncation::new(k), kernel, ws) {
                 Ok(d) => PointOutcome {
                     value: Some(d.htm.clone()),
@@ -782,14 +815,50 @@ impl PllModel {
                 spec.kernel.name()
             )
         });
-        let points = par_map_with(
+        let slots = par_map_with_cancel(
             spec.threads,
             spec.grid.points(),
+            &spec.deadline,
             SweepWorkspace::new,
             |ws, _, &w| {
-                self.dense_point_escalating(Complex::from_im(w), trunc, spec.kernel, cache, ws)
+                // Fault sites, keyed by the frequency's bit pattern so a
+                // given point faults identically at every thread count.
+                htmpll_fault::panic_if("sweep.panic", w.to_bits());
+                htmpll_fault::slow_if("sweep.slow", w.to_bits());
+                if htmpll_fault::fires("sweep.nan", w.to_bits()) {
+                    // Poison the Laplace point — but **bypass the cache**:
+                    // a faulted value must never be memoized where
+                    // non-faulted requests could observe it.
+                    return match compute_dense(
+                        self,
+                        Complex::new(f64::NAN, w),
+                        trunc,
+                        spec.kernel,
+                        ws,
+                    ) {
+                        Ok(d) => PointOutcome {
+                            value: Some(d.htm.clone()),
+                            quality: d.quality.clone(),
+                            cond: d.report.cond_estimate,
+                            residual: d.report.residual,
+                        },
+                        Err(reason) => PointOutcome::failed(reason),
+                    };
+                }
+                self.dense_point_escalating(
+                    Complex::from_im(w),
+                    trunc,
+                    spec.kernel,
+                    cache,
+                    ws,
+                    &spec.deadline,
+                )
             },
         );
+        let points = slots
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(PointOutcome::deadline_exceeded))
+            .collect();
         GridOutcome { points }
     }
 
@@ -1046,6 +1115,33 @@ mod tests {
                 _ => panic!("value presence differs between thread counts"),
             }
         }
+    }
+
+    #[test]
+    fn deadline_yields_partial_grid_with_deadline_verdicts() {
+        let m = model(0.2);
+        let full_spec = SweepSpec::log(0.1, 2.0, 16)
+            .unwrap()
+            .with_truncation(Truncation::new(3))
+            .with_threads(1);
+        let full = m.closed_loop_htm_grid_robust(&full_spec, &SweepCache::new());
+        let spec = full_spec.with_deadline(Deadline::after_checks(5));
+        let out = m.closed_loop_htm_grid_robust(&spec, &SweepCache::new());
+        assert_eq!(out.len(), 16);
+        let done = out.points.iter().filter(|p| p.value.is_some()).count();
+        assert!(done > 0 && done < 16, "{done} of 16 completed");
+        for (p, f) in out.points.iter().zip(&full.points) {
+            match &p.value {
+                // Completed points are bitwise identical to the
+                // uncancelled run — cancellation decides whether, not what.
+                Some(h) => {
+                    let fh = f.value.as_ref().expect("full run has every point");
+                    assert_eq!(h.as_matrix().max_diff(fh.as_matrix()), 0.0);
+                }
+                None => assert!(p.is_deadline_exceeded(), "{:?}", p.quality),
+            }
+        }
+        assert_eq!(out.summary().failed, 16 - done);
     }
 
     #[test]

@@ -378,6 +378,20 @@ pub struct RobustLu {
     report: SolveReport,
 }
 
+/// Content hash of a matrix's first row (up to 8 entries) — the fault
+/// key for `lu.pivot_fail`, chosen so injection decisions depend on
+/// *what* is being factored, never on call order or thread schedule.
+fn content_key(a: &CMat) -> u64 {
+    let n = a.rows().min(8);
+    let mut bytes = Vec::with_capacity(n * 16);
+    for j in 0..n {
+        let v = a[(0, j)];
+        bytes.extend_from_slice(&v.re.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&v.im.to_bits().to_le_bytes());
+    }
+    htmpll_fault::fnv64(&bytes)
+}
+
 impl RobustLu {
     /// Factors `A`, escalating as far as needed.
     ///
@@ -402,23 +416,36 @@ impl RobustLu {
             });
         let mut stages = vec![SolveStage::RefinedPartial];
 
+        // Fault site `lu.pivot_fail`: pretend rung 1's gates failed so
+        // the ladder escalates to complete pivoting (a `Refined`
+        // verdict, never a wrong value). Keyed by matrix content, not
+        // call order, so a given matrix faults identically at every
+        // thread count.
+        let pivot_fault =
+            htmpll_fault::enabled() && htmpll_fault::fires("lu.pivot_fail", content_key(a));
+        if pivot_fault {
+            htmpll_obs::counter!("num", "fault.pivot_fail").inc();
+        }
+
         // Rung 1: refined partial pivot, gated on growth + condition.
-        if let Ok(lu) = Lu::factor(a) {
-            let growth = lu.pivot_growth();
-            let cond = lu.cond_estimate(a);
-            if growth <= GROWTH_GATE && cond.is_finite() && cond <= COND_GATE {
-                return Ok(RobustLu {
-                    a: Operator::Dense(a.clone()),
-                    factor: Factor::Partial(lu),
-                    report: SolveReport {
-                        stages_tried: stages,
-                        residual: 0.0,
-                        cond_estimate: cond,
-                        perturbed: false,
-                        refinement_kept: false,
-                        pivot_growth: growth,
-                    },
-                });
+        if !pivot_fault {
+            if let Ok(lu) = Lu::factor(a) {
+                let growth = lu.pivot_growth();
+                let cond = lu.cond_estimate(a);
+                if growth <= GROWTH_GATE && cond.is_finite() && cond <= COND_GATE {
+                    return Ok(RobustLu {
+                        a: Operator::Dense(a.clone()),
+                        factor: Factor::Partial(lu),
+                        report: SolveReport {
+                            stages_tried: stages,
+                            residual: 0.0,
+                            cond_estimate: cond,
+                            perturbed: false,
+                            refinement_kept: false,
+                            pivot_growth: growth,
+                        },
+                    });
+                }
             }
         }
 
@@ -713,6 +740,31 @@ mod tests {
         for (x, y) in sol.value.iter().zip(&plain) {
             assert!((*x - *y).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn pivot_fail_injection_escalates_to_full_pivot() {
+        let a = random_like(8, 3);
+        htmpll_fault::install(
+            htmpll_fault::FaultPlan::parse("seed=1;lu.pivot_fail=always").unwrap(),
+        );
+        let faulted = {
+            let _scope = htmpll_fault::scope_guard(Some(7));
+            RobustLu::factor(&a).unwrap()
+        };
+        htmpll_fault::clear();
+        // Forced past rung 1: the ladder escalated but the result is
+        // still unperturbed (Refined, not Perturbed — a correct value).
+        assert!(faulted.report().escalated(), "{:?}", faulted.report());
+        assert!(!faulted.report().perturbed);
+        // Without an ambient scope the same plan never fires, so code
+        // outside explicit fault scopes is immune.
+        htmpll_fault::install(
+            htmpll_fault::FaultPlan::parse("seed=1;lu.pivot_fail=always").unwrap(),
+        );
+        let unscoped = RobustLu::factor(&a).unwrap();
+        htmpll_fault::clear();
+        assert!(!unscoped.report().escalated());
     }
 
     #[test]

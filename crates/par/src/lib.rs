@@ -40,8 +40,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod pool;
 
+pub use cancel::{CancelToken, Deadline, WeakDeadline};
 pub use pool::Pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -174,6 +176,11 @@ where
 
     let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads={threads}"));
     let telemetry = htmpll_obs::record!("par", "worker_busy_ns").is_enabled();
+    // Fault scopes are thread-local; spawned workers must re-establish
+    // the caller's ambient scope or scope-gated injection sites would
+    // silently stop firing above one thread (breaking the chaos
+    // harness's thread-count invariance).
+    let fault_scope = htmpll_fault::current_scope();
     let chunk = chunk_size(n, threads);
     let cursor = AtomicUsize::new(0);
     // Workers publish (start_index, results) per chunk; the merge below
@@ -187,6 +194,7 @@ where
         let f = &f;
         for widx in 0..threads {
             scope.spawn(move || {
+                let _fault = htmpll_fault::scope_guard(fault_scope);
                 // Busy/steal timeline: the worker span brackets this
                 // worker's busy life; each chunk is a child span; every
                 // grab after the first is a steal marker. All trace-only
@@ -239,6 +247,131 @@ where
     }
     debug_assert_eq!(out.len(), n);
     out
+}
+
+/// [`par_map`] with a cooperative [`Deadline`]: the budget is checked
+/// before every item, and once it expires no further item is started.
+/// Returns one slot per item — `Some(r)` for items computed before
+/// expiry, `None` for items skipped after it.
+///
+/// The determinism contract narrows but holds: a `Some` slot holds
+/// exactly the bits [`par_map`] would have produced for that item, for
+/// any thread count. Which slots are `Some` is timing-dependent under a
+/// wall-clock budget; use [`Deadline::after_checks`] when the completed
+/// *set* must also be reproducible.
+pub fn par_map_cancellable<T, R, F>(
+    budget: ThreadBudget,
+    items: &[T],
+    deadline: &Deadline,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with_cancel(budget, items, deadline, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map_with`] (per-worker workspace) with a cooperative
+/// [`Deadline`] — see [`par_map_cancellable`] for the slot semantics.
+///
+/// An unbounded deadline ([`Deadline::none`]) adds one `Option` test per
+/// item over [`par_map_with`].
+pub fn par_map_with_cancel<T, R, W, I, F>(
+    budget: ThreadBudget,
+    items: &[T],
+    deadline: &Deadline,
+    init: I,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = budget.resolve().min(n.max(1));
+    htmpll_obs::counter!("par", "tasks").add(n as u64);
+    if threads <= 1 {
+        let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads=1"));
+        let mut ws = init();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        for (i, t) in items.iter().enumerate() {
+            if deadline.expired() {
+                break;
+            }
+            out.push(Some(f(&mut ws, i, t)));
+        }
+        let skipped = n - out.len();
+        out.resize_with(n, || None);
+        if skipped > 0 {
+            htmpll_obs::counter!("par", "cancelled_tasks").add(skipped as u64);
+        }
+        return out;
+    }
+
+    let _span = htmpll_obs::span_labeled("par", "map", || format!("n={n},threads={threads}"));
+    let fault_scope = htmpll_fault::current_scope();
+    let chunk = chunk_size(n, threads);
+    let cursor = AtomicUsize::new(0);
+    // Chunks may complete partially (expiry mid-chunk), so workers
+    // publish per-chunk Option vectors; unpublished tail items of a
+    // chunk — and whole chunks never grabbed — stay None in the merge.
+    let parts: Mutex<Vec<(usize, Vec<Option<R>>)>> =
+        Mutex::new(Vec::with_capacity(n / chunk + threads));
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let parts = &parts;
+        let init = &init;
+        let f = &f;
+        for widx in 0..threads {
+            scope.spawn(move || {
+                let _fault = htmpll_fault::scope_guard(fault_scope);
+                let _wspan = htmpll_obs::trace_span("par", || format!("worker{{w{widx}}}"));
+                let mut ws = init();
+                loop {
+                    if deadline.expired() {
+                        break;
+                    }
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let _cspan =
+                        htmpll_obs::trace_span("par", || format!("chunk{{{start}..{end}}}"));
+                    let mut out: Vec<Option<R>> = Vec::with_capacity(end - start);
+                    for (i, t) in items[start..end].iter().enumerate() {
+                        if !out.is_empty() && deadline.expired() {
+                            break;
+                        }
+                        out.push(Some(f(&mut ws, start + i, t)));
+                    }
+                    parts
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((start, out));
+                }
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut completed = 0usize;
+    for (start, part) in parts.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        for (i, r) in part.into_iter().enumerate() {
+            if r.is_some() {
+                completed += 1;
+            }
+            slots[start + i] = r;
+        }
+    }
+    if completed < n {
+        htmpll_obs::counter!("par", "cancelled_tasks").add((n - completed) as u64);
+    }
+    slots
 }
 
 #[cfg(test)]
@@ -341,6 +474,63 @@ mod tests {
                 assert!(c >= 1);
                 // Enough chunks to cover all items.
                 assert!(c * n.div_ceil(c) >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellable_with_unbounded_deadline_matches_par_map() {
+        let xs: Vec<f64> = (1..300).map(|i| i as f64 * 0.41).collect();
+        let f = |_: usize, &x: &f64| (x.cos() * x.sqrt()).to_bits();
+        let plain = par_map(ThreadBudget::Fixed(3), &xs, f);
+        let cancellable = par_map_cancellable(ThreadBudget::Fixed(3), &xs, &Deadline::none(), f);
+        assert_eq!(cancellable.len(), xs.len());
+        for (a, b) in plain.iter().zip(&cancellable) {
+            assert_eq!(
+                Some(*a),
+                *b,
+                "unbounded deadline must not skip or change items"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_skips_everything() {
+        let xs: Vec<usize> = (0..50).collect();
+        let d = Deadline::token();
+        d.cancel();
+        for t in [1usize, 4] {
+            let out = par_map_cancellable(ThreadBudget::Fixed(t), &xs, &d, |_, &x| x);
+            // The threaded path guarantees progress per grabbed chunk but
+            // a pre-cancelled budget never grabs one.
+            assert!(out.iter().all(|s| s.is_none()), "threads={t}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn partial_results_are_bitwise_identical_to_full_run() {
+        let xs: Vec<f64> = (1..200).map(|i| i as f64 * 0.77).collect();
+        let f = |_: usize, &x: &f64| (x.sin() * x.ln()).to_bits();
+        let full = par_map(ThreadBudget::Fixed(1), &xs, f);
+        for t in [1usize, 2, 5] {
+            let d = Deadline::after_checks(40);
+            let part = par_map_cancellable(ThreadBudget::Fixed(t), &xs, &d, f);
+            let completed = part.iter().filter(|s| s.is_some()).count();
+            assert!(
+                completed < xs.len(),
+                "threads={t}: a 40-check budget must expire mid-grid"
+            );
+            assert!(
+                completed > 0,
+                "threads={t}: some items must complete before expiry"
+            );
+            for (i, slot) in part.iter().enumerate() {
+                if let Some(bits) = slot {
+                    assert_eq!(
+                        *bits, full[i],
+                        "threads={t} item {i} changed under cancellation"
+                    );
+                }
             }
         }
     }

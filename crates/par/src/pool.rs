@@ -13,7 +13,7 @@
 //! each result is placed by item index, so for a pure `f` the output is
 //! bitwise-identical for every worker count, including 1.
 
-use crate::{chunk_size, ThreadBudget};
+use crate::{cancel::Deadline, chunk_size, ThreadBudget};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -194,10 +194,14 @@ impl Pool {
             done: Condvar::new(),
         });
         let f = Arc::new(f);
+        // Carry the caller's ambient fault scope into the long-lived
+        // workers (thread-locals do not cross the queue).
+        let fault_scope = htmpll_fault::current_scope();
         for _ in 0..jobs {
             let state = Arc::clone(&state);
             let f = Arc::clone(&f);
             self.execute(move || {
+                let _fault = htmpll_fault::scope_guard(fault_scope);
                 let _guard = JobGuard { state: &*state };
                 loop {
                     let start = state.cursor.fetch_add(state.chunk, Ordering::Relaxed);
@@ -229,6 +233,101 @@ impl Pool {
             .iter_mut()
             .map(|slot| slot.take().expect("every map slot filled"))
             .collect()
+    }
+
+    /// [`Pool::map`] with a cooperative [`Deadline`]: the budget is
+    /// checked before every chunk grab and between items, and once it
+    /// expires no further item is started. Returns one slot per item —
+    /// `Some(r)` for items computed before expiry, `None` for items
+    /// skipped after it.
+    ///
+    /// A `Some` slot holds exactly the bits [`Pool::map`] would have
+    /// produced for that item, for any pool size (cancellation decides
+    /// *whether* an item runs, never *what* it computes).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` on the calling thread after all
+    /// workers have left the call.
+    pub fn map_cancellable<T, R, F>(
+        &self,
+        items: Vec<T>,
+        deadline: &Deadline,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        htmpll_obs::counter!("par", "pool.tasks").add(n as u64);
+        let jobs = self.threads.min(n);
+        let state = Arc::new(MapState {
+            items,
+            chunk: chunk_size(n, jobs),
+            cursor: AtomicUsize::new(0),
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            sync: Mutex::new(MapSync {
+                remaining: jobs,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        let f = Arc::new(f);
+        // Pool workers are long-lived process threads with no ambient
+        // fault scope of their own; carry the caller's scope into each
+        // job so scope-gated injection sites behave as if inline.
+        let fault_scope = htmpll_fault::current_scope();
+        for _ in 0..jobs {
+            let state = Arc::clone(&state);
+            let f = Arc::clone(&f);
+            let deadline = deadline.clone();
+            self.execute(move || {
+                let _fault = htmpll_fault::scope_guard(fault_scope);
+                let _guard = JobGuard { state: &*state };
+                loop {
+                    if deadline.expired() {
+                        break;
+                    }
+                    let start = state.cursor.fetch_add(state.chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + state.chunk).min(n);
+                    let mut out: Vec<Option<R>> = Vec::with_capacity(end - start);
+                    for (i, t) in state.items[start..end].iter().enumerate() {
+                        // Always finish the first item of a grabbed
+                        // chunk so every grab makes progress.
+                        if !out.is_empty() && deadline.expired() {
+                            break;
+                        }
+                        out.push(Some(f(start + i, t)));
+                    }
+                    let mut slots = lock(&state.slots);
+                    for (i, r) in out.into_iter().enumerate() {
+                        slots[start + i] = r;
+                    }
+                }
+            });
+        }
+        let mut sync = lock(&state.sync);
+        while sync.remaining > 0 {
+            sync = state.done.wait(sync).unwrap_or_else(|e| e.into_inner());
+        }
+        let panicked = sync.panicked;
+        drop(sync);
+        assert!(!panicked, "pool map job panicked");
+        let mut slots = lock(&state.slots);
+        let done: Vec<Option<R>> = slots.iter_mut().map(|slot| slot.take()).collect();
+        let skipped = done.iter().filter(|s| s.is_none()).count();
+        if skipped > 0 {
+            htmpll_obs::counter!("par", "cancelled_tasks").add(skipped as u64);
+        }
+        done
     }
 }
 
@@ -306,6 +405,53 @@ mod tests {
         // The pool keeps serving after a job panicked.
         let ok = pool.map(vec![1usize, 2, 3], |_, &x| x * 2);
         assert_eq!(ok, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_cancellable_unbounded_matches_map() {
+        let pool = Pool::new(ThreadBudget::Fixed(3));
+        let xs: Vec<f64> = (1..150).map(|i| i as f64 * 0.59).collect();
+        let f = |_: usize, &x: &f64| (x.sin() + x.cbrt()).to_bits();
+        let plain = pool.map(xs.clone(), f);
+        let cancellable = pool.map_cancellable(xs, &Deadline::none(), f);
+        assert_eq!(cancellable.len(), plain.len());
+        for (a, b) in plain.iter().zip(&cancellable) {
+            assert_eq!(Some(*a), *b);
+        }
+    }
+
+    #[test]
+    fn map_cancellable_partial_is_bitwise_stable() {
+        let xs: Vec<f64> = (1..120).map(|i| i as f64 * 0.31).collect();
+        let f = |_: usize, &x: &f64| (x.tan() * x.sqrt()).to_bits();
+        let full: Vec<u64> = xs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for t in [1usize, 4] {
+            let pool = Pool::new(ThreadBudget::Fixed(t));
+            let d = Deadline::after_checks(20);
+            let part = pool.map_cancellable(xs.clone(), &d, f);
+            let completed = part.iter().filter(|s| s.is_some()).count();
+            assert!(completed > 0, "pool size {t}");
+            assert!(
+                completed < xs.len(),
+                "pool size {t}: 20 checks must expire mid-map"
+            );
+            for (i, slot) in part.iter().enumerate() {
+                if let Some(bits) = slot {
+                    assert_eq!(*bits, full[i], "pool size {t} item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_cancellable_cancelled_up_front_skips_all() {
+        let pool = Pool::new(ThreadBudget::Fixed(2));
+        let d = Deadline::token();
+        d.cancel();
+        let out = pool.map_cancellable((0..40usize).collect(), &d, |_, &x| x);
+        assert!(out.iter().all(|s| s.is_none()));
+        // The pool still serves normal maps afterwards.
+        assert_eq!(pool.map(vec![1usize, 2], |_, &x| x + 1), vec![2, 3]);
     }
 
     #[test]

@@ -187,4 +187,35 @@ hits=$(grep -o '"response_cache":{"hits":[0-9]*' "$serveout" | grep -o '[0-9]*$'
 rm -f "$servein" "$serveout"
 echo "serve leg ok (50/50 in-order responses, zero shed, $hits warm-cache hits)"
 
+echo "==> serve deadline leg (tight budget answers, never hangs)"
+dlout=$(mktemp)
+printf '{"id":0,"command":"sweep","params":{"from":0.05,"to":0.3,"points":60}}\n{"id":1,"command":"analyze","params":{"ratio":0.1}}\n' \
+    | timeout 60 ./target/release/plltool serve --deadline-ms 1 --workers 2 > "$dlout" 2>/dev/null || {
+    echo "serve deadline leg failed: serve exited nonzero or hung" >&2
+    exit 1
+}
+dllines=$(wc -l < "$dlout")
+[ "$dllines" -eq 2 ] || {
+    echo "serve deadline leg failed: expected 2 response lines, got $dllines" >&2
+    exit 1
+}
+grep -q '"code":"deadline"' "$dlout" || {
+    echo "serve deadline leg failed: no structured deadline error under a 1 ms budget" >&2
+    head -2 "$dlout" >&2
+    exit 1
+}
+grep -q '"retryable":true' "$dlout" || {
+    echo "serve deadline leg failed: deadline error not marked retryable" >&2
+    exit 1
+}
+rm -f "$dlout"
+echo "serve deadline leg ok (structured retryable deadline errors, no hang)"
+
+echo "==> chaos smoke (seeded fault replay, exit 2 on invariant violation)"
+timeout 120 ./target/release/plltool chaos --requests 24 || {
+    echo "chaos smoke failed: invariant violation or hang under the default fault plan" >&2
+    exit 1
+}
+echo "chaos smoke ok"
+
 echo "==> all green"

@@ -23,7 +23,7 @@ use htmpll::service::{envelope, handle, serve_lines, Response, ServeOptions, Ser
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile|serve> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile|serve|chaos> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -54,12 +54,24 @@ const USAGE: &str =
           cache hit rate, verdicts, ladder stages, worker utilization
   serve   [--workers N] [--queue-max N] [--batch-max N] [--shed x]
           [--response-cache N] [--log-every N] [--socket PATH]
+          [--deadline-ms MS]
           long-running batched analysis service: reads JSON-lines
           requests {\"id\":...,\"command\":...,\"params\":{...}} from stdin
           (or a Unix socket), answers one plltool/v1 envelope line per
           request in input order; identical specs are batched across a
           shared warm cache; send {\"command\":\"stats\"} for live
-          latency/throughput/queue/cache figures
+          latency/throughput/queue/cache figures; with --deadline-ms a
+          request over budget degrades (smaller truncation, coarser
+          grid, partial rows) or answers a retryable \"code\":\"deadline\"
+          error instead of holding its batch, and a watchdog cancels
+          in-flight work if the dispatcher wedges
+  chaos   [--requests N] [--seed S] [--workers N] [--plan SPEC]
+          replays a seeded request corpus through serve under an
+          injected fault plan (HTMPLL_FAULT grammar) and verifies the
+          robustness invariants: the process never dies, responses stay
+          in input order, output is identical for 1 and N workers, and
+          unfaulted requests match a fault-free baseline byte-for-byte;
+          exit 2 on any violation
   every command accepts --threads N for the sweep worker pool
   (0 = auto; equivalent to setting HTMPLL_THREADS) and --metrics-json
   PATH to dump instrumentation (enables info-level collection if
@@ -93,6 +105,10 @@ fn run_request(cmd: &str, params: &Params) -> Result<(), String> {
     }
 
     let ctx = ServiceCtx::new();
+    // Same ambient fault scope the serve workers use, so scope-gated
+    // HTMPLL_FAULT rules behave identically from the one-shot CLI.
+    let _fault_scope =
+        htmpll::fault::scope_guard(Some(htmpll::fault::fnv64(req.canonical_json().as_bytes())));
     let resp = handle(&req, &ctx);
     print!("{}", resp.render_text());
 
@@ -160,10 +176,33 @@ fn cmd_trace(inner: &str, params: &Params) -> Result<(), String> {
     result
 }
 
+/// The `chaos` front end: replays the seeded corpus through serve
+/// under an injected fault plan and exits 2 if any robustness
+/// invariant (liveness, order, thread invariance, blast radius) broke.
+fn cmd_chaos(params: &Params) -> Result<(), String> {
+    let opts = htmpll::service::ChaosOptions {
+        requests: params.usize_or("requests", 40)?,
+        seed: params.usize_or("seed", 42)? as u64,
+        workers: params.usize_or("workers", 4)?,
+        plan: params.str_opt("plan"),
+    };
+    let report = htmpll::service::run_chaos(&opts)?;
+    print!("{}", report.render_table());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "chaos: {} invariant violation(s)",
+            report.violations.len()
+        ))
+    }
+}
+
 /// The `serve` front end: stdin→stdout JSONL by default, a Unix socket
 /// with `--socket PATH`. The summary line goes to stderr so response
 /// lines stay machine-clean on stdout.
 fn cmd_serve(params: &Params) -> Result<(), String> {
+    let deadline_ms = params.usize_or("deadline-ms", 0)? as u64;
     let opts = ServeOptions {
         workers: params.usize_or("workers", 0)?,
         queue_max: params.usize_or("queue-max", 256)?,
@@ -171,6 +210,7 @@ fn cmd_serve(params: &Params) -> Result<(), String> {
         shed: params.has("shed"),
         response_cache: params.usize_or("response-cache", 1024)?,
         log_every: params.usize_or("log-every", 0)? as u64,
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
     };
     if std::env::var_os("HTMPLL_OBS").is_none() {
         htmpll::obs::override_filter("serve=info");
@@ -210,11 +250,17 @@ fn run(argv: &[String]) -> Result<(), String> {
     if threads > 0 {
         std::env::set_var(htmpll::par::THREADS_ENV, threads.to_string());
     }
+    // Arm the deterministic fault-injection layer from HTMPLL_FAULT, so
+    // any subcommand (most usefully serve) can run under a plan.
+    htmpll::fault::init_from_env().map_err(|e| format!("HTMPLL_FAULT: {e}"))?;
     if let Some(inner) = inner {
         return cmd_trace(inner, &params);
     }
     if cmd == "serve" {
         return cmd_serve(&params);
+    }
+    if cmd == "chaos" {
+        return cmd_chaos(&params);
     }
     run_request(cmd, &params)
 }

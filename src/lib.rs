@@ -64,6 +64,9 @@ pub use htmpll_obs as obs;
 /// Parallel sweep engine (re-export of `htmpll-par`).
 pub use htmpll_par as par;
 
+/// Deterministic fault injection (re-export of `htmpll-fault`).
+pub use htmpll_fault as fault;
+
 /// Cross-stack differential verification (re-export of `htmpll-xcheck`).
 pub use htmpll_xcheck as xcheck;
 

@@ -10,15 +10,16 @@ use super::response::{
 };
 use super::ServiceCtx;
 use crate::core::{
-    analyze_cached, bode_grid, dominant_poles, optimize_loop, transient, EffectiveGain,
-    LeakageSpurs, NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign, PllModel,
-    PointQuality, QualitySummary, SampleHoldModel, SweepSpec, MAX_AUTO_TRUNCATION,
+    analyze_cached, analyze_deadline, bode_grid, dominant_poles, optimize_loop, transient,
+    EffectiveGain, LeakageSpurs, NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign,
+    PllModel, PointQuality, QualitySummary, SampleHoldModel, SweepSpec, DEADLINE_REASON,
+    MAX_AUTO_TRUNCATION,
 };
 use crate::htm::{Htm, HtmRepr, Truncation};
 use crate::lti::FrequencyGrid;
 use crate::num::optim::lin_grid;
 use crate::num::Complex;
-use crate::par::ThreadBudget;
+use crate::par::{Deadline, ThreadBudget};
 use crate::requests::{DesignSpec, Request};
 use crate::sim::{acquire_lock, LockOptions, PllSim, SimConfig, SimParams};
 use crate::spectral::{periodogram, Window};
@@ -27,23 +28,27 @@ use crate::spectral::{periodogram, Window};
 /// panics on request-level failures: they come back as
 /// [`Response::Error`].
 pub fn handle(req: &Request, ctx: &ServiceCtx) -> Response {
+    // Fault site: a handler panic for scope-selected requests, proving
+    // the serve worker's `catch_unwind` containment under chaos runs.
+    htmpll_fault::panic_if("handler.panic", 0);
     let budget = req.budget();
+    let deadline = ctx.begin_request();
     let result = match req {
         Request::Analyze {
             design,
             pfd_sh,
             symbolic,
             ..
-        } => analyze(design, budget, *pfd_sh, *symbolic, ctx).map(Response::Analyze),
+        } => analyze(design, budget, *pfd_sh, *symbolic, ctx, &deadline).map(Response::Analyze),
         Request::Sweep {
             from, to, points, ..
-        } => sweep(*from, *to, *points, budget, ctx).map(Response::Sweep),
+        } => sweep(*from, *to, *points, budget, ctx, &deadline),
         Request::Bode {
             design,
             points,
             lambda,
             ..
-        } => bode(design, *points, *lambda, budget, ctx).map(Response::Bode),
+        } => bode(design, *points, *lambda, budget, ctx, &deadline).map(Response::Bode),
         Request::Step {
             design,
             until,
@@ -85,7 +90,17 @@ pub fn handle(req: &Request, ctx: &ServiceCtx) -> Response {
         } => profile(*ratio, *points, *trunc, *reps, *seed, budget).map(Response::Profile),
         Request::Stats => Err("stats is only available under `plltool serve`".to_string()),
     };
-    result.unwrap_or_else(|message| Response::Error(ServiceError::failed(req.command(), message)))
+    result.unwrap_or_else(|message| {
+        // A handler that ran out of budget reports a *retryable*
+        // structured error, not a generic failure: the caller can raise
+        // `--deadline-ms` (or drop load) and resubmit the same request.
+        let err = if message.starts_with(DEADLINE_REASON) {
+            ServiceError::deadline(req.command(), message, None)
+        } else {
+            ServiceError::failed(req.command(), message)
+        };
+        Response::Error(err)
+    })
 }
 
 fn build_model(spec: &DesignSpec) -> Result<(PllDesign, PllModel), String> {
@@ -102,9 +117,11 @@ fn analyze(
     pfd_sh: bool,
     symbolic: bool,
     ctx: &ServiceCtx,
+    deadline: &Deadline,
 ) -> Result<AnalyzeOut, String> {
     let (design, model) = build_model(spec)?;
-    let report = analyze_cached(&model, threads, &ctx.cache).map_err(|e| e.to_string())?;
+    let report =
+        analyze_deadline(&model, threads, &ctx.cache, deadline).map_err(|e| e.to_string())?;
     let strip_poles = dominant_poles(&model)
         .ok()
         .map(|ps| ps.iter().map(|p| (p.re, p.im)).collect());
@@ -150,21 +167,91 @@ fn merge_quality(into: &mut QualitySummary, q: &QualitySummary) {
     }
 }
 
+/// The ratio sweep with its graceful-degradation ladder. Under an armed
+/// deadline the handler sheds work in order of increasing damage:
+///
+/// 1. **Reduce truncation** — the per-point solver already caps its
+///    escalation ladder once the budget is half consumed (recorded by
+///    the `core/robust.trunc_capped` counter).
+/// 2. **Coarsen the grid** — once more than half the budget is gone
+///    with more than half the ratios remaining, every other ratio is
+///    skipped.
+/// 3. **Partial result** — on expiry the completed rows are returned
+///    as-is.
+///
+/// Every step taken is recorded in [`SweepOut::degradation`], so a
+/// degraded response is always distinguishable from a full one. A
+/// deadline that fires before *any* ratio completes becomes a
+/// retryable `code:deadline` error carrying the (empty) quality
+/// roll-up. The ladder consults only the deterministic deadline state,
+/// so a given budget and fault plan always degrade the same way.
 fn sweep(
     from: f64,
     to: f64,
     points: usize,
     threads: ThreadBudget,
     ctx: &ServiceCtx,
-) -> Result<SweepOut, String> {
+    deadline: &Deadline,
+) -> Result<Response, String> {
+    let ratios = lin_grid(from, to, points.max(2));
+    let total = ratios.len();
     let mut rows = Vec::new();
     let mut quality = QualitySummary::default();
-    for ratio in lin_grid(from, to, points.max(2)) {
+    let mut degradation: Vec<String> = Vec::new();
+    let mut stride = 1usize;
+    let mut i = 0usize;
+    while i < total {
+        if deadline.expired() {
+            if rows.is_empty() {
+                return Ok(Response::Error(ServiceError::deadline(
+                    "sweep",
+                    format!("{DEADLINE_REASON} before the first of {total} ratios completed"),
+                    Some(quality),
+                )));
+            }
+            degradation.push(format!(
+                "partial: deadline expired after {} of {} ratios",
+                rows.len(),
+                total
+            ));
+            break;
+        }
+        if stride == 1 && (total - i) * 2 > total && deadline.pressed(0.5) {
+            stride = 2;
+            degradation.push(format!(
+                "coarsened: ratio stride doubled with {} of {} ratios remaining",
+                total - i,
+                total
+            ));
+        }
+        let ratio = ratios[i];
         let model =
             PllModel::builder(PllDesign::reference_design(ratio).map_err(|e| e.to_string())?)
                 .build()
                 .map_err(|e| e.to_string())?;
-        let r = analyze_cached(&model, threads, &ctx.cache).map_err(|e| e.to_string())?;
+        let r = match analyze_deadline(&model, threads, &ctx.cache, deadline) {
+            Ok(r) => r,
+            Err(e) => {
+                let message = e.to_string();
+                if !message.starts_with(DEADLINE_REASON) {
+                    return Err(message);
+                }
+                if rows.is_empty() {
+                    return Ok(Response::Error(ServiceError::deadline(
+                        "sweep",
+                        format!("{message} (0 of {total} ratios completed)"),
+                        Some(quality),
+                    )));
+                }
+                degradation.push(format!(
+                    "partial: {} after {} of {} ratios",
+                    DEADLINE_REASON,
+                    rows.len(),
+                    total
+                ));
+                break;
+            }
+        };
         merge_quality(&mut quality, &r.quality);
         rows.push(SweepRow {
             ratio,
@@ -173,8 +260,13 @@ fn sweep(
             pm_lti_deg: r.phase_margin_lti_deg,
             beyond_limit: r.beyond_sampling_limit,
         });
+        i += stride;
     }
-    Ok(SweepOut { rows, quality })
+    Ok(Response::Sweep(SweepOut {
+        rows,
+        quality,
+        degradation,
+    }))
 }
 
 fn bode(
@@ -183,9 +275,10 @@ fn bode(
     lambda: bool,
     threads: ThreadBudget,
     ctx: &ServiceCtx,
+    deadline: &Deadline,
 ) -> Result<BodeOut, String> {
     let (design, model) = build_model(spec)?;
-    let wug = analyze_cached(&model, threads, &ctx.cache)
+    let wug = analyze_deadline(&model, threads, &ctx.cache, deadline)
         .map_err(|e| e.to_string())?
         .omega_ug_lti;
     let grid =

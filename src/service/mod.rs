@@ -24,10 +24,12 @@
 
 pub mod json;
 
+mod chaos;
 mod handlers;
 mod response;
 mod server;
 
+pub use chaos::{build_corpus, default_plan, run_chaos, ChaosOptions, ChaosReport};
 pub use response::{
     envelope, envelope_tail, error_envelope, AnalyzeOut, BodeOut, BodeRow, DoctorCheck, DoctorOut,
     MetricsOut, OptimizeOut, ProfileOut, Response, ServiceError, ShMargins, SpurOut, SweepOut,
@@ -38,7 +40,10 @@ pub use server::serve_unix;
 pub use server::{serve_lines, ServeOptions, ServeSummary};
 
 use crate::core::SweepCache;
+use crate::par::{Deadline, WeakDeadline};
 use crate::requests::Request;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Shared state threaded through every request execution.
 ///
@@ -50,14 +55,51 @@ pub struct ServiceCtx {
     /// Entries are keyed by (model fingerprint, s, truncation), so one
     /// cache safely serves unrelated designs concurrently.
     pub cache: SweepCache,
+    /// Per-request wall-clock budget in milliseconds. `None` means
+    /// unbounded; when set, [`ServiceCtx::begin_request`] arms a fresh
+    /// [`Deadline`] for every request.
+    pub deadline_ms: Option<u64>,
+    /// Weak handles to the deadlines of requests currently executing.
+    /// The serve watchdog walks this list to cancel in-flight work when
+    /// the dispatcher stops making progress; entries expire on their
+    /// own once a request finishes (the strong `Arc` is dropped).
+    pub inflight: Mutex<Vec<WeakDeadline>>,
 }
 
 impl ServiceCtx {
-    /// A fresh context with an empty sweep cache.
+    /// A fresh context with an empty sweep cache and no deadline.
     pub fn new() -> Self {
         ServiceCtx {
             cache: SweepCache::new(),
+            deadline_ms: None,
+            inflight: Mutex::new(Vec::new()),
         }
+    }
+
+    /// A fresh context that arms every request with a wall-clock budget.
+    pub fn with_deadline_ms(deadline_ms: Option<u64>) -> Self {
+        ServiceCtx {
+            deadline_ms,
+            ..ServiceCtx::new()
+        }
+    }
+
+    /// Creates the deadline governing one request and registers a weak
+    /// handle so an external watchdog can cancel it. Unbounded contexts
+    /// hand out [`Deadline::none`], which has no shared state and is
+    /// not registered.
+    pub fn begin_request(&self) -> Deadline {
+        let deadline = match self.deadline_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::none(),
+        };
+        if let Some(weak) = deadline.downgrade() {
+            if let Ok(mut inflight) = self.inflight.lock() {
+                inflight.retain(WeakDeadline::is_alive);
+                inflight.push(weak);
+            }
+        }
+        deadline
     }
 }
 

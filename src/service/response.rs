@@ -63,6 +63,11 @@ pub struct SweepOut {
     pub rows: Vec<SweepRow>,
     /// Aggregate point quality over every row's analysis.
     pub quality: QualitySummary,
+    /// Graceful-degradation steps taken under deadline pressure, in
+    /// order (e.g. grid coarsening, partial completion). Empty for an
+    /// unpressured sweep — and omitted from the JSON envelope then, so
+    /// deadline-free responses keep their historical bytes.
+    pub degradation: Vec<String>,
 }
 
 /// One `bode` table row.
@@ -208,10 +213,20 @@ pub struct ServiceError {
     /// unparseable request line).
     pub command: String,
     /// Stable machine-readable code: `bad_request`, `failed`,
-    /// `unsupported`, `shed`, or `panic`.
+    /// `unsupported`, `shed`, `deadline`, or `panic`.
     pub code: &'static str,
     /// Human-readable message.
     pub message: String,
+    /// Whether retrying the identical request can plausibly succeed —
+    /// `true` for transient conditions (an expired deadline, a shed
+    /// request), `false` for deterministic failures (bad request,
+    /// numerical failure, panic). Rendered as `"retryable"` in the
+    /// envelope's error object.
+    pub retryable: bool,
+    /// Partial quality roll-up gathered before the failure, when any —
+    /// a deadline error reports the verdicts of the points it *did*
+    /// complete.
+    pub quality: Option<QualitySummary>,
 }
 
 impl ServiceError {
@@ -221,6 +236,8 @@ impl ServiceError {
             command: command.to_string(),
             code: "failed",
             message,
+            retryable: false,
+            quality: None,
         }
     }
 
@@ -230,6 +247,8 @@ impl ServiceError {
             command: String::new(),
             code: "bad_request",
             message,
+            retryable: false,
+            quality: None,
         }
     }
 
@@ -239,6 +258,25 @@ impl ServiceError {
             command: command.to_string(),
             code: "unsupported",
             message,
+            retryable: false,
+            quality: None,
+        }
+    }
+
+    /// A request whose cooperative deadline expired before completion.
+    /// Retryable by definition: the same request under a larger
+    /// `--deadline-ms` (or lighter load) can succeed.
+    pub fn deadline(
+        command: &str,
+        message: String,
+        quality: Option<QualitySummary>,
+    ) -> ServiceError {
+        ServiceError {
+            command: command.to_string(),
+            code: "deadline",
+            message,
+            retryable: true,
+            quality,
         }
     }
 }
@@ -395,21 +433,39 @@ impl Response {
     pub fn result_json(&self) -> Option<String> {
         match self {
             Response::Analyze(a) => Some(analyze_result_json(a)),
-            Response::Sweep(s) => Some(format!(
-                "{{\"rows\":[{}]}}",
-                s.rows
-                    .iter()
-                    .map(|r| format!(
-                        "{{\"ratio\":{},\"ug_ratio\":{},\"pm_eff_deg\":{},\"pm_lti_deg\":{},\"beyond_limit\":{}}}",
-                        num(r.ratio),
-                        num(r.ug_ratio),
-                        num(r.pm_eff_deg),
-                        num(r.pm_lti_deg),
-                        r.beyond_limit
-                    ))
-                    .collect::<Vec<_>>()
-                    .join(",")
-            )),
+            Response::Sweep(s) => {
+                let mut r = format!(
+                    "{{\"rows\":[{}]",
+                    s.rows
+                        .iter()
+                        .map(|r| format!(
+                            "{{\"ratio\":{},\"ug_ratio\":{},\"pm_eff_deg\":{},\"pm_lti_deg\":{},\"beyond_limit\":{}}}",
+                            num(r.ratio),
+                            num(r.ug_ratio),
+                            num(r.pm_eff_deg),
+                            num(r.pm_lti_deg),
+                            r.beyond_limit
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                // Degradation notes appear only when the ladder actually
+                // stepped, so unpressured sweeps keep their exact
+                // historical bytes.
+                if !s.degradation.is_empty() {
+                    let _ = write!(
+                        r,
+                        ",\"degradation\":[{}]",
+                        s.degradation
+                            .iter()
+                            .map(|d| str_lit(d))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                }
+                r.push('}');
+                Some(r)
+            }
             Response::Bode(b) => Some(format!(
                 "{{\"points\":[{}]}}",
                 b.rows
@@ -495,17 +551,23 @@ impl Response {
         };
         match q {
             None => "null".to_string(),
-            Some(q) => format!(
-                "{{\"exact\":{},\"refined\":{},\"perturbed\":{},\"failed\":{},\"worst_cond\":{},\"worst_residual\":{}}}",
-                q.exact,
-                q.refined,
-                q.perturbed,
-                q.failed,
-                num(q.worst_cond),
-                num(q.worst_residual)
-            ),
+            Some(q) => quality_summary_json(q),
         }
     }
+}
+
+/// The `quality` member's JSON form, shared by success envelopes and
+/// deadline errors carrying a partial roll-up.
+fn quality_summary_json(q: &QualitySummary) -> String {
+    format!(
+        "{{\"exact\":{},\"refined\":{},\"perturbed\":{},\"failed\":{},\"worst_cond\":{},\"worst_residual\":{}}}",
+        q.exact,
+        q.refined,
+        q.perturbed,
+        q.failed,
+        num(q.worst_cond),
+        num(q.worst_residual)
+    )
 }
 
 fn render_analyze(t: &mut String, a: &AnalyzeOut) {
@@ -732,16 +794,22 @@ pub fn envelope_tail(resp: &Response, metrics_json: Option<&str>) -> String {
         Response::Error(e) => {
             let _ = write!(
                 tail,
-                ",\"error\":{{\"code\":\"{}\",\"message\":{}}}",
+                ",\"error\":{{\"code\":\"{}\",\"message\":{},\"retryable\":{}}}",
                 e.code,
-                str_lit(&e.message)
+                str_lit(&e.message),
+                e.retryable
             );
+            // A deadline error still reports the verdicts of the points
+            // it completed before the budget ran out.
+            if let Some(q) = &e.quality {
+                let _ = write!(tail, ",\"quality\":{}", quality_summary_json(q));
+            }
         }
         _ => {
             if let Some(message) = resp.failure() {
                 let _ = write!(
                     tail,
-                    ",\"error\":{{\"code\":\"failed\",\"message\":{}}}",
+                    ",\"error\":{{\"code\":\"failed\",\"message\":{},\"retryable\":false}}",
                     str_lit(&message)
                 );
             }
@@ -772,10 +840,11 @@ pub fn error_envelope(id: &RequestId, err: &ServiceError) -> String {
         str_lit(&err.command)
     };
     format!(
-        "{{\"schema\":\"plltool/v1\",{}\"command\":{command},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}",
+        "{{\"schema\":\"plltool/v1\",{}\"command\":{command},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{},\"retryable\":{}}}}}",
         id.json_fragment(),
         err.code,
-        str_lit(&err.message)
+        str_lit(&err.message),
+        err.retryable
     )
 }
 

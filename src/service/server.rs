@@ -46,9 +46,9 @@
 //! [`SweepCache`]: crate::core::SweepCache
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -77,6 +77,12 @@ pub struct ServeOptions {
     /// Emit a progress line to stderr every this many responses
     /// (`0` disables periodic logging).
     pub log_every: u64,
+    /// Per-request wall-clock budget in milliseconds (`None` =
+    /// unbounded). When set, a request that exceeds it answers with a
+    /// retryable `"code":"deadline"` error (or a degraded partial
+    /// result) instead of holding its batch, and a watchdog thread
+    /// cancels in-flight work if the dispatcher stops making progress.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -88,6 +94,7 @@ impl Default for ServeOptions {
             shed: false,
             response_cache: 1024,
             log_every: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -145,9 +152,14 @@ impl ServeSummary {
 }
 
 /// Recovers a poisoned mutex: serve state (counters, shed list, cache
-/// maps) stays valid across a panic unwound mid-update.
+/// maps) stays valid across a panic unwound mid-update. Every recovery
+/// is counted (`serve/lock_poisoned`) so a fault-injection or chaos run
+/// can verify the containment path actually executed.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    m.lock().unwrap_or_else(|poisoned| {
+        counter!("serve", "lock_poisoned").inc();
+        poisoned.into_inner()
+    })
 }
 
 /// Live counters shared between the reader, the workers, and the
@@ -273,7 +285,7 @@ where
     R: BufRead + Send,
     W: Write,
 {
-    let ctx = Arc::new(ServiceCtx::new());
+    let ctx = Arc::new(ServiceCtx::with_deadline_ms(opts.deadline_ms));
     let pool = Pool::new(ThreadBudget::from(opts.workers));
     serve_on(&ctx, &pool, input, output, opts)
 }
@@ -297,16 +309,71 @@ where
     let tails = Arc::new(TailCache::new(opts.response_cache));
     let batch_max = opts.batch_max.max(1);
 
+    // Dispatcher heartbeat (milliseconds since `start`) for the
+    // watchdog: stamped whenever the dispatcher makes progress.
+    let heartbeat = Arc::new(AtomicU64::new(0));
+    let watchdog_stop = Arc::new(AtomicBool::new(false));
+
     let run: Result<(), String> = std::thread::scope(|scope| {
         let (tx, rx) = sync_channel::<LineJob>(opts.queue_max.max(1));
         let reader_stats = Arc::clone(&stats);
         let reader_shed = Arc::clone(&shed_list);
         let shed_mode = opts.shed;
 
+        // Watchdog: while requests are in flight, a dispatcher that has
+        // not stamped its heartbeat within the grace window is treated
+        // as wedged; every in-flight deadline is cancelled so the
+        // workers unwind cooperatively into partial / deadline
+        // responses. Only armed together with `--deadline-ms` — without
+        // a budget there is no contract on how long a request may run.
+        if let Some(deadline_ms) = opts.deadline_ms {
+            let stop = Arc::clone(&watchdog_stop);
+            let hb = Arc::clone(&heartbeat);
+            let wd_ctx = Arc::clone(ctx);
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    let now_ms = start.elapsed().as_millis() as u64;
+                    let stale_ms = now_ms.saturating_sub(hb.load(Ordering::SeqCst));
+                    let inflight = {
+                        let mut handles = lock(&wd_ctx.inflight);
+                        handles.retain(crate::par::WeakDeadline::is_alive);
+                        handles.len()
+                    };
+                    if watchdog_should_trip(inflight, stale_ms, deadline_ms) {
+                        counter!("serve", "watchdog_trips").inc();
+                        eprintln!(
+                            "serve: watchdog: dispatcher quiet for {stale_ms}ms with {inflight} \
+                             in-flight request(s); cancelling their deadlines"
+                        );
+                        for handle in lock(&wd_ctx.inflight).iter() {
+                            handle.cancel();
+                        }
+                        // Re-arm instead of re-tripping every tick.
+                        hb.store(now_ms, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+
         let reader = scope.spawn(move || -> Result<(), String> {
             let mut seq: u64 = 0;
             for line in input.lines() {
-                let line = line.map_err(|e| format!("serve: read error: {e}"))?;
+                let line = match line {
+                    Ok(line) => line,
+                    // A client that vanishes mid-stream is EOF, not a
+                    // serve failure: finish the work already admitted.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset
+                        ) =>
+                    {
+                        counter!("serve", "broken_pipe").inc();
+                        break;
+                    }
+                    Err(e) => return Err(format!("serve: read error: {e}")),
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -351,7 +418,9 @@ where
             let mut pending: BTreeMap<u64, String> = BTreeMap::new();
             let mut next_out: u64 = 0;
             let mut open = true;
+            let mut client_gone = false;
             loop {
+                heartbeat.store(start.elapsed().as_millis() as u64, Ordering::SeqCst);
                 // Admit a batch: block for the first item, then drain
                 // whatever else is already queued. In shed mode, wake
                 // periodically so shed responses flush even while the
@@ -380,6 +449,10 @@ where
                 stats
                     .queue_depth
                     .fetch_sub(batch.len() as u64, Ordering::SeqCst);
+                // Stamp after admission (the blocking receive above can
+                // legitimately sit idle for any length of time): the
+                // watchdog only measures time spent *executing* a batch.
+                heartbeat.store(start.elapsed().as_millis() as u64, Ordering::SeqCst);
 
                 if !batch.is_empty() {
                     stats.batches.fetch_add(1, Ordering::SeqCst);
@@ -396,7 +469,20 @@ where
                     let mut work: Vec<(u64, RequestId, Request, Instant, String)> = Vec::new();
                     let mut stats_jobs: Vec<(u64, RequestId, Instant)> = Vec::new();
                     for job in batch {
-                        match job.parsed {
+                        // Fault site: pretend this line failed envelope
+                        // parsing. Keyed by sequence number, so the set
+                        // of corrupted lines is a pure function of the
+                        // fault plan — independent of workers or timing.
+                        let parsed = if htmpll_fault::fires_global("serve.malformed", job.seq) {
+                            counter!("serve", "fault.malformed").inc();
+                            Err(format!(
+                                "fault injection: malformed envelope for line {}",
+                                job.seq
+                            ))
+                        } else {
+                            job.parsed
+                        };
+                        match parsed {
                             Err(message) => {
                                 stats.errors.fetch_add(1, Ordering::SeqCst);
                                 stats.note_latency(job.t0);
@@ -464,6 +550,13 @@ where
                     let worker_stats = Arc::clone(&stats);
                     let results = pool.map(work, move |_, item| {
                         let (seq, id, req, t0, key) = item;
+                        // Pin the ambient fault scope to the request's
+                        // canonical spec: scope-gated fault rules then
+                        // select the same victim *requests* regardless
+                        // of worker count, batch shape, or arrival
+                        // order.
+                        let _fault_scope =
+                            htmpll_fault::scope_guard(Some(htmpll_fault::fnv64(key.as_bytes())));
                         let resp =
                             catch_unwind(AssertUnwindSafe(|| handlers::handle(req, &worker_ctx)))
                                 .unwrap_or_else(|_| {
@@ -473,6 +566,8 @@ where
                                         message: "request handler panicked; the panic was \
                                                   contained and only this request failed"
                                             .to_string(),
+                                        retryable: false,
+                                        quality: None,
                                     })
                                 });
                         let ok = resp.failure().is_none();
@@ -519,13 +614,22 @@ where
                              drop --shed for blocking backpressure",
                             opts.queue_max
                         ),
+                        // Shedding is a load condition, not a property
+                        // of the request: resubmitting can succeed.
+                        retryable: true,
+                        quality: None,
                     };
                     pending.insert(seq, error_envelope(&id, &err));
                 }
 
-                // In-order flush.
+                // In-order flush. A client that hangs up mid-stream
+                // (BrokenPipe) downgrades writes to no-ops: the run
+                // keeps draining its queue and counters instead of
+                // aborting with half the batch unaccounted for.
                 while let Some(line) = pending.remove(&next_out) {
-                    writeln!(output, "{line}").map_err(|e| format!("serve: write error: {e}"))?;
+                    if !client_gone {
+                        client_gone = write_line(output, &line)?;
+                    }
                     next_out += 1;
                     let responded = stats.responded.fetch_add(1, Ordering::SeqCst) + 1;
                     counter!("serve", "responses").inc();
@@ -540,9 +644,16 @@ where
                         );
                     }
                 }
-                output
-                    .flush()
-                    .map_err(|e| format!("serve: flush error: {e}"))?;
+                if !client_gone {
+                    match output.flush() {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+                            counter!("serve", "broken_pipe").inc();
+                            client_gone = true;
+                        }
+                        Err(e) => return Err(format!("serve: flush error: {e}")),
+                    }
+                }
 
                 if !open && pending.is_empty() && lock(&shed_list).is_empty() {
                     return Ok(());
@@ -551,8 +662,9 @@ where
                     // Defensive: a sequence gap after EOF cannot fill;
                     // flush what remains rather than spin forever.
                     for (_, line) in std::mem::take(&mut pending) {
-                        writeln!(output, "{line}")
-                            .map_err(|e| format!("serve: write error: {e}"))?;
+                        if !client_gone {
+                            client_gone = write_line(output, &line)?;
+                        }
                         stats.responded.fetch_add(1, Ordering::SeqCst);
                     }
                     return Ok(());
@@ -560,6 +672,7 @@ where
             }
         })();
 
+        watchdog_stop.store(true, Ordering::SeqCst);
         let read = reader
             .join()
             .map_err(|_| "serve: reader thread panicked".to_string())?;
@@ -584,6 +697,35 @@ where
         p99_latency_ns: p99,
         elapsed_ns: start.elapsed().as_nanos() as u64,
     })
+}
+
+/// Writes one response line, tolerating a vanished client. Returns
+/// `Ok(true)` when the client is gone (BrokenPipe — stop writing, keep
+/// draining), `Ok(false)` on success, `Err` on any other I/O failure.
+fn write_line<W: Write>(output: &mut W, line: &str) -> Result<bool, String> {
+    match writeln!(output, "{line}") {
+        Ok(()) => Ok(false),
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+            counter!("serve", "broken_pipe").inc();
+            eprintln!("serve: client disconnected mid-stream; draining remaining work");
+            Ok(true)
+        }
+        Err(e) => Err(format!("serve: write error: {e}")),
+    }
+}
+
+/// The watchdog trip predicate, kept pure for testing: the dispatcher
+/// is considered wedged when work is in flight but its heartbeat has
+/// been quiet longer than the grace window.
+fn watchdog_should_trip(inflight: usize, stale_ms: u64, deadline_ms: u64) -> bool {
+    inflight > 0 && stale_ms > watchdog_grace_ms(deadline_ms)
+}
+
+/// Grace window before a stale heartbeat counts as a wedge: several
+/// deadline budgets (a healthy batch finishes within roughly one), with
+/// a floor so tiny budgets don't make the watchdog trigger-happy.
+fn watchdog_grace_ms(deadline_ms: u64) -> u64 {
+    (4 * deadline_ms).max(1000)
 }
 
 /// True when nothing can make progress anymore: input closed, no shed
@@ -657,6 +799,18 @@ fn stats_envelope(
     )
 }
 
+/// Drop guard that unlinks the Unix socket file when the serve loop
+/// exits, however it exits.
+#[cfg(unix)]
+struct SocketCleanup(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for SocketCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
 /// Accepts connections on a Unix socket sequentially, serving each with
 /// the *same* context and pool — the sweep and response caches stay
 /// warm across connections. Runs until the process is killed.
@@ -665,7 +819,10 @@ pub fn serve_unix(path: &str, opts: &ServeOptions) -> Result<(), String> {
     use std::os::unix::net::UnixListener;
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path).map_err(|e| format!("serve: bind {path}: {e}"))?;
-    let ctx = Arc::new(ServiceCtx::new());
+    // Remove the socket file on every exit path (error return, panic
+    // unwind), so a restarted server never finds a stale socket.
+    let _cleanup = SocketCleanup(std::path::PathBuf::from(path));
+    let ctx = Arc::new(ServiceCtx::with_deadline_ms(opts.deadline_ms));
     let pool = Pool::new(ThreadBudget::from(opts.workers));
     eprintln!("serve: listening on {path}");
     for conn in listener.incoming() {
@@ -787,6 +944,50 @@ mod tests {
             },
         );
         assert_eq!(one.0, four.0, "serve output must be worker-count invariant");
+    }
+
+    #[test]
+    fn watchdog_trip_predicate() {
+        // Nothing in flight: an arbitrarily stale heartbeat is just an
+        // idle dispatcher blocked on its input queue.
+        assert!(!watchdog_should_trip(0, 60_000, 100));
+        // In flight but within the grace window (floor is 1000 ms).
+        assert!(!watchdog_should_trip(3, 900, 100));
+        assert!(!watchdog_should_trip(1, 7_000, 2_000));
+        // In flight and quiet past the grace window: wedged.
+        assert!(watchdog_should_trip(1, 1_001, 100));
+        assert!(watchdog_should_trip(2, 9_000, 2_000));
+        assert_eq!(watchdog_grace_ms(100), 1_000);
+        assert_eq!(watchdog_grace_ms(2_000), 8_000);
+    }
+
+    #[test]
+    fn zero_deadline_returns_retryable_deadline_errors_in_order() {
+        let input = concat!(
+            "{\"id\":\"a\",\"command\":\"analyze\",\"params\":{\"ratio\":0.1}}\n",
+            "{\"id\":\"b\",\"command\":\"sweep\",\"params\":{\"from\":0.05,\"to\":0.2,\"points\":3}}\n",
+            "{\"id\":\"c\",\"command\":\"step\",\"params\":{\"ratio\":0.1,\"points\":4}}\n",
+        );
+        let opts = ServeOptions {
+            deadline_ms: Some(0),
+            ..ServeOptions::default()
+        };
+        let (out, summary) = run_serve(input, &opts);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "every request answers, none wedges");
+        assert!(
+            lines[0].contains("\"code\":\"deadline\"") && lines[0].contains("\"retryable\":true"),
+            "analyze under a zero budget must fail retryably: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"code\":\"deadline\"") && lines[1].contains("\"quality\""),
+            "sweep deadline error carries its quality roll-up: {}",
+            lines[1]
+        );
+        // `step` never consults the deadline (no scan grids): still ok.
+        assert!(lines[2].contains("\"ok\":true"));
+        assert_eq!(summary.responded, 3);
     }
 
     #[test]
