@@ -36,14 +36,30 @@
 use crate::error::{positive, CoreError};
 use htmpll_lti::{Pfe, Tf};
 use htmpll_num::hash::Fnv1a;
-use htmpll_num::special::{lattice_sum, MAX_LATTICE_ORDER};
+use htmpll_num::simd;
+use htmpll_num::special::{lattice_poly, lattice_sum, MAX_LATTICE_ORDER};
 use htmpll_num::Complex;
+
+/// Per-pole data hoisted out of the λ evaluation loop: the lattice
+/// polynomial `P_r` and the `(π/ω₀)^r` prefactor are functions of the
+/// pole order alone, so the batch path computes them once at
+/// construction instead of on every grid point. The values are produced
+/// by the exact expressions `lattice_sum` uses, keeping the batch
+/// result bitwise identical to the scalar path.
+#[derive(Debug, Clone)]
+struct PreTerm {
+    pole: Complex,
+    coeff: Complex,
+    poly: Vec<f64>,
+    factor: Complex,
+}
 
 /// The effective open-loop gain `λ(s) = Σ_m A(s + jmω₀)`.
 #[derive(Debug, Clone)]
 pub struct EffectiveGain {
     a: Tf,
     pfe: Pfe,
+    pre: Vec<PreTerm>,
     omega0: f64,
     fingerprint: u64,
 }
@@ -90,9 +106,20 @@ impl EffectiveGain {
         for &c in a.den().coeffs() {
             h.write_f64(c);
         }
+        let pre = pfe
+            .terms
+            .iter()
+            .map(|t| PreTerm {
+                pole: t.pole,
+                coeff: t.coeff,
+                poly: lattice_poly(t.order),
+                factor: Complex::from_re(std::f64::consts::PI / omega0).powi(t.order as i32),
+            })
+            .collect();
         Ok(EffectiveGain {
             a: a.clone(),
             pfe,
+            pre,
             omega0,
             fingerprint: h.finish(),
         })
@@ -137,6 +164,53 @@ impl EffectiveGain {
     /// Exact `λ(jω)`.
     pub fn eval_jw(&self, omega: f64) -> Complex {
         self.eval(Complex::from_im(omega))
+    }
+
+    /// Exact `λ(jω)` at a batch of frequencies, written into `out`.
+    ///
+    /// The per-pole lattice polynomial and prefactor come precomputed
+    /// from construction, the `coth` kernel is evaluated per lane, and
+    /// the Horner/accumulate stage runs through the SIMD dispatch in
+    /// [`htmpll_num::simd`]. Every lane performs exactly the operation
+    /// sequence of [`eval_jw`](EffectiveGain::eval_jw), so the batch is
+    /// **bitwise identical** to the pointwise path — grids may switch
+    /// between them freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `omegas` and `out` have different lengths.
+    pub fn eval_jw_batch(&self, omegas: &[f64], out: &mut [Complex]) {
+        assert_eq!(omegas.len(), out.len(), "batch length mismatch");
+        htmpll_obs::counter!("core", "lambda.eval").add(omegas.len() as u64);
+        const LANES: usize = 16;
+        let scale = std::f64::consts::PI / self.omega0;
+        for (ws, os) in omegas.chunks(LANES).zip(out.chunks_mut(LANES)) {
+            let n = ws.len();
+            let mut acc_re = [0.0_f64; LANES];
+            let mut acc_im = [0.0_f64; LANES];
+            let mut c_re = [0.0_f64; LANES];
+            let mut c_im = [0.0_f64; LANES];
+            for term in &self.pre {
+                for (l, &w) in ws.iter().enumerate() {
+                    let x = (Complex::from_im(w) - term.pole).scale(scale);
+                    let c = x.coth();
+                    c_re[l] = c.re;
+                    c_im[l] = c.im;
+                }
+                simd::lambda_term_acc(
+                    &mut acc_re[..n],
+                    &mut acc_im[..n],
+                    &c_re[..n],
+                    &c_im[..n],
+                    &term.poly,
+                    term.factor,
+                    term.coeff,
+                );
+            }
+            for (l, o) in os.iter_mut().enumerate() {
+                *o = Complex::new(acc_re[l], acc_im[l]);
+            }
+        }
     }
 
     /// Evaluates `A(z)` for one alias term, routing points that fall
@@ -339,6 +413,24 @@ mod tests {
         let a = lam.eval(s);
         let b = lam.eval(s + Complex::from_im(lam.omega0()));
         assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn batch_eval_bitwise_matches_pointwise() {
+        let lam = reference_lambda(0.3);
+        let w0 = lam.omega0();
+        // Regular points, a dense span crossing lane boundaries, and
+        // pole-grazing frequencies (λ blows up at k·ω₀; whatever bits
+        // the scalar path produces there, the batch must reproduce).
+        let mut omegas: Vec<f64> = (0..37).map(|i| 0.01 + 0.13 * i as f64).collect();
+        omegas.extend([w0, 2.0 * w0, w0 + 1e-12, 0.0]);
+        let mut batch = vec![Complex::ZERO; omegas.len()];
+        lam.eval_jw_batch(&omegas, &mut batch);
+        for (&w, v) in omegas.iter().zip(&batch) {
+            let direct = lam.eval_jw(w);
+            assert_eq!(direct.re.to_bits(), v.re.to_bits(), "w={w}");
+            assert_eq!(direct.im.to_bits(), v.im.to_bits(), "w={w}");
+        }
     }
 
     #[test]

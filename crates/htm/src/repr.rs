@@ -20,7 +20,7 @@
 //! PLL chain `H̃_VCO·H̃_LF·H̃_PFD` and its `I + G̃` feedback operator
 //! need to stay O(n·b) instead of O(n²)/O(n³).
 
-use htmpll_num::{BandMat, CMat, Complex};
+use htmpll_num::{simd, BandMat, CMat, Complex};
 
 /// Structured representation of one truncated HTM evaluation.
 ///
@@ -183,21 +183,47 @@ impl HtmRepr {
         match self {
             HtmRepr::Diagonal(d) => d.iter().zip(x).map(|(di, xi)| *di * *xi).collect(),
             HtmRepr::BandedToeplitz { coeffs, row_scale } => {
+                // Diagonal-major: one contiguous SIMD pass per Toeplitz
+                // diagonal t = j − i (coefficient `coeffs[b − t]`),
+                // taken in ascending t so each row accumulates its
+                // terms in the j-ascending order of the historical row
+                // scan — bitwise identical, and O(n·b) instead of the
+                // old iterator's O(n²) walk. The per-row scale is one
+                // elementwise pass at the end, as before.
                 let b = coeffs.len() / 2;
-                (0..n)
-                    .map(|i| {
-                        let lo = i.saturating_sub(b);
-                        let hi = (i + b).min(n - 1);
-                        let mut acc = Complex::ZERO;
-                        for (j, xj) in x.iter().enumerate().take(hi + 1).skip(lo) {
-                            acc += coeffs[i + b - j] * *xj;
-                        }
-                        match row_scale {
-                            Some(rs) => rs[i] * acc,
-                            None => acc,
-                        }
-                    })
-                    .collect()
+                let mut out = vec![Complex::ZERO; n];
+                if n == 0 {
+                    return out;
+                }
+                // One AoS→SoA conversion per mat-vec; every diagonal
+                // pass then runs on contiguous re/im planes with no
+                // per-pass shuffles.
+                let xs = simd::SoaVec::from_complex(x);
+                let mut acc = simd::SoaVec::zeros(n);
+                // The band may be wider than the matrix (b is not
+                // clamped here), so restrict to diagonals |t| ≤ n−1.
+                for p in b.saturating_sub(n - 1)..=(b + n - 1).min(2 * b) {
+                    // Diagonal t = p − b: entries (i, i + t) with
+                    // i ∈ [max(0, −t), n−1 − max(0, t)].
+                    let i0 = b.saturating_sub(p);
+                    let i1 = n - 1 - p.saturating_sub(b);
+                    let c = coeffs[2 * b - p];
+                    let j0 = i0 + p - b;
+                    let len = i1 - i0 + 1;
+                    let (o_re, o_im) = acc.planes_mut();
+                    simd::cmul_bcast_add(
+                        &mut o_re[i0..=i1],
+                        &mut o_im[i0..=i1],
+                        c,
+                        &xs.re()[j0..j0 + len],
+                        &xs.im()[j0..j0 + len],
+                    );
+                }
+                acc.copy_to_complex(&mut out);
+                if let Some(rs) = row_scale {
+                    simd::cmul_pairwise(&mut out, rs);
+                }
+                out
             }
             HtmRepr::RankOnePlus { u, v, shift } => {
                 let vx: Complex = v.iter().zip(x).map(|(a, b)| *a * *b).sum();
@@ -215,25 +241,59 @@ impl HtmRepr {
     fn transpose_mul_vec(&self, n: usize, x: &[Complex]) -> Vec<Complex> {
         match self {
             HtmRepr::Diagonal(d) => d.iter().zip(x).map(|(di, xi)| *di * *xi).collect(),
-            HtmRepr::BandedToeplitz { coeffs, row_scale } => {
-                let b = coeffs.len() / 2;
-                (0..n)
-                    .map(|j| {
-                        let lo = j.saturating_sub(b);
-                        let hi = (j + b).min(n - 1);
-                        let mut acc = Complex::ZERO;
-                        for (i, xi) in x.iter().enumerate().take(hi + 1).skip(lo) {
-                            let c = coeffs[i + b - j];
-                            let scaled = match row_scale {
-                                Some(rs) => rs[i] * c,
-                                None => c,
-                            };
-                            acc += scaled * *xi;
-                        }
-                        acc
-                    })
-                    .collect()
-            }
+            HtmRepr::BandedToeplitz { coeffs, row_scale } => match row_scale {
+                // Unscaled: diagonal-major SIMD passes, ascending
+                // u = i − j so each output column accumulates in the
+                // i-ascending order of the historical scan.
+                None => {
+                    let b = coeffs.len() / 2;
+                    let mut out = vec![Complex::ZERO; n];
+                    if n == 0 {
+                        return out;
+                    }
+                    let xs = simd::SoaVec::from_complex(x);
+                    let mut acc = simd::SoaVec::zeros(n);
+                    #[allow(clippy::needless_range_loop)] // p drives the diagonal geometry
+                    for p in b.saturating_sub(n - 1)..=(b + n - 1).min(2 * b) {
+                        // Diagonal u = p − b: contributions x[j + u] to
+                        // out[j] for j ∈ [max(0, −u), n−1 − max(0, u)].
+                        let j0 = b.saturating_sub(p);
+                        let j1 = n - 1 - p.saturating_sub(b);
+                        let c = coeffs[p];
+                        let i0 = j0 + p - b;
+                        let len = j1 - j0 + 1;
+                        let (o_re, o_im) = acc.planes_mut();
+                        simd::cmul_bcast_add(
+                            &mut o_re[j0..=j1],
+                            &mut o_im[j0..=j1],
+                            c,
+                            &xs.re()[i0..i0 + len],
+                            &xs.im()[i0..i0 + len],
+                        );
+                    }
+                    acc.copy_to_complex(&mut out);
+                    out
+                }
+                // Row-scaled: the historical order multiplies
+                // (rs[i]·c)·x[i] per element, so keep the scalar scan —
+                // but index the band directly instead of walking the
+                // full vector through a skip/take iterator.
+                Some(rs) => {
+                    let b = coeffs.len() / 2;
+                    (0..n)
+                        .map(|j| {
+                            let lo = j.saturating_sub(b);
+                            let hi = (j + b).min(n - 1);
+                            let mut acc = Complex::ZERO;
+                            for i in lo..=hi {
+                                let scaled = rs[i] * coeffs[i + b - j];
+                                acc += scaled * x[i];
+                            }
+                            acc
+                        })
+                        .collect()
+                }
+            },
             HtmRepr::RankOnePlus { u, v, shift } => {
                 let ux: Complex = u.iter().zip(x).map(|(a, b)| *a * *b).sum();
                 v.iter()

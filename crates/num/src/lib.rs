@@ -53,6 +53,7 @@ pub mod poly;
 pub mod quad;
 pub mod rng;
 pub mod roots;
+pub mod simd;
 pub mod solve;
 pub mod special;
 

@@ -33,7 +33,15 @@ pub const MAX_LATTICE_ORDER: usize = 12;
 
 /// Coefficients (ascending powers of `c = coth`) of the polynomial `P_r`
 /// with `S_r(z) = (π/ω₀)^r · P_r(coth(πz/ω₀))`.
-fn lattice_poly(r: usize) -> Vec<f64> {
+///
+/// Public so batch evaluators (the λ-grid SIMD path) can precompute the
+/// polynomial once per pole instead of rebuilding it on every call;
+/// [`lattice_sum`] evaluates exactly `(π/ω₀)^r · Horner(P_r, coth)`.
+///
+/// # Panics
+///
+/// Panics if `r` is 0 or exceeds [`MAX_LATTICE_ORDER`].
+pub fn lattice_poly(r: usize) -> Vec<f64> {
     assert!(
         (1..=MAX_LATTICE_ORDER).contains(&r),
         "lattice sum order {r} outside 1..={MAX_LATTICE_ORDER}"

@@ -7,17 +7,27 @@
 //! Convention: forward transform `X[k] = Σ_n x[n]·e^{−j2πkn/N}` (no
 //! normalization); the inverse divides by `N`.
 //!
+//! Butterfly passes run on split re/im planes through the
+//! runtime-dispatched SIMD kernels in `htmpll_num::simd` for large
+//! transforms; the twiddle factors come from a per-stage table built
+//! with the same sequential recurrence the scalar loop uses, so the
+//! output is bitwise identical whichever backend runs.
+//!
 //! ```
-//! use htmpll_spectral::fft::{fft, ifft};
+//! use htmpll_spectral::fft::{fft, ifft, FftError};
 //! use htmpll_num::Complex;
 //!
+//! # fn main() -> Result<(), FftError> {
 //! let mut x = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
-//! fft(&mut x).unwrap();               // impulse → flat spectrum
+//! fft(&mut x)?;                       // impulse → flat spectrum
 //! assert!(x.iter().all(|v| (*v - Complex::ONE).abs() < 1e-12));
-//! ifft(&mut x).unwrap();              // and back
+//! ifft(&mut x)?;                      // and back
 //! assert!((x[0] - Complex::ONE).abs() < 1e-12);
+//! # Ok(())
+//! # }
 //! ```
 
+use htmpll_num::simd::{self, SoaVec};
 use htmpll_num::Complex;
 use std::fmt;
 
@@ -73,6 +83,10 @@ pub fn ifft(x: &mut [Complex]) -> Result<(), FftError> {
     Ok(())
 }
 
+/// Below this length the transform stays in the interleaved scalar
+/// loop: the SoA conversion and twiddle table don't pay for themselves.
+const SOA_MIN_LEN: usize = 64;
+
 fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
     let n = x.len();
     if !is_power_of_two(n) {
@@ -90,24 +104,77 @@ fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
             x.swap(i, j);
         }
     }
-    // Butterflies.
     let sign = if inverse { 1.0 } else { -1.0 };
+    if n < SOA_MIN_LEN {
+        // Butterflies, interleaved with the sequential twiddle
+        // recurrence — the historical scalar path.
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::cis(ang);
+            for start in (0..n).step_by(len) {
+                let mut w = Complex::ONE;
+                for k in 0..len / 2 {
+                    let u = x[start + k];
+                    let v = x[start + k + len / 2] * w;
+                    x[start + k] = u + v;
+                    x[start + k + len / 2] = u - v;
+                    w *= wlen;
+                }
+            }
+            len <<= 1;
+        }
+        return Ok(());
+    }
+    // SoA path: split planes, one twiddle table per stage (built with
+    // the exact `w *= wlen` recurrence every block used to replay, so
+    // the factors are bit-identical), SIMD butterfly passes. The
+    // per-lane operation order matches the scalar loop exactly, making
+    // the whole transform bitwise identical to the path above.
+    let mut work = SoaVec::from_complex(x);
+    let mut tw_re = Vec::with_capacity(n / 2);
+    let mut tw_im = Vec::with_capacity(n / 2);
     let mut len = 2;
     while len <= n {
+        let half = len / 2;
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let u = x[start + k];
-                let v = x[start + k + len / 2] * w;
-                x[start + k] = u + v;
-                x[start + k + len / 2] = u - v;
-                w *= wlen;
+        tw_re.clear();
+        tw_im.clear();
+        let mut w = Complex::ONE;
+        for _ in 0..half {
+            tw_re.push(w.re);
+            tw_im.push(w.im);
+            w *= wlen;
+        }
+        let (re, im) = work.planes_mut();
+        if half < 8 {
+            // Small stages mean thousands of tiny blocks; a per-block
+            // kernel call would cost more than the butterflies. Run
+            // them inline — identical per-element operation order, so
+            // still bitwise-equal to the dispatched kernel.
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let (a, b) = (start + k, start + k + half);
+                    let t_re = re[b] * tw_re[k] - im[b] * tw_im[k];
+                    let t_im = re[b] * tw_im[k] + im[b] * tw_re[k];
+                    let (ur, ui) = (re[a], im[a]);
+                    re[a] = ur + t_re;
+                    im[a] = ui + t_im;
+                    re[b] = ur - t_re;
+                    im[b] = ui - t_im;
+                }
+            }
+        } else {
+            for start in (0..n).step_by(len) {
+                let (u_re, v_re) = re[start..start + len].split_at_mut(half);
+                let (u_im, v_im) = im[start..start + len].split_at_mut(half);
+                simd::butterfly(u_re, u_im, v_re, v_im, &tw_re, &tw_im);
             }
         }
         len <<= 1;
     }
+    work.copy_to_complex(x);
     Ok(())
 }
 
@@ -234,6 +301,62 @@ mod tests {
         let y = fft_real(&x).unwrap();
         for k in 1..32 {
             assert!((y[k] - y[64 - k].conj()).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    /// The pre-SoA transform, verbatim: bit-reversal followed by
+    /// butterflies with the per-block sequential twiddle recurrence.
+    fn transform_reference(x: &mut [Complex], inverse: bool) {
+        let n = x.len();
+        if n <= 1 {
+            return;
+        }
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = i.reverse_bits() >> (usize::BITS - bits);
+            if j > i {
+                x.swap(i, j);
+            }
+        }
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::cis(ang);
+            for start in (0..n).step_by(len) {
+                let mut w = Complex::ONE;
+                for k in 0..len / 2 {
+                    let u = x[start + k];
+                    let v = x[start + k + len / 2] * w;
+                    x[start + k] = u + v;
+                    x[start + k + len / 2] = u - v;
+                    w *= wlen;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    #[test]
+    fn soa_path_bitwise_matches_historical_loop() {
+        use htmpll_num::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0xF0F7);
+        for n in [64usize, 128, 512, 1024] {
+            for inverse in [false, true] {
+                let x: Vec<Complex> = (0..n)
+                    .map(|_| Complex::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0)))
+                    .collect();
+                let mut fast = x.clone();
+                let mut slow = x;
+                transform(&mut fast, inverse).unwrap();
+                transform_reference(&mut slow, inverse);
+                for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "n={n} inverse={inverse} bin {k}: {a:?} vs {b:?}"
+                    );
+                }
+            }
         }
     }
 

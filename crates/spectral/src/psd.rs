@@ -17,17 +17,20 @@
 //! pinned by the `parseval_*` tests.
 //!
 //! ```
-//! use htmpll_spectral::psd::periodogram;
+//! use htmpll_spectral::psd::{periodogram, SpectralError};
 //! use htmpll_spectral::window::Window;
 //!
+//! # fn main() -> Result<(), SpectralError> {
 //! let fs = 1000.0;
 //! let x: Vec<f64> = (0..1024).map(|k| (2.0 * std::f64::consts::PI * 100.0
 //!     * k as f64 / fs).sin()).collect();
-//! let psd = periodogram(&x, fs, Window::Hann).unwrap();
+//! let psd = periodogram(&x, fs, Window::Hann)?;
 //! let peak = psd.iter().cloned().fold((0.0f64, 0.0f64), |acc, p| {
 //!     if p.1 > acc.1 { p } else { acc }
 //! });
 //! assert!((peak.0 - 100.0).abs() < 2.0); // tone shows up at 100 Hz
+//! # Ok(())
+//! # }
 //! ```
 
 use crate::bluestein::fft_any;

@@ -17,6 +17,9 @@ HTMPLL_THREADS=1 cargo test --workspace -q
 echo "==> cargo test -q (workspace, HTMPLL_THREADS=4)"
 HTMPLL_THREADS=4 cargo test --workspace -q
 
+echo "==> cargo test -q (workspace, HTMPLL_SIMD=0 forced-scalar)"
+HTMPLL_SIMD=0 cargo test --workspace -q
+
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -73,6 +76,27 @@ if [ "$audit_fail" -ne 0 ]; then
 fi
 echo "panic audit ok (all library-path sites allow-listed)"
 
+# The main audit trims leading whitespace and skips `//`-prefixed lines,
+# which also hides doc-comment examples. The estimation kernels' doc
+# examples are the first code a user copies, so in fft.rs and psd.rs
+# they must model the fallible API (`?` against FftError/SpectralError),
+# never `.unwrap()`.
+echo "==> panic audit (spectral doc examples)"
+docfail=0
+for f in crates/spectral/src/fft.rs crates/spectral/src/psd.rs; do
+    hits=$(grep -nE '^\s*//[/!].*(\.unwrap\(\)|\.expect\(|panic!\()' "$f" || true)
+    if [ -n "$hits" ]; then
+        echo "doc-example panic audit: unwrap/expect/panic in $f doc comments:" >&2
+        echo "$hits" >&2
+        docfail=1
+    fi
+done
+if [ "$docfail" -ne 0 ]; then
+    echo "doc-example panic audit failed: rewrite the example with ? and a fallible fn" >&2
+    exit 1
+fi
+echo "doc-example panic audit ok (fft.rs, psd.rs)"
+
 echo "==> plltool doctor smoke"
 doctorjson=$(mktemp)
 ./target/release/plltool doctor --ratio 0.1 --metrics-json "$doctorjson" || {
@@ -87,6 +111,25 @@ for key in robust. num.robust.factor htm.closed_loop.rank_one num.robust.banded_
 done
 rm -f "$doctorjson"
 echo "doctor smoke ok"
+
+echo "==> SIMD feature-detection smoke"
+# The doctor banner names the dispatched backend; with HTMPLL_SIMD=0 it
+# must always read scalar, and unset it must name the detected level
+# (scalar is valid — it documents a host without AVX2/NEON).
+simdline=$(HTMPLL_SIMD=0 ./target/release/plltool doctor --ratio 0.1 | grep '^simd') || {
+    echo "SIMD smoke failed: doctor output has no simd line" >&2
+    exit 1
+}
+case "$simdline" in
+    *scalar*) ;;
+    *) echo "SIMD smoke failed: HTMPLL_SIMD=0 dispatched '$simdline'" >&2; exit 1 ;;
+esac
+detected=$(./target/release/plltool doctor --ratio 0.1 | grep '^simd')
+case "$detected" in
+    *scalar*|*avx2*|*neon*) ;;
+    *) echo "SIMD smoke failed: unrecognized backend line '$detected'" >&2; exit 1 ;;
+esac
+echo "SIMD smoke ok ($detected)"
 
 echo "==> xcheck determinism leg (quick corpus, threads 1 vs 4)"
 x1=$(mktemp); x4=$(mktemp)

@@ -560,6 +560,7 @@ fn doctor(
 
     Ok(DoctorOut {
         design_display: design.to_string(),
+        simd_level: crate::num::simd::active_level().name().to_string(),
         checks,
     })
 }
