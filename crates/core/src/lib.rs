@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod closed_loop;
 pub mod design;
 pub mod error;
+pub mod explore;
 pub mod hold;
 pub mod lambda;
 pub mod noise;
@@ -56,6 +57,10 @@ pub use analysis::{analyze, analyze_cached, analyze_deadline, analyze_with, Anal
 pub use closed_loop::{PllModel, PllModelBuilder};
 pub use design::{LoopFilter, PllDesign, PllDesignBuilder};
 pub use error::CoreError;
+pub use explore::{
+    candidate_params, explore, explore_deadline, DesignParams, DesignPoint, ExploreReport,
+    ExploreSpec, ParetoFront, EXPLORE_BLOCK, EXPLORE_F_REF,
+};
 pub use hold::SampleHoldModel;
 pub use lambda::EffectiveGain;
 pub use noise::{NoiseModel, NoiseShape};

@@ -44,6 +44,33 @@ impl Rng {
         Rng { s }
     }
 
+    /// Builds the generator for stream `stream` of a seeded family:
+    /// the `(seed, stream)` pair fully determines the sequence, and
+    /// nearby stream indices land in unrelated regions of the state
+    /// space (the index is remixed through SplitMix64 before the state
+    /// expansion, so `stream` and `stream + 1` share no structure).
+    ///
+    /// Design-space sweeps key one stream per candidate index: the
+    /// draws for candidate `i` are then a pure function of `(seed, i)`,
+    /// independent of evaluation order, thread count, and chunking.
+    ///
+    /// ```
+    /// use htmpll_num::rng::Rng;
+    /// let mut a = Rng::for_stream(7, 1000);
+    /// let mut b = Rng::for_stream(7, 1000);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn for_stream(seed: u64, stream: u64) -> Rng {
+        // Derive a per-stream 64-bit seed by running the stream index
+        // through the SplitMix64 permutation on top of the base seed's
+        // own expansion; a plain `seed ^ stream` would make streams of
+        // adjacent indices start from near-identical states.
+        let mut sm = seed;
+        let base = splitmix64(&mut sm);
+        let mut mix = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Rng::seed_from_u64(splitmix64(&mut mix))
+    }
+
     /// Next 64 uniformly distributed bits (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
@@ -80,6 +107,34 @@ impl Rng {
     }
 }
 
+/// `i`-th element of the van der Corput sequence in base `base`: the
+/// radical inverse of `i`, a low-discrepancy point in `[0, 1)`.
+///
+/// Pairing coprime bases across dimensions yields a Halton sequence,
+/// which covers a hyper-rectangle far more evenly than independent
+/// uniform draws — useful when a design-space sweep wants stratified
+/// coverage instead of Monte Carlo clumping. Fully deterministic: the
+/// value depends only on `(i, base)`.
+///
+/// ```
+/// use htmpll_num::rng::radical_inverse;
+/// // Base 2: 0, 1/2, 1/4, 3/4, 1/8, ...
+/// assert_eq!(radical_inverse(1, 2), 0.5);
+/// assert_eq!(radical_inverse(3, 2), 0.75);
+/// ```
+pub fn radical_inverse(mut i: u64, base: u64) -> f64 {
+    debug_assert!(base >= 2);
+    let inv_base = 1.0 / base as f64;
+    let mut f = 1.0;
+    let mut r = 0.0;
+    while i > 0 {
+        f *= inv_base;
+        r += f * (i % base) as f64;
+        i /= base;
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +164,47 @@ mod tests {
         assert_eq!(splitmix64(&mut s), 0xe220a8397b1dcdaf);
         assert_eq!(splitmix64(&mut s), 0x6e789e6aa1b965f4);
         assert_eq!(splitmix64(&mut s), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_independent() {
+        // Same (seed, stream) → same sequence.
+        let mut a = Rng::for_stream(42, 17);
+        let mut b = Rng::for_stream(42, 17);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Adjacent streams and adjacent seeds both decorrelate.
+        let mut s0 = Rng::for_stream(42, 0);
+        let mut s1 = Rng::for_stream(42, 1);
+        let same = (0..64).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert!(same < 2, "adjacent streams should be independent");
+        let mut t0 = Rng::for_stream(1, 5);
+        let mut t1 = Rng::for_stream(2, 5);
+        let same = (0..64).filter(|_| t0.next_u64() == t1.next_u64()).count();
+        assert!(same < 2, "same stream of different seeds should differ");
+    }
+
+    #[test]
+    fn radical_inverse_reference_values() {
+        // Base 2 (van der Corput) and base 3 openings.
+        let b2: Vec<f64> = (0..6).map(|i| radical_inverse(i, 2)).collect();
+        assert_eq!(b2, vec![0.0, 0.5, 0.25, 0.75, 0.125, 0.625]);
+        let b3: Vec<f64> = (0..4).map(|i| radical_inverse(i, 3)).collect();
+        for (got, want) in b3.iter().zip([0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0]) {
+            assert!((got - want).abs() < 1e-15, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn radical_inverse_is_low_discrepancy() {
+        // Every length-n prefix of the base-2 sequence fills [0,1) more
+        // evenly than random draws: max gap between sorted neighbours
+        // is O(1/n), not O(log n / n).
+        let mut pts: Vec<f64> = (0..256).map(|i| radical_inverse(i, 2)).collect();
+        pts.sort_by(f64::total_cmp);
+        let max_gap = pts.windows(2).map(|w| w[1] - w[0]).fold(0.0_f64, f64::max);
+        assert!(max_gap <= 1.0 / 128.0 + 1e-12, "max gap {max_gap}");
     }
 
     #[test]

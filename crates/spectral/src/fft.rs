@@ -29,7 +29,9 @@
 
 use htmpll_num::simd::{self, SoaVec};
 use htmpll_num::Complex;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Error returned by the radix-2 kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +89,81 @@ pub fn ifft(x: &mut [Complex]) -> Result<(), FftError> {
 /// loop: the SoA conversion and twiddle table don't pay for themselves.
 const SOA_MIN_LEN: usize = 64;
 
+/// Most distinct `(length, direction)` plans the process keeps. A plan
+/// for length `n` holds `n − 1` twiddle pairs (≈ 16·n bytes), so the
+/// cap bounds cache memory at roughly 32 transforms' worth of tables;
+/// beyond it new sizes build a throwaway plan instead of evicting —
+/// steady-state workloads reuse a handful of sizes, and a deterministic
+/// "never evict" policy keeps warm sizes warm under size churn.
+const PLAN_CACHE_CAP: usize = 32;
+
+/// Per-stage twiddle table of one whole radix-2 transform.
+struct PlanStage {
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+/// Whole-transform twiddle plan: one table per butterfly stage, built
+/// by the identical sequential `w *= wlen` recurrence the scalar loop
+/// replays — so a cached plan is bit-for-bit the table an uncached
+/// call would rebuild, and caching is observationally invisible.
+struct FftPlan {
+    stages: Vec<PlanStage>,
+}
+
+impl FftPlan {
+    fn build(n: usize, inverse: bool) -> FftPlan {
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut stages = Vec::with_capacity(n.trailing_zeros() as usize);
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::cis(ang);
+            let mut tw_re = Vec::with_capacity(half);
+            let mut tw_im = Vec::with_capacity(half);
+            let mut w = Complex::ONE;
+            for _ in 0..half {
+                tw_re.push(w.re);
+                tw_im.push(w.im);
+                w *= wlen;
+            }
+            stages.push(PlanStage { tw_re, tw_im });
+            len <<= 1;
+        }
+        FftPlan { stages }
+    }
+}
+
+/// The process-wide plan cache. Lookups are a hash probe under a mutex;
+/// a miss builds outside the lock (two racing builders produce
+/// identical tables, first insert wins) so concurrent transforms never
+/// serialize on table construction.
+type PlanCache = Mutex<HashMap<(usize, bool), Arc<FftPlan>>>;
+
+fn plan_for(n: usize, inverse: bool) -> Arc<FftPlan> {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(plan) = cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(&(n, inverse))
+    {
+        htmpll_obs::counter!("spectral", "fft.plan_hits").inc();
+        return Arc::clone(plan);
+    }
+    htmpll_obs::counter!("spectral", "fft.plan_builds").inc();
+    let plan = Arc::new(FftPlan::build(n, inverse));
+    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(existing) = map.get(&(n, inverse)) {
+        return Arc::clone(existing);
+    }
+    if map.len() < PLAN_CACHE_CAP {
+        map.insert((n, inverse), Arc::clone(&plan));
+    }
+    plan
+}
+
 fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
     let n = x.len();
     if !is_power_of_two(n) {
@@ -126,27 +203,20 @@ fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
         }
         return Ok(());
     }
-    // SoA path: split planes, one twiddle table per stage (built with
-    // the exact `w *= wlen` recurrence every block used to replay, so
-    // the factors are bit-identical), SIMD butterfly passes. The
-    // per-lane operation order matches the scalar loop exactly, making
-    // the whole transform bitwise identical to the path above.
+    // SoA path: split planes, one twiddle table per stage from the
+    // whole-transform plan cache (each table built with the exact
+    // `w *= wlen` recurrence every block used to replay, so the factors
+    // are bit-identical whether the plan is fresh or cached), SIMD
+    // butterfly passes. The per-lane operation order matches the scalar
+    // loop exactly, making the whole transform bitwise identical to the
+    // path above.
+    let plan = plan_for(n, inverse);
     let mut work = SoaVec::from_complex(x);
-    let mut tw_re = Vec::with_capacity(n / 2);
-    let mut tw_im = Vec::with_capacity(n / 2);
     let mut len = 2;
+    let mut stage = 0usize;
     while len <= n {
         let half = len / 2;
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        tw_re.clear();
-        tw_im.clear();
-        let mut w = Complex::ONE;
-        for _ in 0..half {
-            tw_re.push(w.re);
-            tw_im.push(w.im);
-            w *= wlen;
-        }
+        let PlanStage { tw_re, tw_im } = &plan.stages[stage];
         let (re, im) = work.planes_mut();
         if half < 8 {
             // Small stages mean thousands of tiny blocks; a per-block
@@ -169,10 +239,11 @@ fn transform(x: &mut [Complex], inverse: bool) -> Result<(), FftError> {
             for start in (0..n).step_by(len) {
                 let (u_re, v_re) = re[start..start + len].split_at_mut(half);
                 let (u_im, v_im) = im[start..start + len].split_at_mut(half);
-                simd::butterfly(u_re, u_im, v_re, v_im, &tw_re, &tw_im);
+                simd::butterfly(u_re, u_im, v_re, v_im, tw_re, tw_im);
             }
         }
         len <<= 1;
+        stage += 1;
     }
     work.copy_to_complex(x);
     Ok(())
@@ -356,6 +427,50 @@ mod tests {
                         "n={n} inverse={inverse} bin {k}: {a:?} vs {b:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_bitwise_transparent() {
+        use htmpll_num::rng::Rng;
+        // A cached plan's tables are bit-for-bit what a fresh build
+        // produces...
+        for n in [64usize, 256, 2048] {
+            for inverse in [false, true] {
+                let cached = plan_for(n, inverse);
+                let fresh = FftPlan::build(n, inverse);
+                assert_eq!(cached.stages.len(), fresh.stages.len());
+                for (c, f) in cached.stages.iter().zip(&fresh.stages) {
+                    let same = c
+                        .tw_re
+                        .iter()
+                        .zip(&f.tw_re)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                        && c.tw_im
+                            .iter()
+                            .zip(&f.tw_im)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "n={n} inverse={inverse}");
+                }
+            }
+        }
+        // ...and a warm-cache transform is bitwise identical to the
+        // uncached historical loop (first call warms, second reuses).
+        let mut rng = Rng::seed_from_u64(0x504c_414e);
+        for pass in 0..2 {
+            let x: Vec<Complex> = (0..512)
+                .map(|_| Complex::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0)))
+                .collect();
+            let mut fast = x.clone();
+            let mut slow = x;
+            transform(&mut fast, false).unwrap();
+            transform_reference(&mut slow, false);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "pass {pass} bin {k}"
+                );
             }
         }
     }

@@ -1,0 +1,160 @@
+//! Wall-clock benchmark for the streaming design-space explorer, used
+//! by `scripts/bench_explore.sh` to produce `BENCH_pareto_explore.json`.
+//!
+//! Two legs over the **same** seeded candidate corpus:
+//!
+//! 1. `screened` — the production configuration: the closed-form spur
+//!    gate and the coarse λ margin scan reject most candidates before
+//!    the full HTM analysis runs.
+//! 2. `full` — the screen disabled: every candidate pays for the full
+//!    analysis. This is the baseline the screening speedup is measured
+//!    against; both legs must land on the identical front digest.
+//!
+//! A counting global allocator tracks the live-bytes high-water mark of
+//! each leg — the flat-memory proxy: peak allocation must not scale
+//! with the candidate count, because the stream holds only per-worker
+//! workspaces and bounded fronts.
+//!
+//! Prints one JSON object to stdout. Usage:
+//!
+//! ```sh
+//! cargo run --release --example bench_explore -- [--candidates N] [--threads T]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use htmpll::core::{explore, ExploreSpec, SweepCache};
+use htmpll::par::ThreadBudget;
+
+/// System allocator wrapper keeping a live-bytes count and its peak.
+/// `realloc`/`alloc_zeroed` use the `GlobalAlloc` defaults, which route
+/// through `alloc`/`dealloc`, so the two counters see every byte.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Resets the peak to the current live count, runs `f`, and returns the
+/// peak *growth* during the run — the transient working set on top of
+/// whatever was already resident.
+fn peak_growth_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK.load(Ordering::Relaxed).saturating_sub(base))
+}
+
+fn main() {
+    let mut candidates = 5000usize;
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{what} needs an integer"))
+        };
+        match a.as_str() {
+            "--candidates" => candidates = grab("--candidates"),
+            "--threads" => threads = grab("--threads"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    // The tight-spec corpus: feasibility gates strict enough that the
+    // closed-form screen carries most of the rejection load — the
+    // regime exhaustive exploration actually lives in, where most of
+    // the box is junk.
+    let spec = ExploreSpec {
+        candidates,
+        seed: 1,
+        min_pm_deg: 55.0,
+        max_spur_dbc: -70.0,
+        front_cap: 128,
+        refine_rounds: 0,
+        screen: true,
+        quasi: false,
+        threads: ThreadBudget::Fixed(threads),
+    };
+
+    let leg = |screen: bool| {
+        let spec = ExploreSpec {
+            screen,
+            ..spec.clone()
+        };
+        let t = Instant::now();
+        let (report, peak) =
+            peak_growth_during(|| explore(&spec, &SweepCache::new()).expect("explore failed"));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        (report, wall_ms, peak)
+    };
+
+    let (screened, screened_ms, screened_peak) = leg(true);
+    let (full, full_ms, full_peak) = leg(false);
+
+    assert_eq!(
+        screened.digest, full.digest,
+        "screening must not change the front"
+    );
+
+    let dps = |evaluated: usize, ms: f64| evaluated as f64 / (ms / 1e3);
+    let screened_dps = dps(screened.evaluated, screened_ms);
+    let full_dps = dps(full.evaluated, full_ms);
+
+    println!("{{");
+    println!(
+        "  \"workload\": {{\"candidates\": {candidates}, \"seed\": 1, \"min_pm_deg\": 55.0, \
+         \"max_spur_dbc\": -70.0, \"front_cap\": 128, \"refine_rounds\": 0, \"threads\": {threads}}},"
+    );
+    println!(
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let leg_json = |name: &str, r: &htmpll::core::ExploreReport, ms: f64, peak: usize, d: f64| {
+        format!(
+            "  \"{name}\": {{\"wall_ms\": {ms:.1}, \"designs_per_sec\": {d:.1}, \
+             \"screened_out\": {}, \"full_analyses\": {}, \"screen_rate\": {:.4}, \
+             \"front_size\": {}, \"digest\": \"{}\", \"peak_alloc_bytes\": {peak}}}",
+            r.screened_out,
+            r.full_analyses,
+            r.screened_out as f64 / r.evaluated.max(1) as f64,
+            r.front.len(),
+            r.digest
+        )
+    };
+    println!(
+        "{},",
+        leg_json(
+            "screened",
+            &screened,
+            screened_ms,
+            screened_peak,
+            screened_dps
+        )
+    );
+    println!("{},", leg_json("full", &full, full_ms, full_peak, full_dps));
+    println!("  \"speedup\": {:.2},", screened_dps / full_dps);
+    println!("  \"digests_match\": true");
+    println!("}}");
+}

@@ -254,6 +254,33 @@ grep -q '"retryable":true' "$dlout" || {
 rm -f "$dlout"
 echo "serve deadline leg ok (structured retryable deadline errors, no hang)"
 
+echo "==> explore smoke (seeded run, digest pin, thread determinism, zero failures)"
+e1=$(mktemp); e4=$(mktemp)
+HTMPLL_THREADS=1 ./target/release/plltool explore --candidates 600 --seed 1 \
+    --min-pm 55 --max-spur -72 --front-cap 128 --refine 0 --json "$e1" > /dev/null
+HTMPLL_THREADS=4 ./target/release/plltool explore --candidates 600 --seed 1 \
+    --min-pm 55 --max-spur -72 --front-cap 128 --refine 0 --json "$e4" > /dev/null
+cmp -s "$e1" "$e4" || {
+    echo "explore smoke failed: front differs across thread counts" >&2
+    diff "$e1" "$e4" | head -5 >&2
+    exit 1
+}
+grep -q '"failed":0' "$e1" || {
+    echo "explore smoke failed: candidates failed outright" >&2
+    exit 1
+}
+grep -q '"quality":{"exact":' "$e1" || {
+    echo "explore smoke failed: no quality roll-up in the envelope" >&2
+    exit 1
+}
+if grep -q '"failed":[1-9]' "$e1"; then
+    echo "explore smoke failed: Failed verdicts in the quality roll-up" >&2
+    exit 1
+fi
+edigest=$(grep -o '"digest":"[0-9a-f]*"' "$e1" | head -1)
+rm -f "$e1" "$e4"
+echo "explore smoke ok (bitwise-identical across thread counts, $edigest)"
+
 echo "==> chaos smoke (seeded fault replay, exit 2 on invariant violation)"
 timeout 120 ./target/release/plltool chaos --requests 24 || {
     echo "chaos smoke failed: invariant violation or hang under the default fault plan" >&2

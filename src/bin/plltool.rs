@@ -23,7 +23,7 @@ use htmpll::service::{envelope, handle, serve_lines, Response, ServeOptions, Ser
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: plltool <analyze|sweep|bode|step|spur|optimize|hop|doctor|xcheck|metrics|trace|profile|serve|chaos> [--key value ...]
+    "usage: plltool <analyze|sweep|bode|step|spur|optimize|explore|hop|doctor|xcheck|metrics|trace|profile|serve|chaos> [--key value ...]
   analyze --ratio R [--spread S] [--symbolic x] [--pfd sh]
           (or --fref --n --kvco --bw)
   sweep   [--from A] [--to B] [--points N]
@@ -32,6 +32,14 @@ const USAGE: &str =
   spur    --ratio R [--leakage-frac F] [--kmax K]
   optimize [--min-pm DEG] [--from A] [--to B] [--points N]
            [--ref-noise PSD] [--vco-noise PSD]
+  explore [--candidates N] [--seed S] [--min-pm DEG] [--max-spur DBC]
+          [--front-cap N] [--refine R] [--full x] [--quasi x]
+          streaming design-space sweep over (ratio, spread, icp scale,
+          divider): a seeded deterministic candidate stream through a
+          closed-form screening cascade into a bounded Pareto front
+          over (PM_eff, bandwidth, peaking, spur, lock time); bitwise
+          identical for any --threads; --full disables the screen,
+          --quasi draws Halton candidates instead of Monte Carlo
   hop     --ratio R [--until T] [--points N]
   doctor  [--ratio R]   stress-evaluates adversarial points (on-pole s,
           singular I+G, extreme truncations, NaN injection, a
@@ -376,6 +384,16 @@ mod tests {
         .unwrap();
         run(&strs(&[
             "hop", "--ratio", "0.15", "--points", "5", "--until", "25",
+        ]))
+        .unwrap();
+        run(&strs(&[
+            "explore",
+            "--candidates",
+            "64",
+            "--seed",
+            "7",
+            "--refine",
+            "0",
         ]))
         .unwrap();
     }

@@ -90,6 +90,11 @@ pub struct PhaseReport {
     /// Dense-cache hit rate in [0, 1]; `None` when the cache saw no
     /// traffic during the phase.
     pub cache_hit_rate: Option<f64>,
+    /// Dense-cache entries evicted by the capacity bound during the
+    /// phase (`core.sweep.cache_evictions`) — nonzero means the working
+    /// set outgrew `HTMPLL_CACHE_CAP` and the phase is re-solving
+    /// points it already paid for.
+    pub cache_evictions: u64,
     /// Point-quality verdicts counted during the phase.
     pub verdicts: QualitySummary,
     /// Truncation-ladder re-runs (`core.robust.trunc_escalated`).
@@ -189,6 +194,7 @@ fn harvest(name: &'static str, wall_ms: f64, threads: usize) -> PhaseReport {
         p99_us,
         quantiles_exact,
         cache_hit_rate,
+        cache_evictions: counter_of(&snaps, "core.sweep.cache_evictions"),
         verdicts,
         trunc_escalated: counter_of(&snaps, "core.robust.trunc_escalated"),
         ladder,
@@ -315,12 +321,13 @@ impl ProfileReport {
         );
         let _ = writeln!(
             out,
-            "{:<10} {:>10} {:>9} {:>9} {:>7} {:>22} {:>16} {:>6}",
+            "{:<10} {:>10} {:>9} {:>9} {:>7} {:>6} {:>22} {:>16} {:>6}",
             "phase",
             "wall_ms",
             "p50_us",
             "p99_us",
             "cache%",
+            "evict",
             "verdicts e/r/p/f",
             "ladder f/fp/tik/b",
             "util%"
@@ -350,12 +357,13 @@ impl ProfileReport {
             );
             let _ = writeln!(
                 out,
-                "{:<10} {:>10.2} {:>9} {:>9} {:>7} {:>22} {:>16} {:>6}",
+                "{:<10} {:>10.2} {:>9} {:>9} {:>7} {:>6} {:>22} {:>16} {:>6}",
                 p.name,
                 p.wall_ms,
                 q(p.p50_us),
                 q(p.p99_us),
                 cache,
+                p.cache_evictions,
                 verdicts,
                 ladder,
                 util
@@ -393,7 +401,7 @@ impl ProfileReport {
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"wall_ms\": {}, \"p50_us\": {}, \"p99_us\": {}, \
-                 \"quantiles_exact\": {}, \"cache_hit_rate\": {}, \
+                 \"quantiles_exact\": {}, \"cache_hit_rate\": {}, \"cache_evictions\": {}, \
                  \"verdicts\": {{\"exact\": {}, \"refined\": {}, \"perturbed\": {}, \"failed\": {}}}, \
                  \"trunc_escalated\": {}, \
                  \"ladder\": {{\"factor\": {}, \"escalate_full\": {}, \"escalate_tikhonov\": {}, \
@@ -404,6 +412,7 @@ impl ProfileReport {
                 opt(p.p99_us),
                 p.quantiles_exact,
                 opt(p.cache_hit_rate),
+                p.cache_evictions,
                 p.verdicts.exact,
                 p.verdicts.refined,
                 p.verdicts.perturbed,

@@ -346,6 +346,28 @@ pub enum Request {
         /// Worker threads (0 = auto).
         threads: usize,
     },
+    /// Streaming design-space exploration (`plltool explore`).
+    Explore {
+        /// Monte-Carlo candidates in the initial round.
+        candidates: usize,
+        /// Candidate-stream seed.
+        seed: u64,
+        /// Minimum acceptable effective phase margin, degrees.
+        min_pm: f64,
+        /// Maximum acceptable first reference spur, dBc.
+        max_spur: f64,
+        /// Pareto-front capacity.
+        front_cap: usize,
+        /// Adaptive refinement rounds.
+        refine: usize,
+        /// Disable the screening cascade (full analysis per candidate).
+        full: bool,
+        /// Draw candidates from the Halton sequence instead of
+        /// xoshiro streams.
+        quasi: bool,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
     /// Loop-parameter optimization (`plltool optimize`).
     Optimize {
         /// Minimum acceptable effective phase margin, degrees.
@@ -446,6 +468,17 @@ impl Request {
                 kmax: p.usize_or("kmax", 4)?,
                 threads,
             },
+            "explore" => Request::Explore {
+                candidates: p.usize_or("candidates", 5000)?,
+                seed: p.usize_or("seed", 1)? as u64,
+                min_pm: p.f64_or("min-pm", 50.0)?,
+                max_spur: p.f64_or("max-spur", -65.0)?,
+                front_cap: p.usize_or("front-cap", 256)?,
+                refine: p.usize_or("refine", 1)?,
+                full: p.has("full"),
+                quasi: p.has("quasi"),
+                threads,
+            },
             "optimize" => Request::Optimize {
                 min_pm: p.f64_or("min-pm", 45.0)?,
                 from: p.f64_or("from", 0.03)?,
@@ -511,6 +544,7 @@ impl Request {
             Request::Step { .. } => "step",
             Request::Hop { .. } => "hop",
             Request::Spur { .. } => "spur",
+            Request::Explore { .. } => "explore",
             Request::Optimize { .. } => "optimize",
             Request::Doctor { .. } => "doctor",
             Request::Xcheck { .. } => "xcheck",
@@ -538,6 +572,7 @@ impl Request {
             | Request::Sweep { threads, .. }
             | Request::Bode { threads, .. }
             | Request::Spur { threads, .. }
+            | Request::Explore { threads, .. }
             | Request::Doctor { threads, .. }
             | Request::Xcheck { threads, .. }
             | Request::Metrics { threads, .. }
@@ -620,6 +655,27 @@ impl Request {
                 field("design", d);
                 field("leakage_frac", canon_f64(*leakage_frac));
                 field("kmax", kmax.to_string());
+                field("threads", threads.to_string());
+            }
+            Request::Explore {
+                candidates,
+                seed,
+                min_pm,
+                max_spur,
+                front_cap,
+                refine,
+                full,
+                quasi,
+                threads,
+            } => {
+                field("candidates", candidates.to_string());
+                field("seed", seed.to_string());
+                field("min_pm", canon_f64(*min_pm));
+                field("max_spur", canon_f64(*max_spur));
+                field("front_cap", front_cap.to_string());
+                field("refine", refine.to_string());
+                field("full", full.to_string());
+                field("quasi", quasi.to_string());
                 field("threads", threads.to_string());
             }
             Request::Optimize {

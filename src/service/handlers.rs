@@ -5,15 +5,16 @@
 //! `Result`, so a batch service can absorb failures per request.
 
 use super::response::{
-    AnalyzeOut, BodeOut, BodeRow, DoctorCheck, DoctorOut, MetricsOut, OptimizeOut, ProfileOut,
-    Response, ServiceError, ShMargins, SpurOut, SweepOut, SweepRow, TransientOut, XcheckOut,
+    AnalyzeOut, BodeOut, BodeRow, DoctorCheck, DoctorOut, ExploreOut, MetricsOut, OptimizeOut,
+    ProfileOut, Response, ServiceError, ShMargins, SpurOut, SweepOut, SweepRow, TransientOut,
+    XcheckOut,
 };
 use super::ServiceCtx;
 use crate::core::{
-    analyze_cached, analyze_deadline, bode_grid, dominant_poles, optimize_loop, transient,
-    EffectiveGain, LeakageSpurs, NoiseModel, NoiseShape, NoiseSpec, OptimizeSpec, PllDesign,
-    PllModel, PointQuality, QualitySummary, SampleHoldModel, SweepSpec, DEADLINE_REASON,
-    MAX_AUTO_TRUNCATION,
+    analyze_cached, analyze_deadline, bode_grid, dominant_poles, explore_deadline, optimize_loop,
+    transient, EffectiveGain, ExploreSpec, LeakageSpurs, NoiseModel, NoiseShape, NoiseSpec,
+    OptimizeSpec, PllDesign, PllModel, PointQuality, QualitySummary, SampleHoldModel, SweepSpec,
+    DEADLINE_REASON, MAX_AUTO_TRUNCATION,
 };
 use crate::htm::{Htm, HtmRepr, Truncation};
 use crate::lti::FrequencyGrid;
@@ -73,6 +74,30 @@ pub fn handle(req: &Request, ctx: &ServiceCtx) -> Response {
             ref_noise,
             vco_noise,
         } => optimize(*min_pm, *from, *to, *points, *ref_noise, *vco_noise).map(Response::Optimize),
+        Request::Explore {
+            candidates,
+            seed,
+            min_pm,
+            max_spur,
+            front_cap,
+            refine,
+            full,
+            quasi,
+            ..
+        } => explore(
+            *candidates,
+            *seed,
+            *min_pm,
+            *max_spur,
+            *front_cap,
+            *refine,
+            *full,
+            *quasi,
+            budget,
+            ctx,
+            &deadline,
+        )
+        .map(Response::Explore),
         Request::Doctor { design, .. } => {
             doctor(design.as_ref(), budget, ctx).map(Response::Doctor)
         }
@@ -371,6 +396,41 @@ fn optimize(
     })
 }
 
+/// Streaming design-space exploration: seeded candidate corpus through
+/// the screening cascade into a bounded, deterministic Pareto front.
+/// The cooperative deadline shrinks the candidate budget (recorded in
+/// the report's degradation notes); an expiry before any block lands
+/// surfaces as a retryable `code:deadline` error through the
+/// [`DEADLINE_REASON`] prefix protocol.
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    candidates: usize,
+    seed: u64,
+    min_pm: f64,
+    max_spur: f64,
+    front_cap: usize,
+    refine: usize,
+    full: bool,
+    quasi: bool,
+    threads: ThreadBudget,
+    ctx: &ServiceCtx,
+    deadline: &Deadline,
+) -> Result<ExploreOut, String> {
+    let spec = ExploreSpec {
+        candidates,
+        seed,
+        min_pm_deg: min_pm,
+        max_spur_dbc: max_spur,
+        front_cap,
+        refine_rounds: refine,
+        screen: !full,
+        quasi,
+        threads,
+    };
+    let report = explore_deadline(&spec, &ctx.cache, deadline).map_err(|e| e.to_string())?;
+    Ok(ExploreOut { seed, report })
+}
+
 /// Stress-evaluates a model at adversarial points — on-pole `s`, a loop
 /// driven to `ω_UG ≈ ω₀`, (near-)singular `I + G̃`, extreme truncation
 /// orders, NaN injection — and returns the health table. Every check
@@ -557,6 +617,63 @@ fn doctor(
         },
     };
     checks.push(fast_row);
+
+    // 11: eviction storm — two passes of a dense grid through a
+    // 16-entry cache (far smaller than the grid, so entries churn
+    // constantly) must match an uncapped cache bit for bit. Eviction
+    // pressure is allowed to cost time, never correctness.
+    let storm_row = (|| -> Result<DoctorCheck, String> {
+        let grid = SweepSpec::log(1e-2 * w0, 0.49 * w0, 48)
+            .map_err(|e| e.to_string())?
+            .with_truncation(trunc)
+            .with_threads(threads);
+        let tiny = crate::core::SweepCache::with_capacity(16);
+        let roomy = crate::core::SweepCache::new();
+        let cold = model
+            .closed_loop_htm_grid_cached(&grid, &tiny)
+            .map_err(|e| e.to_string())?;
+        let rerun = model
+            .closed_loop_htm_grid_cached(&grid, &tiny)
+            .map_err(|e| e.to_string())?;
+        let reference = model
+            .closed_loop_htm_grid_cached(&grid, &roomy)
+            .map_err(|e| e.to_string())?;
+        let same = |a: &[crate::htm::Htm], b: &[crate::htm::Htm]| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| {
+                    let (xs, ys) = (x.as_matrix().as_slice(), y.as_matrix().as_slice());
+                    xs.len() == ys.len()
+                        && xs.iter().zip(ys).all(|(u, v)| {
+                            u.re.to_bits() == v.re.to_bits() && u.im.to_bits() == v.im.to_bits()
+                        })
+                })
+        };
+        let identical = same(&cold, &reference) && same(&rerun, &reference);
+        let stats = tiny.stats();
+        Ok(DoctorCheck {
+            check: "cache eviction storm".to_string(),
+            verdict: if identical {
+                "identical".into()
+            } else {
+                "mismatch".into()
+            },
+            cond: None,
+            residual: None,
+            ok: identical && stats.evictions > 0,
+            note: format!(
+                "cap 16: {} evictions, {} hits, {} misses",
+                stats.evictions, stats.hits, stats.misses
+            ),
+        })
+    })();
+    checks.push(storm_row.unwrap_or_else(|e| DoctorCheck {
+        check: "cache eviction storm".to_string(),
+        verdict: "error".into(),
+        cond: None,
+        residual: None,
+        ok: false,
+        note: e.chars().take(48).collect(),
+    }));
 
     Ok(DoctorOut {
         design_display: design.to_string(),

@@ -32,8 +32,8 @@ mod server;
 pub use chaos::{build_corpus, default_plan, run_chaos, ChaosOptions, ChaosReport};
 pub use response::{
     envelope, envelope_tail, error_envelope, AnalyzeOut, BodeOut, BodeRow, DoctorCheck, DoctorOut,
-    MetricsOut, OptimizeOut, ProfileOut, Response, ServiceError, ShMargins, SpurOut, SweepOut,
-    SweepRow, TransientOut, XcheckOut,
+    ExploreOut, MetricsOut, OptimizeOut, ProfileOut, Response, ServiceError, ShMargins, SpurOut,
+    SweepOut, SweepRow, TransientOut, XcheckOut,
 };
 #[cfg(unix)]
 pub use server::serve_unix;

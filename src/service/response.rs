@@ -11,7 +11,7 @@
 
 use super::json::{num, opt_num, str_lit};
 use crate::requests::RequestId;
-use htmpll_core::{AnalysisReport, QualitySummary, SpurLine};
+use htmpll_core::{AnalysisReport, ExploreReport, QualitySummary, SpurLine};
 use std::fmt::Write as _;
 
 /// Sample-and-hold PFD margins for the `--pfd sh` report line.
@@ -123,6 +123,15 @@ pub struct OptimizeOut {
     pub pm_eff_deg: f64,
     /// Integrated output noise of the winner.
     pub integrated_noise: f64,
+}
+
+/// `explore` result.
+#[derive(Debug, Clone)]
+pub struct ExploreOut {
+    /// Seed of the candidate stream (echoed for reproducibility).
+    pub seed: u64,
+    /// The full explorer report, front already in canonical order.
+    pub report: ExploreReport,
 }
 
 /// One `doctor` health-table row.
@@ -302,6 +311,8 @@ pub enum Response {
     Spur(SpurOut),
     /// `optimize` output.
     Optimize(OptimizeOut),
+    /// `explore` output.
+    Explore(ExploreOut),
     /// `doctor` output.
     Doctor(DoctorOut),
     /// `xcheck` output.
@@ -326,6 +337,7 @@ impl Response {
             Response::Hop(_) => Some("hop"),
             Response::Spur(_) => Some("spur"),
             Response::Optimize(_) => Some("optimize"),
+            Response::Explore(_) => Some("explore"),
             Response::Doctor(_) => Some("doctor"),
             Response::Xcheck(_) => Some("xcheck"),
             Response::Metrics(_) => Some("metrics"),
@@ -408,6 +420,7 @@ impl Response {
                     o.integrated_noise.sqrt()
                 );
             }
+            Response::Explore(e) => render_explore(&mut t, e),
             Response::Doctor(d) => render_doctor(&mut t, d),
             Response::Xcheck(x) => {
                 t.push_str(&x.table);
@@ -515,6 +528,7 @@ impl Response {
                 num(o.integrated_noise),
                 num(o.integrated_noise.sqrt())
             )),
+            Response::Explore(e) => Some(explore_result_json(e)),
             Response::Doctor(d) => Some(format!(
                 "{{\"design\":{},\"simd_level\":{},\"failures\":{},\"total\":{},\"checks\":[{}]}}",
                 str_lit(&d.design_display),
@@ -551,6 +565,7 @@ impl Response {
         let q = match self {
             Response::Analyze(a) => Some(&a.report.quality),
             Response::Sweep(s) => Some(&s.quality),
+            Response::Explore(e) => Some(&e.report.quality),
             _ => None,
         };
         match q {
@@ -686,6 +701,107 @@ fn render_spur(t: &mut String, s: &SpurOut) {
             line.level_dbc
         );
     }
+}
+
+fn render_explore(t: &mut String, e: &ExploreOut) {
+    let r = &e.report;
+    let _ = writeln!(
+        t,
+        "explore : {} candidates, seed {} ({} evaluated, {} refinement probes)",
+        r.candidates, e.seed, r.evaluated, r.refined
+    );
+    let _ = writeln!(
+        t,
+        "screen  : {} screened out, {} full analyses ({} infeasible, {} failed)",
+        r.screened_out, r.full_analyses, r.infeasible, r.failed
+    );
+    let _ = writeln!(
+        t,
+        "front   : {} non-dominated designs ({} pruned by capacity)",
+        r.front.len(),
+        r.pruned
+    );
+    let _ = writeln!(t, "digest  : {}", r.digest);
+    let _ = writeln!(t, "rate    : {:.0} designs/s", r.designs_per_sec);
+    for note in &r.degradation {
+        let _ = writeln!(t, "note    : {note}");
+    }
+    t.push('\n');
+    let _ = writeln!(
+        t,
+        "{:>8} {:>8} {:>8} {:>6} {:>8} {:>12} {:>8} {:>9} {:>11}",
+        "ratio", "spread", "icp_x", "N", "PM_eff", "bw_rad_s", "peak_dB", "spur_dBc", "lock_s"
+    );
+    for p in &r.front {
+        let _ = writeln!(
+            t,
+            "{:8.4} {:8.3} {:8.3} {:6.0} {:8.2} {:12.4e} {:8.2} {:9.1} {:11.3e}",
+            p.params.ratio,
+            p.params.spread,
+            p.params.icp_scale,
+            p.params.divider,
+            p.pm_eff_deg,
+            p.bandwidth_3db,
+            p.peaking_db,
+            p.spur_dbc,
+            p.lock_time_s
+        );
+    }
+}
+
+/// The explore `result` member. Timing fields (`elapsed_ns`,
+/// `designs_per_sec`) are deliberately omitted: the result is then a
+/// pure function of the request, so serve's response-tail cache stays
+/// byte-stable across repeats of the same exploration.
+fn explore_result_json(e: &ExploreOut) -> String {
+    let r = &e.report;
+    let mut out = format!(
+        "{{\"candidates\":{},\"seed\":{},\"evaluated\":{},\"refined\":{},\"screened_out\":{},\
+         \"full_analyses\":{},\"infeasible\":{},\"failed\":{},\"skipped\":{},\"pruned\":{},\
+         \"front_size\":{},\"digest\":{},\"front\":[{}]",
+        r.candidates,
+        e.seed,
+        r.evaluated,
+        r.refined,
+        r.screened_out,
+        r.full_analyses,
+        r.infeasible,
+        r.failed,
+        r.skipped,
+        r.pruned,
+        r.front.len(),
+        str_lit(&r.digest),
+        r.front
+            .iter()
+            .map(|p| format!(
+                "{{\"ratio\":{},\"spread\":{},\"icp_scale\":{},\"divider\":{},\"pm_eff_deg\":{},\
+                 \"bandwidth_3db\":{},\"peaking_db\":{},\"spur_dbc\":{},\"lock_time_s\":{}}}",
+                num(p.params.ratio),
+                num(p.params.spread),
+                num(p.params.icp_scale),
+                num(p.params.divider),
+                num(p.pm_eff_deg),
+                num(p.bandwidth_3db),
+                num(p.peaking_db),
+                num(p.spur_dbc),
+                num(p.lock_time_s)
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    if !r.degradation.is_empty() {
+        let _ = write!(
+            out,
+            ",\"degradation\":[{}]",
+            r.degradation
+                .iter()
+                .map(|d| str_lit(d))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    out.push('}');
+    out
 }
 
 fn render_doctor(t: &mut String, d: &DoctorOut) {
